@@ -1,0 +1,57 @@
+// Ablation (beyond the paper): sensitivity of the packing decision.
+//
+// DESIGN.md calls out the L1-resident-B predicate (Section 4.2) as a
+// design choice. This bench sweeps square and skinny shapes around the L1
+// boundary, comparing never-pack / always-pack(sequential) / LibShalom's
+// selective+fused policy. The selective policy should match never-pack
+// below the threshold and always-pack above it - i.e. pay no penalty on
+// either side.
+#include "bench/bench_common.h"
+#include "core/shalom.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  auto shalom_with = [](Config cfg) {
+    return [cfg](Mode m, index_t M, index_t N, index_t K, float al,
+                 const float* A, index_t lda, const float* B, index_t ldb,
+                 float be, float* C, index_t ldc, int) {
+      gemm_serial(m, M, N, K, al, A, lda, B, ldb, be, C, ldc, cfg);
+    };
+  };
+
+  // Never pack: run the no-pack path regardless of size by disabling
+  // packing outright via a huge fake L1.
+  static arch::MachineDescriptor huge_l1 = arch::host_machine();
+  huge_l1.l1d.size_bytes = 1ull << 40;
+  Config never;
+  never.machine = &huge_l1;
+
+  Config always;
+  always.selective_packing = false;
+  always.fused_packing = false;
+
+  Config selective;  // defaults
+
+  baselines::Library never_lib{"never-pack", shalom_with(never), nullptr,
+                               false, false};
+  baselines::Library always_lib{"always-pack", shalom_with(always), nullptr,
+                                false, false};
+  baselines::Library sel_lib{"selective+fused", shalom_with(selective),
+                             nullptr, false, false};
+  const std::vector<const baselines::Library*> libs = {
+      &never_lib, &always_lib, &sel_lib};
+
+  std::vector<workloads::GemmShape> shapes;
+  for (index_t n : {32, 64, 96, 128, 192, 256, 512, 1024})
+    shapes.push_back({"64x" + std::to_string(n) + "x64", 64, n, 64});
+  for (index_t k : {64, 128, 256, 512, 1024})
+    shapes.push_back({"32x256x" + std::to_string(k), 32, 256, k});
+
+  bench::run_panel<float>(
+      "Ablation: packing decision threshold (NN, single thread), GFLOPS",
+      libs, {Trans::N, Trans::N}, shapes, 1, opt);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation (beyond the paper): the CMR-optimal partition (Eq. 3/4) vs
+// naive 1-D splits, evaluated on the partition's own terms.
+//
+// For irregular shapes, prints each scheme's per-thread block shape, its
+// block CMR (Eq. 3), the work imbalance, and the fraction of C covered by
+// edge tiles - the quantities Section 6 argues about. The solver should
+// dominate 1-D column/row splits on skinny matrices, and the modeled
+// GFLOPS (perfmodel) quantify the gap on a 64-core machine.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/model.h"
+#include "perfmodel/perfmodel.h"
+
+namespace {
+
+using namespace shalom;
+
+struct SchemeEval {
+  int tm, tn;
+};
+
+double block_cmr(double m, double n) { return m * n / (m + n); }
+
+void eval(const char* name, index_t M, index_t N, int tm, int tn,
+          const model::Tile& tile, bench::Table& table) {
+  const double mb = static_cast<double>(M) / tm;
+  const double nb = static_cast<double>(N) / tn;
+  const double mb_worst = std::ceil(static_cast<double>(M) / tm);
+  const double nb_worst = std::ceil(static_cast<double>(N) / tn);
+  const double imbalance = (mb_worst * nb_worst) / (mb * nb) - 1.0;
+  const double full_m = std::floor(mb / tile.mr) * tile.mr;
+  const double full_n = std::floor(nb / tile.nr) * tile.nr;
+  const double edge_frac =
+      1.0 - (mb > 0 && nb > 0 ? (full_m / mb) * (full_n / nb) : 0.0);
+  table.add_row(name,
+                {static_cast<double>(tm), static_cast<double>(tn),
+                 block_cmr(mb, nb), 100.0 * imbalance, 100.0 * edge_frac});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  (void)opt;
+  const int threads = 64;  // the paper's Phytium 2000+ core count
+  const model::Tile tile{7, 12};
+
+  for (auto [M, N] : {std::pair<index_t, index_t>{32, 10240},
+                      {64, 10240},
+                      {2048, 256},
+                      {64, 50176}}) {
+    bench::Table table(
+        "Ablation: partition schemes for M=" + std::to_string(M) +
+            " N=" + std::to_string(N) + ", T=64",
+        {"scheme", "Tm", "Tn", "block CMR", "imbalance %", "edge-tile %"});
+    const auto p = model::solve_partition(threads, M, N, tile);
+    eval("CMR-optimal (Eq.4)", M, N, p.tm, p.tn, tile, table);
+    eval("1-D columns", M, N, 1, threads, tile, table);
+    eval("1-D rows", M, N, threads, 1, tile, table);
+    eval("square 8x8", M, N, 8, 8, tile, table);
+    table.print(opt.csv);
+
+    // Modeled end-to-end effect on KP920.
+    const auto mach = arch::kunpeng_920();
+    const auto& strat = perfmodel::modeled_strategies().back();
+    std::printf("modeled LibShalom GFLOPS on %s at T=64: %.0f\n\n",
+                mach.name.c_str(),
+                perfmodel::predict_gflops<float>(
+                    mach, strat, {Trans::N, Trans::T}, M, N, 5000, 64));
+  }
+  return 0;
+}

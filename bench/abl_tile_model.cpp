@@ -1,0 +1,70 @@
+// Ablation (beyond the paper): is the analytically derived register tile
+// actually the best one?
+//
+// Section 5.2 derives (mr, nr) = (7, 12) FP32 by maximizing the CMR under
+// the register budget. This bench measures the always-pack Goto driver at
+// several feasible tiles on a medium GEMM; the model's pick should be at
+// or near the top, validating the Lagrange/CMR argument empirically.
+#include "baselines/goto_common.h"
+#include "bench/bench_common.h"
+#include "core/model.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  const auto tile = model::solve_tile(32, 4);
+  std::printf("model tile for 32 regs / 4 lanes: mr=%d nr=%d (CMR %.2f)\n\n",
+              tile.mr, tile.nr, model::tile_cmr(tile.mr, tile.nr));
+
+  struct TileCase {
+    const char* name;
+    void (*fn)(Mode, index_t, index_t, index_t, float, const float*,
+               index_t, const float*, index_t, float, float*, index_t,
+               const arch::MachineDescriptor&);
+    double cmr;
+  };
+  const TileCase cases[] = {
+      {"4x8", &baselines::goto_gemm<float, 4, 2, false>,
+       model::tile_cmr(4, 8)},
+      {"6x8", &baselines::goto_gemm<float, 6, 2, false>,
+       model::tile_cmr(6, 8)},
+      {"8x4", &baselines::goto_gemm<float, 8, 1, false>,
+       model::tile_cmr(8, 4)},
+      {"8x8", &baselines::goto_gemm<float, 8, 2, false>,
+       model::tile_cmr(8, 8)},
+      {"5x12", &baselines::goto_gemm<float, 5, 3, false>,
+       model::tile_cmr(5, 12)},
+      {"7x12 (model)", &baselines::goto_gemm<float, 7, 3, false>,
+       model::tile_cmr(7, 12)},
+  };
+
+  bench::Table table("Ablation: register tile vs measured GFLOPS "
+                     "(always-pack Goto, NN)",
+                     {"tile", "CMR", "192^3", "320^3", "64x1024x512"});
+  for (const auto& c : cases) {
+    std::vector<double> row = {c.cmr};
+    for (auto [M, N, K] : {std::tuple<index_t, index_t, index_t>{192, 192, 192},
+                           {320, 320, 320},
+                           {64, 1024, 512}}) {
+      Matrix<float> a(M, K), b(K, N), cm(M, N);
+      fill_random(a, 5);
+      fill_random(b, 6);
+      const auto st = bench::time_kernel(
+          [&] {
+            c.fn({Trans::N, Trans::N}, M, N, K, 1.f, a.data(), a.ld(),
+                 b.data(), b.ld(), 0.f, cm.data(), cm.ld(),
+                 arch::host_machine());
+          },
+          opt.reps, true);
+      row.push_back(bench::gemm_gflops(static_cast<double>(M),
+                                       static_cast<double>(N),
+                                       static_cast<double>(K),
+                                       st.geomean_s));
+    }
+    table.add_row(c.name, row);
+  }
+  table.print(opt.csv);
+  return 0;
+}

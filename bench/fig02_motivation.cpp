@@ -1,0 +1,69 @@
+// Paper Fig. 2: motivation - existing libraries on small and
+// irregular-shaped GEMM, as a percentage of peak FLOPS.
+//
+// (a) square M = N = K sweeps; (b) M sweep with N = K large. Values are
+// percent of the calibrated single-core peak. The paper's observation to
+// reproduce: all existing libraries sit far below peak for small M, and
+// only approach it for sizes >= 256.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_util/peak.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  const double peak = bench::calibrated_peak_gflops_f32();
+  std::printf("calibrated single-core FP32 peak: %.1f GFLOPS\n\n", peak);
+
+  const std::vector<const baselines::Library*> libs = {
+      &baselines::blis_like(), &baselines::armpl_like(),
+      &baselines::openblas_like(), &baselines::blasfeo_like()};
+
+  const Mode nn{Trans::N, Trans::N};
+
+  {
+    std::vector<std::string> cols = {"M=N=K"};
+    for (const auto* lib : libs) cols.push_back(lib->name + " %peak");
+    bench::Table table("Fig 2a: small square GEMM, % of peak FLOPS", cols);
+    for (const auto& s : workloads::motivation_square_sizes(opt.full)) {
+      std::vector<double> row;
+      for (const auto* lib : libs) {
+        if (lib->small_only && s.m > 512) {
+          row.push_back(0.0);  // outside BLASFEO's design scope
+          continue;
+        }
+        const double g =
+            bench::measure_gflops<float>(*lib, nn, s, 1, opt.reps, true);
+        row.push_back(100.0 * g / peak);
+      }
+      table.add_row(s.label, row, 1);
+    }
+    table.print(opt.csv);
+  }
+
+  {
+    // BLASFEO is excluded from the irregular panel (paper footnote 3).
+    const std::vector<const baselines::Library*> irregular_libs = {
+        &baselines::openblas_like(), &baselines::armpl_like(),
+        &baselines::blis_like()};
+    std::vector<std::string> cols = {"M"};
+    for (const auto* lib : irregular_libs)
+      cols.push_back(lib->name + " %peak");
+    bench::Table table("Fig 2b: irregular GEMM (N=K fixed), % of peak FLOPS",
+                       cols);
+    for (const auto& s : workloads::motivation_irregular_sizes(opt.full)) {
+      std::vector<double> row;
+      for (const auto* lib : irregular_libs) {
+        const double g =
+            bench::measure_gflops<float>(*lib, nn, s, 1, opt.reps, true);
+        row.push_back(100.0 * g / peak);
+      }
+      table.add_row(s.label, row, 1);
+    }
+    table.print(opt.csv);
+  }
+  return 0;
+}

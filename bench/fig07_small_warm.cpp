@@ -1,0 +1,24 @@
+// Paper Fig. 7: single-threaded FP32 small GEMM (M = N = K in 8..120),
+// warm cache, NN and NT modes, all six libraries.
+//
+// Expected shape: LibShalom leads across the sweep, with the largest
+// margin at the smallest sizes (paper: 2x over BLASFEO at 8, >= 5% at
+// 120); NN mode beats NT for small sizes because NN skips packing when B
+// is L1-resident.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  const auto& libs = baselines::all_libraries();
+  const auto shapes = workloads::small_square_sizes();
+
+  bench::run_panel<float>("Fig 7 (NN): small GEMM, warm cache, GFLOPS",
+                          libs, {Trans::N, Trans::N}, shapes, /*threads=*/1,
+                          opt, /*warm=*/true);
+  bench::run_panel<float>("Fig 7 (NT): small GEMM, warm cache, GFLOPS",
+                          libs, {Trans::N, Trans::T}, shapes, 1, opt, true);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Paper Fig. 8: single-threaded FP32 small GEMM from a COLD cache: the
+// hierarchy is evicted before every rep.
+//
+// Expected shape: same ordering as Fig. 7 but compressed margins; on
+// sizes that are multiples of the baselines' 8x8/8x4 kernels the
+// edge-case advantage vanishes and BLASFEO-strategy ties LibShalom.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  const auto& libs = baselines::all_libraries();
+  const auto shapes = workloads::small_square_sizes();
+
+  bench::run_panel<float>("Fig 8 (NN): small GEMM, cold cache, GFLOPS",
+                          libs, {Trans::N, Trans::N}, shapes, 1, opt,
+                          /*warm=*/false);
+  bench::run_panel<float>("Fig 8 (NT): small GEMM, cold cache, GFLOPS",
+                          libs, {Trans::N, Trans::T}, shapes, 1, opt,
+                          false);
+  return 0;
+}

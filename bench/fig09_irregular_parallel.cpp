@@ -1,0 +1,27 @@
+// Paper Fig. 9: parallel irregular-shaped GEMM under the NT mode
+// (K = 5000), all CPU cores: M in {32..256} with N swept, then N in
+// {32..256} with M swept.
+//
+// Expected shape: LibShalom leads (paper: 1.8x mean over BLIS, up to 2.6x
+// at M = 32); the advantage shrinks as M grows. The reproduction host has
+// one core, so `threads` = all cores measures the partitioning + packing
+// quality under oversubscription; bench/fig11_scalability adds the
+// modeled multi-core curves.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  const auto& libs = baselines::parallel_libraries();
+  const Mode nt{Trans::N, Trans::T};
+
+  bench::run_panel<float>(
+      "Fig 9 (top): irregular NT GEMM, M fixed / N swept, all cores, GFLOPS",
+      libs, nt, workloads::irregular_sweep_m(opt.full), /*threads=*/0, opt);
+  bench::run_panel<float>(
+      "Fig 9 (bottom): irregular NT GEMM, N fixed / M swept, all cores, GFLOPS",
+      libs, nt, workloads::irregular_sweep_n(opt.full), 0, opt);
+  return 0;
+}

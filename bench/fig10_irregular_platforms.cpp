@@ -1,0 +1,49 @@
+// Paper Fig. 10: irregular-shaped GEMM on KP920 and ThunderX2 under NN
+// and NT modes (K = 5000, all cores).
+//
+// Measured panels run on the host; the modeled panels use the analytic
+// machine model (src/perfmodel) with the KP920 and ThunderX2 descriptors
+// to produce the cross-platform shape the paper reports (LibShalom 1.6x /
+// 1.3x over the best baseline on average; NT faster than NN for LibShalom
+// because packed-B access is contiguous along K).
+#include "bench/bench_common.h"
+#include "perfmodel/perfmodel.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  const auto& libs = baselines::parallel_libraries();
+  const auto shapes = workloads::irregular_platform_sizes(opt.full);
+
+  bench::run_panel<float>(
+      "Fig 10 (measured, host): irregular NN GEMM, all cores, GFLOPS", libs,
+      {Trans::N, Trans::N}, shapes, 0, opt);
+  bench::run_panel<float>(
+      "Fig 10 (measured, host): irregular NT GEMM, all cores, GFLOPS", libs,
+      {Trans::N, Trans::T}, shapes, 0, opt);
+
+  // Modeled cross-platform panels (paper machines, full-size shapes).
+  for (const auto& mach : arch::paper_machines()) {
+    if (mach.name == "Phytium 2000+") continue;  // Fig. 9 covers Phytium
+    for (Trans tb : {Trans::N, Trans::T}) {
+      std::vector<std::string> cols = {"shape"};
+      for (const auto& strat : perfmodel::modeled_strategies())
+        cols.push_back(strat.name);
+      bench::Table table("Fig 10 (modeled, " + mach.name + ", " +
+                             (tb == Trans::N ? "NN" : "NT") +
+                             "): irregular GEMM, all cores, GFLOPS",
+                         cols);
+      for (const auto& s : workloads::irregular_platform_sizes(true)) {
+        std::vector<double> row;
+        for (const auto& strat : perfmodel::modeled_strategies())
+          row.push_back(perfmodel::predict_gflops<float>(
+              mach, strat, {Trans::N, tb}, s.m, s.n, s.k, mach.cores));
+        table.add_row(s.label, row);
+      }
+      table.print(opt.csv);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Paper Fig. 11: scalability on the VGG irregular GEMM
+// (64 x 50176 x 576), speedup over single-threaded OpenBLAS as threads
+// grow 1 -> all cores.
+//
+// Two panels: (1) measured on the host (one physical core, so measured
+// thread counts beyond it show the fork-join/partition overhead rather
+// than real speedup - reported for completeness); (2) modeled speedup
+// curves for the three paper machines, where the expected shape is
+// LibShalom topping out near 49x (Phytium), 82x (KP920), 35x (TX2) while
+// the baselines saturate earlier.
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "perfmodel/perfmodel.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  const auto shape = workloads::vgg_scalability_shape(opt.full);
+  const Mode nt{Trans::N, Trans::T};
+  const auto& libs = baselines::parallel_libraries();
+
+  // Panel 1: measured on the host, normalized to 1-thread OpenBLAS*.
+  {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int max_t = hw > 0 ? static_cast<int>(hw) : 1;
+    std::vector<int> threads = {1};
+    for (int t = 2; t <= std::max(max_t, 4); t *= 2) threads.push_back(t);
+
+    const double base_gflops = bench::measure_gflops<float>(
+        baselines::openblas_like(), nt, shape, 1, opt.reps, true);
+
+    std::vector<std::string> cols = {"threads"};
+    for (const auto* lib : libs) cols.push_back(lib->name);
+    bench::Table table("Fig 11 (measured, host, " + shape.label +
+                           "): speedup vs 1-thread OpenBLAS*",
+                       cols);
+    for (int t : threads) {
+      std::vector<double> row;
+      // speedup = time_base / time_lib = g_lib / g_base(1-thread OpenBLAS*)
+      for (const auto* lib : libs) {
+        const double g = bench::measure_gflops<float>(*lib, nt, shape, t,
+                                                      opt.reps, true);
+        row.push_back(g / base_gflops);
+      }
+      table.add_row(std::to_string(t), row);
+    }
+    table.print(opt.csv);
+    std::printf("(host has %d hardware thread(s); larger counts measure "
+                "oversubscription behaviour)\n\n",
+                max_t);
+  }
+
+  // Panel 2: modeled speedup on the paper machines at paper-scale size.
+  const auto full_shape = workloads::vgg_scalability_shape(true);
+  for (const auto& mach : arch::paper_machines()) {
+    std::vector<std::string> cols = {"threads"};
+    for (const auto& s : perfmodel::modeled_strategies())
+      cols.push_back(s.name);
+    bench::Table table("Fig 11 (modeled, " + mach.name + ", " +
+                           full_shape.label +
+                           "): speedup vs 1-thread OpenBLAS*",
+                       cols);
+    const auto& strategies = perfmodel::modeled_strategies();
+    const double base = perfmodel::predict_gflops<float>(
+        mach, strategies.front(), {Trans::N, Trans::T}, full_shape.m,
+        full_shape.n, full_shape.k, 1);
+    for (int t = 1; t <= mach.cores; t *= 2) {
+      std::vector<double> row;
+      for (const auto& s : strategies)
+        row.push_back(perfmodel::predict_gflops<float>(
+                          mach, s, {Trans::N, Trans::T}, full_shape.m,
+                          full_shape.n, full_shape.k, t) /
+                      base);
+      table.add_row(std::to_string(t), row, 1);
+    }
+    table.print(opt.csv);
+  }
+  return 0;
+}

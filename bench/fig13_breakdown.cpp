@@ -1,0 +1,51 @@
+// Paper Fig. 13: breakdown of the optimization techniques on
+// single-threaded irregular NT GEMM (N = 50176, K = 576, M = 20..100).
+//
+// Three configurations, each adding one optimization:
+//   baseline            - OpenBLAS-strategy comparator
+//   +edge-case opt      - LibShalom with packing optimizations disabled
+//                         (always pack, sequential) but pipelined
+//                         vectorized edge kernels enabled
+//   +packing opt        - full LibShalom (selective + fused packing)
+//
+// Expected shape: both optimizations contribute, with packing the larger
+// share (paper: combined 1.25-1.6x over OpenBLAS at M = 20).
+#include "bench/bench_common.h"
+#include "core/shalom.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  const Mode nt{Trans::N, Trans::T};
+
+  auto shalom_with = [](Config cfg) {
+    return [cfg](Mode m, index_t M, index_t N, index_t K, float al,
+                 const float* A, index_t lda, const float* B, index_t ldb,
+                 float be, float* C, index_t ldc, int) {
+      gemm_serial(m, M, N, K, al, A, lda, B, ldb, be, C, ldc, cfg);
+    };
+  };
+
+  Config edges_only;  // always pack sequentially, optimized edges
+  edges_only.selective_packing = false;
+  edges_only.fused_packing = false;
+  edges_only.optimized_edges = true;
+
+  Config full_cfg;  // everything on (defaults)
+
+  baselines::Library edge_lib{"+edge-case opt", shalom_with(edges_only),
+                              nullptr, false, false};
+  baselines::Library full_lib{"+packing opt", shalom_with(full_cfg),
+                              nullptr, false, false};
+
+  const std::vector<const baselines::Library*> libs = {
+      &baselines::openblas_like(), &edge_lib, &full_lib};
+
+  bench::run_panel<float>(
+      "Fig 13: optimization breakdown, single-thread NT GEMM "
+      "(N fixed, K=576, M swept), GFLOPS",
+      libs, nt, workloads::breakdown_sizes(opt.full), /*threads=*/1, opt);
+  return 0;
+}

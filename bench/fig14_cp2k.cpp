@@ -1,0 +1,19 @@
+// Paper Fig. 14: FP64 small GEMM kernels from the CP2K molecular dynamics
+// package (block sizes 5x5x5 .. 26x26x13), single-threaded, all six
+// libraries.
+//
+// Expected shape: LibShalom leads every size; the margin is largest at
+// 5x5x5 (paper: up to 2x over LIBXSMM).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  bench::run_panel<double>(
+      "Fig 14: CP2K FP64 small GEMM kernels, single thread, GFLOPS",
+      baselines::all_libraries(), {Trans::N, Trans::N},
+      workloads::cp2k_sizes(), /*threads=*/1, opt);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Paper Fig. 15: FP32 irregular-shaped GEMM kernels from the VGG16
+// convolutional network (conv1.2 .. conv5.2), all cores.
+//
+// Expected shape: LibShalom leads on every layer, with the largest
+// margins on conv1.2 and conv5.2 (paper: up to 1.6x over the second
+// best).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_scale_note(opt);
+
+  bench::run_panel<float>(
+      "Fig 15: VGG16 conv-layer GEMMs (NN), all cores, GFLOPS",
+      baselines::parallel_libraries(), {Trans::N, Trans::N},
+      workloads::vgg16_layers(opt.full), /*threads=*/0, opt);
+  return 0;
+}

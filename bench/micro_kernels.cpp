@@ -1,0 +1,104 @@
+// Google-benchmark micro-benchmarks for the kernel layer: main
+// micro-kernel variants, the fused packing kernels and the standalone
+// packing routines, on L1/L2-resident data.
+//
+// These are developer-facing (regression tracking for the kernel
+// schedules); the paper figures come from the fig* binaries.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/dispatch.h"
+#include "core/pack.h"
+
+namespace {
+
+using namespace shalom;
+
+constexpr index_t kKc = 256;
+
+template <ukr::AAccess AA, ukr::BAccess BA>
+void bm_main_kernel(benchmark::State& state) {
+  const index_t kc = state.range(0);
+  Matrix<float> a(8, std::max<index_t>(kc, 8) * 8);  // generous backing
+  Matrix<float> b(kc + 8, 16);
+  Matrix<float> c(8, 16);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  const index_t lda = (AA == ukr::AAccess::kDirect) ? a.cols() : 7;
+  const index_t ldb = (BA == ukr::BAccess::kDirect) ? b.cols() : 12;
+  for (auto _ : state) {
+    ukr::run_main_tile<float, AA, BA>(7, 12, kc, a.data(), lda, b.data(),
+                                      ldb, c.data(), c.ld(), 1.0f, 1.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * 7 * 12 * kc * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void bm_fused_pack_nn(benchmark::State& state) {
+  const index_t kc = state.range(0);
+  Matrix<float> a(7, kc);
+  Matrix<float> b(kc, 64);
+  Matrix<float> bc(kc + 2, 12);
+  Matrix<float> c(7, 12);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    ukr::run_fused_pack_nn<float>(true, false, 12, kc, a.data(), a.ld(),
+                                  b.data(), b.ld(), bc.data(), nullptr,
+                                  b.ld(), nullptr, c.data(), c.ld(), 1.0f,
+                                  0.0f);
+    benchmark::DoNotOptimize(bc.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * 7 * 12 * kc * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void bm_fused_pack_nt(benchmark::State& state) {
+  const index_t kc = state.range(0);
+  Matrix<float> a(7, kc);
+  Matrix<float> b(12, kc);  // op(B) columns are B rows
+  Matrix<float> bc(kc + 2, 12);
+  Matrix<float> c(7, 12);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    for (int jb = 0; jb < 12; jb += 3)
+      ukr::run_fused_pack_nt<float>(3, kc, a.data(), a.ld(), b.data(),
+                                    b.ld(), bc.data(), jb, 12, jb + 3 < 12,
+                                    c.data(), c.ld(), 1.0f, 0.0f);
+    benchmark::DoNotOptimize(bc.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * 7 * 12 * kc * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void bm_pack_b_n(benchmark::State& state) {
+  const index_t kc = state.range(0);
+  Matrix<float> b(kc, 512);
+  Matrix<float> bc(kc + 2, 12);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    pack::pack_b_n(b.data(), b.ld(), kc, 12, 12, bc.data());
+    benchmark::DoNotOptimize(bc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kc *
+                          12 * sizeof(float));
+}
+
+}  // namespace
+
+BENCHMARK(bm_main_kernel<ukr::AAccess::kDirect, ukr::BAccess::kPacked>)
+    ->Arg(kKc);
+BENCHMARK(bm_main_kernel<ukr::AAccess::kDirect, ukr::BAccess::kDirect>)
+    ->Arg(kKc);
+BENCHMARK(bm_main_kernel<ukr::AAccess::kPacked, ukr::BAccess::kPacked>)
+    ->Arg(kKc);
+BENCHMARK(bm_fused_pack_nn)->Arg(kKc);
+BENCHMARK(bm_fused_pack_nt)->Arg(kKc);
+BENCHMARK(bm_pack_b_n)->Arg(kKc);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Paper Table 1: hardware evaluation platforms.
+//
+// Prints the machine descriptors of the three ARMv8 platforms plus the
+// detected reproduction host, including the derived FP32 peak the other
+// benches normalize against.
+#include <cstdio>
+
+#include "arch/machine.h"
+#include "bench_util/peak.h"
+#include "bench_util/reporter.h"
+
+int main() {
+  using namespace shalom;
+
+  bench::Table table("Table 1: evaluation platforms",
+                     {"platform", "peak FP32 GFLOPS", "cores", "freq GHz",
+                      "L1d KB", "L2 KB", "L3 MB"});
+
+  auto add = [&](const arch::MachineDescriptor& m) {
+    table.add_row({m.name, bench::fmt(m.peak_gflops<float>(), 1),
+                   std::to_string(m.cores), bench::fmt(m.frequency_ghz, 1),
+                   std::to_string(m.l1d.size_bytes / 1024),
+                   std::to_string(m.l2.size_bytes / 1024),
+                   m.l3.present()
+                       ? std::to_string(m.l3.size_bytes / (1024 * 1024))
+                       : "None"});
+  };
+  for (const auto& m : arch::paper_machines()) add(m);
+  add(arch::host_machine());
+  table.print();
+
+  std::printf("host calibrated single-core peak: %.1f GFLOPS FP32, "
+              "%.1f GFLOPS FP64\n",
+              bench::calibrated_peak_gflops_f32(),
+              bench::calibrated_peak_gflops_f64());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Machine descriptors: the hardware parameters every analytic model reads.
+//
+// Table 1 of the paper lists three ARMv8 evaluation platforms.  A
+// MachineDescriptor captures exactly the quantities LibShalom's analytic
+// methods consume: the vector register file (Eq. 1's budget), cache
+// capacities (packing decision + mc/kc/nc blocking), core count (Eq. 3/4
+// partitioning) and FMA throughput (perfmodel).  The reproduction host is
+// described by `host_machine()`, which probes the running CPU.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace shalom::arch {
+
+struct CacheInfo {
+  std::size_t size_bytes = 0;
+  std::size_t line_bytes = 64;
+  int associativity = 8;
+  /// Number of cores sharing one instance of this cache (1 = private).
+  int shared_by_cores = 1;
+
+  bool present() const { return size_bytes > 0; }
+};
+
+struct MachineDescriptor {
+  std::string name;
+
+  int cores = 1;
+  double frequency_ghz = 1.0;
+
+  /// 128-bit vector registers available to the kernel (paper: 32).
+  int vector_registers = 32;
+  /// Vector width in bits (NEON: 128).
+  int vector_bits = 128;
+  /// Number of FMA pipelines per core (Phytium 2000+: 1, KP920: 2, TX2: 2).
+  int fma_pipes = 1;
+  /// Number of load pipelines per core.
+  int load_pipes = 1;
+
+  CacheInfo l1d;
+  CacheInfo l2;
+  CacheInfo l3;  // size 0 when absent (Phytium 2000+ has no L3)
+
+  /// Sustained DRAM bandwidth, whole chip (used by the analytic
+  /// performance model to bound memory-resident phases).
+  double mem_bw_gbps = 20.0;
+  /// Fork-join latency for one parallel region, microseconds (thread
+  /// wake + barrier); grows ~log2(T) in the model.
+  double forkjoin_us = 5.0;
+
+  /// Theoretical peak GFLOPS for an element type, whole chip:
+  /// cores * freq * pipes * (vector_bits / (8 * sizeof(T))) * 2 (FMA = 2 ops).
+  template <typename T>
+  double peak_gflops() const {
+    const double lanes = vector_bits / (8.0 * sizeof(T));
+    return cores * frequency_ghz * fma_pipes * lanes * 2.0;
+  }
+
+  template <typename T>
+  double peak_gflops_per_core() const {
+    return peak_gflops<T>() / cores;
+  }
+
+  /// Last-level cache: L3 when present, else L2 (Phytium 2000+ semantics,
+  /// where the 2 MB L2 per 4-core cluster is the LLC).
+  const CacheInfo& llc() const { return l3.present() ? l3 : l2; }
+};
+
+/// Paper Table 1 presets.
+MachineDescriptor phytium_2000p();
+MachineDescriptor kunpeng_920();
+MachineDescriptor thunderx2();
+
+/// Descriptor probed from the machine this process runs on (sysfs /
+/// sysconf); falls back to conservative defaults when probing fails.
+const MachineDescriptor& host_machine();
+
+/// All paper presets plus the host, for platform-sweep benches.
+struct NamedMachines {
+  const MachineDescriptor* begin_;
+  const MachineDescriptor* end_;
+  const MachineDescriptor* begin() const { return begin_; }
+  const MachineDescriptor* end() const { return end_; }
+};
+NamedMachines paper_machines();
+
+}  // namespace shalom::arch

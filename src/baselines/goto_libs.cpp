@@ -1,0 +1,158 @@
+// OpenBLAS-, BLIS- and ARMPL-strategy comparators: always-pack Goto
+// drivers differing in kernel tile, edge handling and parallel
+// decomposition. See registry.h for the strategy descriptions.
+#include <cmath>
+#include <thread>
+
+#include "baselines/goto_common.h"
+#include "baselines/registry.h"
+#include "core/parallel.h"
+#include "core/threadpool.h"
+
+namespace shalom::baselines {
+
+namespace {
+
+int resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// 1-D column split (the OpenBLAS scheme the paper criticizes: the split
+/// ignores M entirely, so a skinny N produces tiny, edge-heavy chunks).
+template <typename T, int MR, int NRV, bool ScalarEdges>
+void parallel_columns(Mode mode, index_t M, index_t N, index_t K, T alpha,
+                      const T* A, index_t lda, const T* B, index_t ldb,
+                      T beta, T* C, index_t ldc, int threads) {
+  const arch::MachineDescriptor& mach = arch::host_machine();
+  const int t = std::max(1, std::min<int>(resolve_threads(threads),
+                                          static_cast<int>(N)));
+  if (t == 1) {
+    goto_gemm<T, MR, NRV, ScalarEdges>(mode, M, N, K, alpha, A, lda, B, ldb,
+                                       beta, C, ldc, mach);
+    return;
+  }
+  const auto cols = split_range(N, t, 1);
+  ThreadPool::global(t).parallel_for(t, [&](int id) {
+    const index_t j0 = cols[id];
+    const index_t n = cols[id + 1] - j0;
+    if (n == 0) return;
+    const T* b_sub = (mode.b == Trans::N) ? B + j0 : B + j0 * ldb;
+    goto_gemm<T, MR, NRV, ScalarEdges>(mode, M, n, K, alpha, A, lda, b_sub,
+                                       ldb, beta, C + j0, ldc, mach);
+  });
+}
+
+/// 2-D near-square grid (the BLIS scheme: factorize T towards a square,
+/// independent of the M:N aspect ratio).
+template <typename T, int MR, int NRV, bool ScalarEdges>
+void parallel_square(Mode mode, index_t M, index_t N, index_t K, T alpha,
+                     const T* A, index_t lda, const T* B, index_t ldb,
+                     T beta, T* C, index_t ldc, int threads) {
+  const arch::MachineDescriptor& mach = arch::host_machine();
+  int t = resolve_threads(threads);
+  t = std::max<int>(1, static_cast<int>(std::min<long long>(
+                           t, static_cast<long long>(M) * N)));
+  if (t == 1) {
+    goto_gemm<T, MR, NRV, ScalarEdges>(mode, M, N, K, alpha, A, lda, B, ldb,
+                                       beta, C, ldc, mach);
+    return;
+  }
+  int tm = static_cast<int>(std::sqrt(static_cast<double>(t)));
+  while (t % tm != 0) --tm;  // nearest divisor at or below sqrt(T)
+  int tn = t / tm;
+  if (M < N) std::swap(tm, tn);
+  tm = std::min<int>(tm, static_cast<int>(M));
+  tn = std::min<int>(tn, static_cast<int>(N));
+  const int total = tm * tn;
+
+  const auto rows = split_range(M, tm, 1);
+  const auto cols = split_range(N, tn, 1);
+  ThreadPool::global(total).parallel_for(total, [&](int id) {
+    const int pm = id / tn;
+    const int pn = id % tn;
+    const index_t i0 = rows[pm];
+    const index_t m = rows[pm + 1] - i0;
+    const index_t j0 = cols[pn];
+    const index_t n = cols[pn + 1] - j0;
+    if (m == 0 || n == 0) return;
+    const T* a_sub = (mode.a == Trans::N) ? A + i0 * lda : A + i0;
+    const T* b_sub = (mode.b == Trans::N) ? B + j0 : B + j0 * ldb;
+    goto_gemm<T, MR, NRV, ScalarEdges>(mode, m, n, K, alpha, a_sub, lda,
+                                       b_sub, ldb, beta,
+                                       C + i0 * ldc + j0, ldc, mach);
+  });
+}
+
+}  // namespace
+
+const Library& openblas_like() {
+  // 8x4 FP32 kernel (the paper's Fig. 6a subject), scalar edge routine,
+  // 1-D column parallelism.
+  static const Library lib{
+      "OpenBLAS*",
+      [](Mode m, index_t M, index_t N, index_t K, float al, const float* A,
+         index_t lda, const float* B, index_t ldb, float be, float* C,
+         index_t ldc, int threads) {
+        parallel_columns<float, 8, 1, true>(m, M, N, K, al, A, lda, B, ldb,
+                                            be, C, ldc, threads);
+      },
+      [](Mode m, index_t M, index_t N, index_t K, double al,
+         const double* A, index_t lda, const double* B, index_t ldb,
+         double be, double* C, index_t ldc, int threads) {
+        parallel_columns<double, 8, 2, true>(m, M, N, K, al, A, lda, B, ldb,
+                                             be, C, ldc, threads);
+      },
+      /*supports_parallel=*/true,
+      /*small_only=*/false,
+  };
+  return lib;
+}
+
+const Library& blis_like() {
+  // Same always-pack structure, zero-pad edges, 2-D square grid.
+  static const Library lib{
+      "BLIS*",
+      [](Mode m, index_t M, index_t N, index_t K, float al, const float* A,
+         index_t lda, const float* B, index_t ldb, float be, float* C,
+         index_t ldc, int threads) {
+        parallel_square<float, 8, 2, false>(m, M, N, K, al, A, lda, B, ldb,
+                                            be, C, ldc, threads);
+      },
+      [](Mode m, index_t M, index_t N, index_t K, double al,
+         const double* A, index_t lda, const double* B, index_t ldb,
+         double be, double* C, index_t ldc, int threads) {
+        parallel_square<double, 8, 2, false>(m, M, N, K, al, A, lda, B, ldb,
+                                             be, C, ldc, threads);
+      },
+      true,
+      false,
+  };
+  return lib;
+}
+
+const Library& armpl_like() {
+  // Tuned large-GEMM stand-in: 6x8 FP32 tile, BLIS-style edges, 1-D
+  // column parallelism.
+  static const Library lib{
+      "ARMPL*",
+      [](Mode m, index_t M, index_t N, index_t K, float al, const float* A,
+         index_t lda, const float* B, index_t ldb, float be, float* C,
+         index_t ldc, int threads) {
+        parallel_columns<float, 6, 2, false>(m, M, N, K, al, A, lda, B, ldb,
+                                             be, C, ldc, threads);
+      },
+      [](Mode m, index_t M, index_t N, index_t K, double al,
+         const double* A, index_t lda, const double* B, index_t ldb,
+         double be, double* C, index_t ldc, int threads) {
+        parallel_columns<double, 6, 3, false>(m, M, N, K, al, A, lda, B,
+                                              ldb, be, C, ldc, threads);
+      },
+      true,
+      false,
+  };
+  return lib;
+}
+
+}  // namespace shalom::baselines

@@ -1,0 +1,48 @@
+#include "baselines/registry.h"
+
+#include "core/shalom.h"
+
+namespace shalom::baselines {
+
+const Library& shalom_lib() {
+  static const Library lib{
+      "LibShalom",
+      [](Mode m, index_t M, index_t N, index_t K, float al, const float* A,
+         index_t lda, const float* B, index_t ldb, float be, float* C,
+         index_t ldc, int threads) {
+        Config cfg;
+        cfg.threads = threads <= 0 ? 0 : threads;
+        gemm(m.a, m.b, M, N, K, al, A, lda, B, ldb, be, C, ldc, cfg);
+      },
+      [](Mode m, index_t M, index_t N, index_t K, double al,
+         const double* A, index_t lda, const double* B, index_t ldb,
+         double be, double* C, index_t ldc, int threads) {
+        Config cfg;
+        cfg.threads = threads <= 0 ? 0 : threads;
+        gemm(m.a, m.b, M, N, K, al, A, lda, B, ldb, be, C, ldc, cfg);
+      },
+      /*supports_parallel=*/true,
+      /*small_only=*/false,
+  };
+  return lib;
+}
+
+const std::vector<const Library*>& all_libraries() {
+  static const std::vector<const Library*> libs = {
+      &blis_like(),   &openblas_like(), &armpl_like(),
+      &xsmm_like(),   &blasfeo_like(),  &shalom_lib(),
+  };
+  return libs;
+}
+
+const std::vector<const Library*>& parallel_libraries() {
+  static const std::vector<const Library*> libs = {
+      &openblas_like(),
+      &armpl_like(),
+      &blis_like(),
+      &shalom_lib(),
+  };
+  return libs;
+}
+
+}  // namespace shalom::baselines

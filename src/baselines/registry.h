@@ -1,0 +1,69 @@
+// Registry of comparator GEMM implementations.
+//
+// The paper benchmarks LibShalom against five libraries. These comparators
+// re-implement each library's *strategy* (packing policy, kernel tile,
+// edge handling, parallel decomposition) from scratch on the same SIMD
+// substrate, so the benches compare algorithms rather than decades of
+// per-platform tuning. See DESIGN.md for the strategy -> library mapping.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace shalom::baselines {
+
+template <typename T>
+using GemmFn =
+    std::function<void(Mode, index_t M, index_t N, index_t K, T alpha,
+                       const T* A, index_t lda, const T* B, index_t ldb,
+                       T beta, T* C, index_t ldc, int threads)>;
+
+struct Library {
+  std::string name;
+  GemmFn<float> sgemm;
+  GemmFn<double> dgemm;
+  /// BLASFEO-style libraries are single-threaded and restricted to
+  /// problems that fit the L2 cache; the irregular-shape benches skip
+  /// them, exactly as the paper does (Section 7.4).
+  bool supports_parallel = true;
+  bool small_only = false;
+};
+
+/// OpenBLAS strategy: always-pack Goto, 8x4-class kernel, dedicated
+/// scalar remainder routine, 1-D column parallelization.
+const Library& openblas_like();
+
+/// BLIS strategy: always-pack Goto, 8x4-class kernel, zero-pad edge
+/// handling through the packed buffers, 2-D near-square parallelization
+/// that ignores the matrix shape.
+const Library& blis_like();
+
+/// ARMPL stands in as a tuned large-GEMM library: same structure as the
+/// OpenBLAS comparator with a slightly larger kernel tile and BLIS-style
+/// edges.
+const Library& armpl_like();
+
+/// BLASFEO strategy: whole-matrix panel-major conversion, 8x8-class
+/// kernel, no cache blocking, skips packing a small A; serial only.
+const Library& blasfeo_like();
+
+/// LIBXSMM strategy: size-specialized direct kernels behind a code cache,
+/// valid for (M*N*K)^(1/3) <= 64; larger problems fall back to the
+/// generic path (outside its design scope, as the paper observes).
+const Library& xsmm_like();
+
+/// LibShalom itself, wrapped in the same interface.
+const Library& shalom_lib();
+
+/// Everything, LibShalom last (plot order of the paper's figures).
+const std::vector<const Library*>& all_libraries();
+
+/// The subset the parallel irregular-shape benches use (paper Fig. 9/10:
+/// OpenBLAS, ARMPL, BLIS, LibShalom).
+const std::vector<const Library*>& parallel_libraries();
+
+}  // namespace shalom::baselines

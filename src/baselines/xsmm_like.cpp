@@ -1,0 +1,164 @@
+// LIBXSMM-strategy comparator.
+//
+// LIBXSMM JIT-compiles a kernel per (M, N, K, mode) and caches the code.
+// A C++ library cannot emit machine code at run time, so the analog here
+// is a *dispatch cache*: the first call for a shape selects a fully
+// unrolled register-blocked execution plan (tile choice + remainder
+// split), stores it in a hash map keyed by the shape, and later calls
+// reuse it without re-planning - the library equivalent of a JIT code
+// cache. Kernels read both operands in place (LIBXSMM does not pack for
+// tiny sizes). Shapes beyond the documented design scope
+// ((M*N*K)^(1/3) <= 64, paper Section 9) fall back to the generic Goto
+// path, reproducing the poor out-of-scope behaviour the paper reports.
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "baselines/goto_common.h"
+#include "baselines/registry.h"
+
+namespace shalom::baselines {
+
+namespace {
+
+struct ShapeKey {
+  std::int64_t m, n, k;
+  int mode_bits;
+  bool operator==(const ShapeKey&) const = default;
+};
+
+struct ShapeKeyHash {
+  std::size_t operator()(const ShapeKey& s) const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ull;
+    for (std::uint64_t v :
+         {static_cast<std::uint64_t>(s.m), static_cast<std::uint64_t>(s.n),
+          static_cast<std::uint64_t>(s.k),
+          static_cast<std::uint64_t>(s.mode_bits)}) {
+      h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// The cached "generated kernel": a tile plan chosen once per shape.
+struct Plan {
+  int mr;  // register tile rows
+  int nr;  // register tile columns
+};
+
+template <typename T>
+Plan make_plan(index_t M, index_t N) {
+  constexpr int L = simd::vec_of_t<T>::kLanes;
+  // Mimic JIT specialization: pick the largest tile whose footprint
+  // divides the problem with the fewest remainder tiles.
+  Plan best{ukr::kMaxMr, ukr::kMaxNrv * L};
+  double best_waste = 1e300;
+  for (int mr = 4; mr <= ukr::kMaxMr; ++mr) {
+    for (int nrv = 1; nrv <= ukr::kMaxNrv; ++nrv) {
+      const int nr = nrv * L;
+      const double tiles_m = static_cast<double>((M + mr - 1) / mr);
+      const double tiles_n = static_cast<double>((N + nr - 1) / nr);
+      const double waste =
+          tiles_m * mr * tiles_n * nr / (static_cast<double>(M) * N);
+      // Prefer low waste, then high CMR.
+      const double score = waste - 1e-3 * model::tile_cmr(mr, nr);
+      if (score < best_waste) {
+        best_waste = score;
+        best = {mr, nr};
+      }
+    }
+  }
+  return best;
+}
+
+template <typename T>
+const Plan& cached_plan(Mode mode, index_t M, index_t N, index_t K) {
+  static std::unordered_map<ShapeKey, Plan, ShapeKeyHash> cache;
+  static std::mutex mu;
+  const ShapeKey key{M, N, K,
+                     (mode.a == Trans::T ? 1 : 0) |
+                         (mode.b == Trans::T ? 2 : 0) |
+                         (std::is_same_v<T, double> ? 4 : 0)};
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache.try_emplace(key, Plan{});
+  if (inserted) it->second = make_plan<T>(M, N);
+  return it->second;
+}
+
+template <typename T>
+void xsmm_gemm(Mode mode, index_t M, index_t N, index_t K, T alpha,
+               const T* A, index_t lda, const T* B, index_t ldb, T beta,
+               T* C, index_t ldc) {
+  using ukr::AAccess;
+  using ukr::BAccess;
+  const double cube_root = std::cbrt(static_cast<double>(M) *
+                                     static_cast<double>(N) *
+                                     static_cast<double>(K));
+  if (cube_root > 64.0 || mode.a == Trans::T) {
+    // Out of LIBXSMM's design scope: generic fallback.
+    goto_gemm<T, 8, 2, true>(mode, M, N, K, alpha, A, lda, B, ldb, beta, C,
+                             ldc, arch::host_machine());
+    return;
+  }
+  if (M == 0 || N == 0) return;
+  if (K == 0 || alpha == T{0}) {
+    for (index_t i = 0; i < M; ++i)
+      for (index_t j = 0; j < N; ++j) {
+        T& c = C[i * ldc + j];
+        c = (beta == T{0}) ? T{} : beta * c;
+      }
+    return;
+  }
+
+  const Plan& plan = cached_plan<T>(mode, M, N, K);
+
+  // Transposed B is repacked contiguous once (tiny matrices).
+  const T* b_eff = B;
+  index_t ldb_eff = ldb;
+  AlignedBuffer& arena = thread_pack_arena();
+  if (mode.b == Trans::T) {
+    arena.reserve(static_cast<std::size_t>(K * N + ukr::kPackSlackElems) *
+                  sizeof(T));
+    T* bt = arena.as<T>();
+    for (index_t k = 0; k < K; ++k)
+      for (index_t j = 0; j < N; ++j) bt[k * N + j] = B[j * ldb + k];
+    b_eff = bt;
+    ldb_eff = N;
+  }
+
+  for (index_t j0 = 0; j0 < N; j0 += plan.nr) {
+    const int n_eff =
+        static_cast<int>(std::min<index_t>(plan.nr, N - j0));
+    for (index_t i0 = 0; i0 < M; i0 += plan.mr) {
+      const int m_eff =
+          static_cast<int>(std::min<index_t>(plan.mr, M - i0));
+      ukr::run_main_tile<T, AAccess::kDirect, BAccess::kDirect>(
+          m_eff, n_eff, K, A + i0 * lda, lda, b_eff + j0, ldb_eff,
+          C + i0 * ldc + j0, ldc, alpha, beta);
+    }
+  }
+}
+
+}  // namespace
+
+const Library& xsmm_like() {
+  static const Library lib{
+      "LIBXSMM*",
+      [](Mode m, index_t M, index_t N, index_t K, float al, const float* A,
+         index_t lda, const float* B, index_t ldb, float be, float* C,
+         index_t ldc, int /*threads*/) {
+        xsmm_gemm<float>(m, M, N, K, al, A, lda, B, ldb, be, C, ldc);
+      },
+      [](Mode m, index_t M, index_t N, index_t K, double al,
+         const double* A, index_t lda, const double* B, index_t ldb,
+         double be, double* C, index_t ldc, int /*threads*/) {
+        xsmm_gemm<double>(m, M, N, K, al, A, lda, B, ldb, be, C, ldc);
+      },
+      /*supports_parallel=*/false,
+      /*small_only=*/true,
+  };
+  return lib;
+}
+
+}  // namespace shalom::baselines

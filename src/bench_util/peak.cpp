@@ -1,0 +1,55 @@
+#include "bench_util/peak.h"
+
+#include <algorithm>
+
+#include "bench_util/runner.h"
+#include "simd/vec128.h"
+
+namespace shalom::bench {
+
+namespace {
+
+/// 16 independent FMA chains saturate both FMA pipes past their latency;
+/// the sink store prevents the loop from being optimized away.
+template <typename T>
+double measure_peak() {
+  using V = simd::vec_of_t<T>;
+  constexpr int kChains = 16;
+  constexpr long long kIters = 4'000'000;
+
+  V acc[kChains];
+  for (auto& a : acc) a = simd::broadcast(T(1.0));
+  const V x = simd::broadcast(T(1.0000001));
+  const V y = simd::broadcast(T(-0.0000001));
+
+  double best = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    Timer t;
+    for (long long i = 0; i < kIters; ++i) {
+      for (int c = 0; c < kChains; ++c) acc[c] = simd::fmadd(acc[c], x, y);
+    }
+    const double secs = t.elapsed_s();
+    // 2 FLOPs per lane per FMA.
+    const double flops =
+        2.0 * V::kLanes * kChains * static_cast<double>(kIters);
+    best = std::max(best, flops / secs / 1e9);
+  }
+  // Keep the accumulators alive.
+  volatile T sink = simd::extract(acc[0], 0);
+  (void)sink;
+  return best;
+}
+
+}  // namespace
+
+double calibrated_peak_gflops_f32() {
+  static const double v = measure_peak<float>();
+  return v;
+}
+
+double calibrated_peak_gflops_f64() {
+  static const double v = measure_peak<double>();
+  return v;
+}
+
+}  // namespace shalom::bench

@@ -1,0 +1,27 @@
+// Calibrated peak-FLOPS measurement.
+//
+// The paper normalizes to "theoretical peak FLOPS" (Table 1). On the
+// reproduction host the nominal frequency is unreliable (containers,
+// turbo), so the motivation bench instead calibrates the achievable FMA
+// throughput of one core by timing a register-resident chain of
+// independent vector FMAs - the same quantity freq * pipes * lanes * 2
+// measures on paper.
+#pragma once
+
+namespace shalom::bench {
+
+/// Peak single-core GFLOPS for float/double 128-bit FMA, measured once
+/// and cached.
+double calibrated_peak_gflops_f32();
+double calibrated_peak_gflops_f64();
+
+template <typename T>
+double calibrated_peak_gflops() {
+  if constexpr (sizeof(T) == 4) {
+    return calibrated_peak_gflops_f32();
+  } else {
+    return calibrated_peak_gflops_f64();
+  }
+}
+
+}  // namespace shalom::bench

@@ -1,0 +1,71 @@
+#include "bench_util/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace shalom::bench {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SHALOM_REQUIRE(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label,
+                    const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(bool csv) const {
+  if (csv) {
+    std::printf("# %s\n", title_.c_str());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      std::printf("%s%s", columns_[c].c_str(),
+                  c + 1 < columns_.size() ? "," : "\n");
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        std::printf("%s%s", row[c].c_str(), c + 1 < row.size() ? "," : "\n");
+    std::printf("\n");
+    return;
+  }
+
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::printf("=== %s ===\n", title_.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::printf("%-*s  ", static_cast<int>(width[c]), columns_[c].c_str());
+  std::printf("\n");
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::printf("%s  ", std::string(width[c], '-').c_str());
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace shalom::bench

@@ -1,0 +1,44 @@
+// Benchmark runner: wall-clock timing with warm- and cold-cache modes.
+//
+// Warm mode (paper Fig. 7 methodology) runs the kernel once untimed so the
+// operands sit in cache, then times `reps` runs. Cold mode (Fig. 8) evicts
+// the cache hierarchy between reps by streaming a buffer larger than the
+// LLC. Both report geometric-mean / min / max (Section 7.4).
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "bench_util/stats.h"
+
+namespace shalom::bench {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Streams a >LLC buffer to push every cached matrix line out.
+void evict_caches();
+
+/// Times `fn` `reps` times. warm=true primes with one untimed call;
+/// warm=false calls evict_caches() before every rep.
+Stats time_kernel(const std::function<void()>& fn, int reps, bool warm);
+
+/// Shared bench CLI:  --full (paper-scale sizes), --reps N, --csv.
+struct BenchOptions {
+  bool full = false;
+  int reps = 5;
+  bool csv = false;
+
+  static BenchOptions parse(int argc, char** argv);
+};
+
+}  // namespace shalom::bench

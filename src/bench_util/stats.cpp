@@ -1,0 +1,26 @@
+#include "bench_util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace shalom::bench {
+
+Stats summarize(const std::vector<double>& samples_s) {
+  SHALOM_REQUIRE(!samples_s.empty());
+  Stats s;
+  s.reps = static_cast<int>(samples_s.size());
+  s.min_s = *std::min_element(samples_s.begin(), samples_s.end());
+  s.max_s = *std::max_element(samples_s.begin(), samples_s.end());
+  double log_sum = 0;
+  for (double v : samples_s) log_sum += std::log(std::max(v, 1e-12));
+  s.geomean_s = std::exp(log_sum / s.reps);
+  return s;
+}
+
+double gemm_gflops(double m, double n, double k, double seconds) {
+  return 2.0 * m * n * k / seconds / 1e9;
+}
+
+}  // namespace shalom::bench

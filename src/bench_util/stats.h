@@ -1,0 +1,24 @@
+// Timing statistics per the paper's methodology (Section 7.4): each kernel
+// runs `reps` times; the geometric mean of the runtimes is reported with a
+// min-max spread.
+#pragma once
+
+#include <vector>
+
+namespace shalom::bench {
+
+struct Stats {
+  double geomean_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+  int reps = 0;
+};
+
+/// Geometric mean / min / max over one or more positive samples.
+Stats summarize(const std::vector<double>& samples_s);
+
+/// GFLOPS for a GEMM of the given shape at the given runtime:
+/// 2*M*N*K floating-point operations.
+double gemm_gflops(double m, double n, double k, double seconds);
+
+}  // namespace shalom::bench

@@ -1,0 +1,98 @@
+#include "cachesim/cache.h"
+
+#include <bit>
+
+namespace shalom::cachesim {
+
+CacheLevel::CacheLevel(std::size_t size_bytes, int associativity,
+                       std::size_t line_bytes)
+    : size_bytes_(size_bytes),
+      ways_(associativity),
+      line_bytes_(line_bytes) {
+  SHALOM_REQUIRE(size_bytes > 0 && associativity > 0 && line_bytes > 0);
+  SHALOM_REQUIRE(std::has_single_bit(line_bytes), " line=", line_bytes);
+  sets_ = size_bytes_ / (line_bytes_ * ways_);
+  SHALOM_REQUIRE(sets_ >= 1, " size=", size_bytes, " ways=", associativity);
+  line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes_));
+  tags_.assign(sets_ * ways_, 0);
+  lru_.assign(sets_ * ways_, 0);
+  valid_.assign(sets_ * ways_, 0);
+}
+
+bool CacheLevel::access(addr_t addr) {
+  const addr_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  const std::size_t base = set * ways_;
+
+  int hit_way = -1;
+  for (int w = 0; w < ways_; ++w) {
+    if (valid_[base + w] && tags_[base + w] == line) {
+      hit_way = w;
+      break;
+    }
+  }
+
+  if (hit_way >= 0) {
+    ++hits_;
+    const std::uint8_t old_rank = lru_[base + hit_way];
+    for (int w = 0; w < ways_; ++w)
+      if (lru_[base + w] < old_rank) ++lru_[base + w];
+    lru_[base + hit_way] = 0;
+    return true;
+  }
+
+  ++misses_;
+  // Victim: invalid way if any, else the LRU-ranked way.
+  int victim = -1;
+  for (int w = 0; w < ways_; ++w) {
+    if (!valid_[base + w]) {
+      victim = w;
+      break;
+    }
+  }
+  if (victim < 0) {
+    for (int w = 0; w < ways_; ++w) {
+      if (lru_[base + w] == ways_ - 1) {
+        victim = w;
+        break;
+      }
+    }
+    if (victim < 0) victim = 0;
+  }
+  for (int w = 0; w < ways_; ++w)
+    if (valid_[base + w] && lru_[base + w] < ways_ - 1) ++lru_[base + w];
+  tags_[base + victim] = line;
+  valid_[base + victim] = 1;
+  lru_[base + victim] = 0;
+  return false;
+}
+
+Hierarchy::Hierarchy(const arch::MachineDescriptor& machine)
+    : l1_(machine.l1d.size_bytes, machine.l1d.associativity,
+          machine.l1d.line_bytes),
+      l2_(machine.l2.size_bytes, machine.l2.associativity,
+          machine.l2.line_bytes),
+      dtlb_(/*size=*/64 * 4096, /*assoc=*/4, /*line=*/4096),
+      line_bytes_(machine.l1d.line_bytes) {
+  if (machine.l3.present()) {
+    l3_storage_.emplace_back(machine.l3.size_bytes,
+                             machine.l3.associativity,
+                             machine.l3.line_bytes);
+    l3_ = &l3_storage_.front();
+  }
+}
+
+void Hierarchy::access(addr_t addr, unsigned bytes) {
+  const addr_t first_line = addr / line_bytes_;
+  const addr_t last_line = (addr + bytes - 1) / line_bytes_;
+  for (addr_t line = first_line; line <= last_line; ++line) {
+    ++accesses_;
+    const addr_t line_addr = line * line_bytes_;
+    dtlb_.access(line_addr);
+    if (l1_.access(line_addr)) continue;
+    if (l2_.access(line_addr)) continue;
+    if (l3_ != nullptr) l3_->access(line_addr);
+  }
+}
+
+}  // namespace shalom::cachesim

@@ -1,0 +1,43 @@
+// Strategy walkers: replay the memory access stream of each library's
+// NT-mode GEMM through the cache simulator (paper Fig. 12 experiment:
+// M = 64, N fixed, K swept; LibShalom's loop exchange + no-A-packing
+// should show the lowest L2 miss count).
+//
+// The walkers mirror the corresponding drivers' loop nests exactly -
+// same blocking, same packing passes, same kernel access order - but emit
+// (address, size) pairs instead of touching data. Synthetic base
+// addresses place each matrix and packing buffer in a distinct region,
+// page-aligned, mimicking separate allocations.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/machine.h"
+#include "cachesim/cache.h"
+#include "common/matrix.h"
+
+namespace shalom::cachesim {
+
+struct SimResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l3_misses = 0;
+  std::uint64_t tlb_misses = 0;
+};
+
+/// Always-pack Goto GEMM (OpenBLAS/BLIS/ARMPL strategies), NT mode, with
+/// an (mr x nr) register tile. Packs the B panel per (jj, kk) and the A
+/// block per ii in separate passes, then walks the packed-packed kernel.
+template <typename T>
+SimResult walk_goto_nt(const arch::MachineDescriptor& machine, index_t M,
+                       index_t N, index_t K, int mr, int nr);
+
+/// LibShalom NT GEMM: loop exchange (ii before kk), A read in place, B
+/// packed by the fused inner-product kernel (re-reading the A stripe per
+/// 3-column group, scattering into Bc), remaining stripes on packed B.
+template <typename T>
+SimResult walk_shalom_nt(const arch::MachineDescriptor& machine, index_t M,
+                         index_t N, index_t K);
+
+}  // namespace shalom::cachesim

@@ -1,0 +1,10 @@
+#include "common/aligned_buffer.h"
+
+namespace shalom {
+
+AlignedBuffer& thread_pack_arena() {
+  thread_local AlignedBuffer arena;
+  return arena;
+}
+
+}  // namespace shalom

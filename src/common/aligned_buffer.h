@@ -1,0 +1,82 @@
+// Cache-line aligned, reusable storage for packing buffers and matrices.
+//
+// GEMM packing buffers are allocated on every call in naive designs; for
+// small GEMMs that malloc dominates. AlignedBuffer supports cheap
+// grow-only reuse so a thread-local arena can serve every call, and all
+// storage is 64-byte aligned so 128-bit vector loads never split lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "common/error.h"
+
+namespace shalom {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, 64-byte-aligned byte buffer with grow-only reuse semantics.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t bytes) { reserve(bytes); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Ensures at least `bytes` of capacity. Contents are NOT preserved on
+  /// growth: packing buffers are write-before-read by construction.
+  void reserve(std::size_t bytes) {
+    if (bytes <= capacity_) return;
+    release();
+    const std::size_t rounded =
+        (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    data_ = std::aligned_alloc(kCacheLineBytes, rounded);
+    if (data_ == nullptr) throw std::bad_alloc();
+    capacity_ = rounded;
+  }
+
+  /// Typed view of the storage; `reserve(count * sizeof(T))` must have run.
+  template <typename T>
+  T* as(std::size_t count = 0) {
+    (void)count;
+    SHALOM_ASSERT(count * sizeof(T) <= capacity_);
+    return static_cast<T*>(data_);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  void* data() { return data_; }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+
+  void* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// Thread-local arena used by the GEMM drivers for packing storage, so
+/// repeated small-GEMM calls never touch the allocator.
+AlignedBuffer& thread_pack_arena();
+
+}  // namespace shalom

@@ -1,0 +1,43 @@
+// Error handling utilities shared by every module.
+//
+// The library follows a contract-checking convention: programming errors
+// (bad dimensions, null pointers, invalid enum values) raise
+// shalom::invalid_argument with a formatted message; they are never silently
+// clamped. Hot paths use SHALOM_ASSERT, which compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace shalom {
+
+/// Thrown for API contract violations (invalid sizes, strides, modes).
+class invalid_argument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+template <typename... Args>
+[[noreturn]] void throw_invalid(const char* expr, Args&&... context) {
+  std::ostringstream os;
+  os << "shalom: requirement violated: " << expr;
+  ((os << context), ...);
+  throw invalid_argument(os.str());
+}
+}  // namespace detail
+
+/// Validates an API precondition; throws shalom::invalid_argument on failure.
+#define SHALOM_REQUIRE(cond, ...)                               \
+  do {                                                          \
+    if (!(cond)) ::shalom::detail::throw_invalid(#cond, ##__VA_ARGS__); \
+  } while (0)
+
+#ifndef NDEBUG
+#define SHALOM_ASSERT(cond) SHALOM_REQUIRE(cond)
+#else
+#define SHALOM_ASSERT(cond) ((void)0)
+#endif
+
+}  // namespace shalom

@@ -1,0 +1,121 @@
+// Row-major matrix view and owning matrix types.
+//
+// The whole library follows the paper's storage assumption: matrices are
+// row-major, element (i, j) of an M x N matrix with leading dimension ld
+// lives at data[i * ld + j], ld >= N. MatrixView is a non-owning span-like
+// view; Matrix owns aligned storage. Both are cheap to copy/move where the
+// semantics allow.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/error.h"
+
+namespace shalom {
+
+using index_t = std::ptrdiff_t;
+
+/// Non-owning view over a row-major matrix block.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    SHALOM_REQUIRE(rows >= 0 && cols >= 0, " rows=", rows, " cols=", cols);
+    SHALOM_REQUIRE(ld >= cols, " ld=", ld, " cols=", cols);
+  }
+
+  T* data() const { return data_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+
+  T& operator()(index_t i, index_t j) const {
+    SHALOM_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * ld_ + j];
+  }
+
+  T* row(index_t i) const {
+    SHALOM_ASSERT(i >= 0 && i < rows_);
+    return data_ + i * ld_;
+  }
+
+  /// Sub-block view starting at (i0, j0), r x c elements, same ld.
+  MatrixView block(index_t i0, index_t j0, index_t r, index_t c) const {
+    SHALOM_ASSERT(i0 + r <= rows_ && j0 + c <= cols_);
+    return MatrixView(data_ + i0 * ld_ + j0, r, c, ld_);
+  }
+
+  /// Implicit view-of-const conversion.
+  operator MatrixView<const T>() const {
+    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Owning row-major matrix with 64-byte-aligned storage.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  /// `ld` defaults to `cols`; pass a larger value to test padded layouts.
+  Matrix(index_t rows, index_t cols, index_t ld = -1)
+      : rows_(rows), cols_(cols), ld_(ld < 0 ? cols : ld) {
+    SHALOM_REQUIRE(rows >= 0 && cols >= 0 && ld_ >= cols);
+    storage_.reserve(static_cast<std::size_t>(rows_ * ld_) * sizeof(T));
+    data_ = storage_.template as<T>(static_cast<std::size_t>(rows_ * ld_));
+    fill(T{});
+  }
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_, other.ld_) {
+    for (index_t i = 0; i < rows_ * ld_; ++i) data_[i] = other.data_[i];
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) *this = Matrix(other);
+    return *this;
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T& operator()(index_t i, index_t j) {
+    SHALOM_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * ld_ + j];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    SHALOM_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * ld_ + j];
+  }
+
+  void fill(T value) {
+    for (index_t i = 0; i < rows_ * ld_; ++i) data_[i] = value;
+  }
+
+  MatrixView<T> view() { return MatrixView<T>(data_, rows_, cols_, ld_); }
+  MatrixView<const T> view() const {
+    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+  AlignedBuffer storage_;
+  T* data_ = nullptr;
+};
+
+}  // namespace shalom

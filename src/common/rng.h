@@ -1,0 +1,47 @@
+// Deterministic random fills for workloads and tests.
+//
+// The paper initializes matrices "with random floating-point numbers
+// (0 to 1)" (Section 7.2). A fixed-seed xoshiro-style generator keeps every
+// experiment reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.h"
+
+namespace shalom {
+
+/// Small, fast SplitMix64 generator: statistically fine for data fills and
+/// cheap enough to be used inside tight test loops.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fills `m` (including any ld padding gap left untouched) with uniform
+/// values in [0, 1).
+template <typename T>
+void fill_random(Matrix<T>& m, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (index_t i = 0; i < m.rows(); ++i)
+    for (index_t j = 0; j < m.cols(); ++j)
+      m(i, j) = static_cast<T>(rng.next_unit());
+}
+
+}  // namespace shalom

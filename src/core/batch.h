@@ -1,0 +1,41 @@
+// Batched small GEMM.
+//
+// The paper's evaluation methodology (Section 7.4) states how small GEMM
+// is used in practice: "parallelism is achieved by running multiple GEMM
+// kernels to process independent matrices". This module provides that
+// interface: a batch of independent C_i = alpha_i * op(A_i).op(B_i) +
+// beta_i * C_i products, executed serially or with the batch distributed
+// over the fork-join pool (one sub-range of problems per thread - never
+// splitting a single small product, which would only create edge cases).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace shalom {
+
+/// One problem of a batch. Dimensions may differ per entry ("variable
+/// batched" GEMM, the CP2K block pattern).
+template <typename T>
+struct BatchEntry {
+  index_t m = 0, n = 0, k = 0;
+  T alpha = T{1};
+  const T* a = nullptr;
+  index_t lda = 0;
+  const T* b = nullptr;
+  index_t ldb = 0;
+  T beta = T{0};
+  T* c = nullptr;
+  index_t ldc = 0;
+};
+
+/// Executes every entry. cfg.threads parallelizes ACROSS entries (entries
+/// are assumed independent: no two may alias the same C). Each individual
+/// product runs single-threaded, as the paper prescribes for small GEMM.
+template <typename T>
+void gemm_batch(Mode mode, const std::vector<BatchEntry<T>>& batch,
+                const Config& cfg = {});
+
+}  // namespace shalom

@@ -1,0 +1,232 @@
+// Runtime dispatch from (m_eff, n_eff) edge sizes to the statically
+// instantiated micro-kernel variants.
+//
+// The register tile is (mr, nr) = (7, 12) FP32 / (7, 6) FP64 on 32-register
+// machines, but every GEMM has remainder tiles: m_eff in 1..mr and n_eff in
+// 1..nr. Each (m_eff, full-vectors, partial-lanes) combination maps to its
+// own fully unrolled kernel instantiation; this header builds the constexpr
+// function-pointer tables that route a runtime tile to the right one.
+#pragma once
+
+#include "core/microkernel.h"
+
+namespace shalom::ukr {
+
+/// Upper bounds of the instantiated kernel family. The analytic tile on
+/// every 32-register/128-bit machine is mr=7 and nr <= 3 vectors; the
+/// driver clamps the model's tile to these caps.
+inline constexpr int kMaxMr = 7;
+inline constexpr int kMaxNrv = 3;
+
+template <typename T>
+using MainKernelFn = void (*)(index_t kc, const T* a, index_t lda,
+                              const T* b, index_t ldb, T* c, index_t ldc,
+                              T alpha, T beta, int ntail);
+
+/// Table of main-kernel variants: [mr-1][full_vectors][has_tail].
+/// Entries that cannot occur (nrv == 0 with no tail; nrv == MaxNrv with a
+/// tail, which would exceed nr) are null. MaxMr/MaxNrv are parameters so
+/// the baseline libraries can instantiate their own tile families (e.g.
+/// BLASFEO's 8x8) without touching LibShalom's.
+template <typename T, AAccess AA, BAccess BA, int MaxMr = kMaxMr,
+          int MaxNrv = kMaxNrv>
+struct MainTable {
+  MainKernelFn<T> fn[MaxMr][MaxNrv + 1][2] = {};
+
+  constexpr MainTable() {
+    fill_mr(std::make_integer_sequence<int, MaxMr>{});
+  }
+
+  template <int... MrIdx>
+  constexpr void fill_mr(std::integer_sequence<int, MrIdx...>) {
+    (fill_nrv<MrIdx + 1>(std::make_integer_sequence<int, MaxNrv + 1>{}),
+     ...);
+  }
+
+  template <int Mr, int... Nrv>
+  constexpr void fill_nrv(std::integer_sequence<int, Nrv...>) {
+    ((fn[Mr - 1][Nrv][0] =
+          (Nrv > 0) ? &kern_main<T, Mr, (Nrv > 0 ? Nrv : 1), false, AA, BA>
+                    : nullptr),
+     ...);
+    ((fn[Mr - 1][Nrv][1] =
+          (Nrv < MaxNrv)
+              ? &kern_main<T, Mr, (Nrv < MaxNrv ? Nrv : 0), true, AA, BA>
+              : nullptr),
+     ...);
+  }
+};
+
+template <typename T, AAccess AA, BAccess BA, int MaxMr = kMaxMr,
+          int MaxNrv = kMaxNrv>
+inline constexpr MainTable<T, AA, BA, MaxMr, MaxNrv> kMainTable{};
+
+/// Runs one C tile of size m_eff x n_eff (1 <= m_eff <= MaxMr,
+/// 1 <= n_eff <= MaxNrv * lanes) against the selected kernel variant.
+template <typename T, AAccess AA, BAccess BA, int MaxMr = kMaxMr,
+          int MaxNrv = kMaxNrv>
+SHALOM_INLINE void run_main_tile(int m_eff, int n_eff, index_t kc,
+                                 const T* a, index_t lda, const T* b,
+                                 index_t ldb, T* c, index_t ldc, T alpha,
+                                 T beta) {
+  constexpr int L = simd::vec_of_t<T>::kLanes;
+  const int nrv = n_eff / L;
+  const int ntail = n_eff % L;
+  const auto fn =
+      kMainTable<T, AA, BA, MaxMr, MaxNrv>.fn[m_eff - 1][nrv][ntail > 0];
+  SHALOM_ASSERT(fn != nullptr);
+  fn(kc, a, lda, b, ldb, c, ldc, alpha, beta, ntail);
+}
+
+// ---------------------------------------------------------------------------
+// Fused NN pack kernel dispatch (first stripe is always a full mr rows;
+// the sliver width may be an edge).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+using FusedNnFn = void (*)(index_t kc, const T* a, index_t lda, const T* b,
+                           index_t ldb, T* bc, const T* b_next,
+                           index_t ldb_next, T* bc_next, T* c, index_t ldc,
+                           T alpha, T beta, int ntail);
+
+/// The fused kernels always pack the canonical full sliver width.
+template <typename T>
+inline constexpr int kNrFull = kMaxNrv * simd::vec_of_t<T>::kLanes;
+
+template <typename T, bool PackCur, bool Ahead>
+struct FusedNnTable {
+  FusedNnFn<T> fn[kMaxNrv + 1][2] = {};
+
+  constexpr FusedNnTable() {
+    fill(std::make_integer_sequence<int, kMaxNrv + 1>{});
+  }
+
+  template <int... Nrv>
+  constexpr void fill(std::integer_sequence<int, Nrv...>) {
+    ((fn[Nrv][0] = (Nrv > 0) ? &kern_fused_pack_nn<T, kMaxMr,
+                                                   (Nrv > 0 ? Nrv : 1),
+                                                   false, PackCur, Ahead,
+                                                   kNrFull<T>>
+                             : nullptr),
+     ...);
+    ((fn[Nrv][1] =
+          (Nrv < kMaxNrv)
+              ? &kern_fused_pack_nn<T, kMaxMr, (Nrv < kMaxNrv ? Nrv : 0),
+                                    true, PackCur, Ahead, kNrFull<T>>
+              : nullptr),
+     ...);
+  }
+};
+
+template <typename T, bool PackCur, bool Ahead>
+inline constexpr FusedNnTable<T, PackCur, Ahead> kFusedNnTable{};
+
+/// pack_cur = false means `b` already points at the packed current sliver
+/// (steady state of the t = 1 pack-ahead pipeline). ahead = true streams
+/// the next sliver (which must be full width) into bc_next.
+template <typename T>
+SHALOM_INLINE void run_fused_pack_nn(bool pack_cur, bool ahead, int n_eff,
+                                     index_t kc, const T* a, index_t lda,
+                                     const T* b, index_t ldb, T* bc,
+                                     const T* b_next, index_t ldb_next,
+                                     T* bc_next, T* c, index_t ldc, T alpha,
+                                     T beta) {
+  constexpr int L = simd::vec_of_t<T>::kLanes;
+  const int nrv = n_eff / L;
+  const int ntail = n_eff % L;
+  FusedNnFn<T> fn;
+  if (pack_cur) {
+    fn = ahead ? kFusedNnTable<T, true, true>.fn[nrv][ntail > 0]
+               : kFusedNnTable<T, true, false>.fn[nrv][ntail > 0];
+  } else {
+    fn = ahead ? kFusedNnTable<T, false, true>.fn[nrv][ntail > 0]
+               : kFusedNnTable<T, false, false>.fn[nrv][ntail > 0];
+  }
+  SHALOM_ASSERT(fn != nullptr);
+  fn(kc, a, lda, b, ldb, bc, b_next, ldb_next, bc_next, c, ldc, alpha, beta,
+     ntail);
+}
+
+// ---------------------------------------------------------------------------
+// Fused TN/TT pack-A kernel dispatch.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+using FusedTnFn = void (*)(index_t kc, const T* a, index_t lda, T* ac,
+                           const T* b, index_t ldb, T* c, index_t ldc,
+                           T alpha, T beta, int ntail);
+
+template <typename T, BAccess BA>
+struct FusedTnTable {
+  FusedTnFn<T> fn[kMaxNrv + 1][2] = {};
+
+  constexpr FusedTnTable() {
+    fill(std::make_integer_sequence<int, kMaxNrv + 1>{});
+  }
+
+  template <int... Nrv>
+  constexpr void fill(std::integer_sequence<int, Nrv...>) {
+    ((fn[Nrv][0] = (Nrv > 0) ? &kern_fused_pack_tn<T, kMaxMr,
+                                                   (Nrv > 0 ? Nrv : 1),
+                                                   false, BA>
+                             : nullptr),
+     ...);
+    ((fn[Nrv][1] =
+          (Nrv < kMaxNrv)
+              ? &kern_fused_pack_tn<T, kMaxMr, (Nrv < kMaxNrv ? Nrv : 0),
+                                    true, BA>
+              : nullptr),
+     ...);
+  }
+};
+
+template <typename T, BAccess BA>
+inline constexpr FusedTnTable<T, BA> kFusedTnTable{};
+
+/// Computes one full-height (kMaxMr) stripe against transposed-in-place A
+/// while packing the Ac column sliver. b_packed selects zero-padded
+/// packed-B reads vs in-place reads.
+template <typename T>
+SHALOM_INLINE void run_fused_pack_tn(bool b_packed, int n_eff, index_t kc,
+                                     const T* a, index_t lda, T* ac,
+                                     const T* b, index_t ldb, T* c,
+                                     index_t ldc, T alpha, T beta) {
+  constexpr int L = simd::vec_of_t<T>::kLanes;
+  const int nrv = n_eff / L;
+  const int ntail = n_eff % L;
+  const auto fn =
+      b_packed ? kFusedTnTable<T, BAccess::kPacked>.fn[nrv][ntail > 0]
+               : kFusedTnTable<T, BAccess::kDirect>.fn[nrv][ntail > 0];
+  SHALOM_ASSERT(fn != nullptr);
+  fn(kc, a, lda, ac, b, ldb, c, ldc, alpha, beta, ntail);
+}
+
+// ---------------------------------------------------------------------------
+// Fused NT pack kernel dispatch (JB = 1..3 column groups).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+using FusedNtFn = void (*)(index_t kc, const T* a, index_t lda, const T* b,
+                           index_t ldb, T* bc, int jofs, int nr_full,
+                           bool store_full, T* c, index_t ldc, T alpha,
+                           T beta);
+
+/// store_full: a later column group of this sliver exists, so the scatter
+/// may write one transposed lane past its own columns (see the kernel).
+template <typename T>
+SHALOM_INLINE void run_fused_pack_nt(int jb, index_t kc, const T* a,
+                                     index_t lda, const T* b, index_t ldb,
+                                     T* bc, int jofs, int nr_full,
+                                     bool store_full, T* c, index_t ldc,
+                                     T alpha, T beta) {
+  static constexpr FusedNtFn<T> table[3] = {
+      &kern_fused_pack_nt<T, kMaxMr, 1>,
+      &kern_fused_pack_nt<T, kMaxMr, 2>,
+      &kern_fused_pack_nt<T, kMaxMr, 3>,
+  };
+  SHALOM_ASSERT(jb >= 1 && jb <= 3);
+  table[jb - 1](kc, a, lda, b, ldb, bc, jofs, nr_full, store_full, c, ldc,
+                alpha, beta);
+}
+
+}  // namespace shalom::ukr

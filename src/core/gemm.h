@@ -1,0 +1,23 @@
+// Serial GEMM driver (paper Algorithm 1, all four modes).
+//
+// Computes C = alpha * op(A) . op(B) + beta * C on row-major operands.
+// The driver strings together the analytic models (core/model.h), the
+// packing routines (core/pack.h) and the micro-kernels (core/microkernel.h)
+// with the paper's loop structure: jj (nc) -> ii (mc) -> kk (kc) -> j (nr)
+// -> i (mr), i.e. the L2/L3 loop exchange of Section 3.3 that keeps A
+// accesses contiguous.
+#pragma once
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace shalom {
+
+/// Single-threaded GEMM. `cfg.threads` is ignored here; use shalom::gemm
+/// (shalom.h) for the parallel entry point.
+template <typename T>
+void gemm_serial(Mode mode, index_t M, index_t N, index_t K, T alpha,
+                 const T* A, index_t lda, const T* B, index_t ldb, T beta,
+                 T* C, index_t ldc, const Config& cfg = {});
+
+}  // namespace shalom

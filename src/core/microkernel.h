@@ -1,0 +1,527 @@
+// Register-blocked micro-kernels (paper Section 5).
+//
+// Three kernel families, exactly as the paper structures them:
+//
+//  1. kern_main      - the mr x nr outer-product kernel (Algorithm 2).
+//                      Template policies select how each operand is read:
+//                      A direct (row-major, the NN/NT no-pack-A path) or
+//                      packed (column slivers, the TN/TT path); B direct
+//                      (row-major, the small-B no-pack path) or packed
+//                      (row slivers).
+//  2. kern_fused_pack_nn - Algorithm 1 lines 6-8: computes the first
+//                      mr-row stripe of C while copying the B rows it
+//                      loads into the packed buffer Bc, optionally packing
+//                      one sliver ahead (t = 1, Section 5.3.2 / Fig. 4).
+//  3. kern_fused_pack_nt - Algorithm 3 / Fig. 5: the 7x3 inner-product
+//                      kernel that updates C while scattering B^T into Bc.
+//
+// Plus kern_scalar, the deliberately unscheduled fallback used when the
+// Fig. 6b edge optimization is disabled (ablation of Section 8.5).
+//
+// All kernels compute  C = beta * C + alpha * acc  on an (m_eff x n_eff)
+// tile; beta == 0 never reads C (NaN-safe, BLAS semantics).
+//
+// Loop bodies are written with compile-time-unrolled lambdas so that at
+// -O3 every iteration is a straight-line schedule: loads interleaved
+// between FMAs with the dependence distance the paper's Fig. 6b asks for.
+#pragma once
+
+#include <utility>
+
+#include "common/matrix.h"
+#include "simd/vec128.h"
+
+#define SHALOM_RESTRICT __restrict__
+// Lambdas in kernel bodies rely on -O3 inlining; the macro marks intent.
+#define SHALOM_INLINE_LAMBDA
+
+namespace shalom::ukr {
+
+/// How the micro-kernel reads matrix A.
+enum class AAccess {
+  kDirect,      ///< a(i,k) = a[i*lda + k] (row-major, in place)
+  kPacked,      ///< a(i,k) = a[k*lda + i] (column sliver; lda = mr stride)
+  kDirectTrans, ///< a(i,k) = a[k*lda + i] (transposed storage, in place:
+                ///< the TN/TT path; op(A) columns are contiguous runs)
+};
+
+/// How the micro-kernel reads matrix B.
+enum class BAccess {
+  kDirect,  ///< b(k,j) = b[k*ldb + j]   (row-major, in place)
+  kPacked,  ///< b(k,j) = b[k*ldb + j]   (row sliver; ldb = nr stride,
+            ///<                          zero-padded past the edge)
+};
+
+/// Invokes f(integral_constant<int,0>), ..., f(integral_constant<int,N-1>).
+template <int N, class F>
+SHALOM_INLINE void unroll(F&& f) {
+  [&]<int... I>(std::integer_sequence<int, I...>) {
+    (f(std::integral_constant<int, I>{}), ...);
+  }(std::make_integer_sequence<int, N>{});
+}
+
+/// Extra elements allocated at the tail of every packed buffer so packed-A
+/// column loads may read one full vector past the last column.
+inline constexpr index_t kPackSlackElems = 8;
+
+// ---------------------------------------------------------------------------
+// Main micro-kernel (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+/// mr x n_eff register tile, n_eff = NRV*lanes + ntail.
+/// NTail selects whether a final partial vector exists; `ntail` (1..lanes-1)
+/// is its lane count and is ignored when !NTail.
+template <typename T, int MR, int NRV, bool NTail, AAccess AA, BAccess BA>
+void kern_main(index_t kc, const T* SHALOM_RESTRICT a, index_t lda,
+               const T* SHALOM_RESTRICT b, index_t ldb,
+               T* SHALOM_RESTRICT c, index_t ldc, T alpha, T beta,
+               int ntail) {
+  using V = simd::vec_of_t<T>;
+  constexpr int L = V::kLanes;
+  constexpr int NV = NRV + (NTail ? 1 : 0);
+  static_assert(MR >= 1 && NV >= 1);
+  (void)ntail;
+
+  V acc[MR][NV];
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto jv) { acc[i][jv] = simd::zero_vec<T>(); });
+  });
+
+  // Loads one vector of row k of op(B). The packed layout is zero-padded,
+  // so only direct access needs a partial (masked) load at the edge.
+  auto load_b = [&](index_t k, auto jv) SHALOM_INLINE_LAMBDA {
+    const T* row = b + k * ldb + jv * L;
+    if constexpr (NTail && BA == BAccess::kDirect) {
+      if constexpr (jv == NV - 1) return simd::load_partial(row, ntail);
+    }
+    return simd::load(row);
+  };
+
+  index_t k = 0;
+  if constexpr (AA == AAccess::kDirect) {
+    // Paper Fig. 3: unroll k by the vector length; each A row contributes
+    // one vector of L consecutive k-elements, consumed lane by lane via
+    // scalar-vector FMA.
+    for (; k + L <= kc; k += L) {
+      V av[MR];
+      unroll<MR>([&](auto i) { av[i] = simd::load(a + i * lda + k); });
+      simd::prefetch_read(a + k + 2 * L);
+      unroll<L>([&](auto l) {
+        V bv[NV];
+        unroll<NV>([&](auto jv) { bv[jv] = load_b(k + l, jv); });
+        unroll<MR>([&](auto i) {
+          unroll<NV>([&](auto jv) {
+            acc[i][jv] = simd::fmadd_lane<l>(acc[i][jv], av[i], bv[jv]);
+          });
+        });
+      });
+    }
+    for (; k < kc; ++k) {
+      V bv[NV];
+      unroll<NV>([&](auto jv) { bv[jv] = load_b(k, jv); });
+      unroll<MR>([&](auto i) {
+        const V as = simd::broadcast(a[i * lda + k]);
+        unroll<NV>([&](auto jv) {
+          acc[i][jv] = simd::fmadd(acc[i][jv], as, bv[jv]);
+        });
+      });
+    }
+  } else if constexpr (AA == AAccess::kPacked) {
+    // Packed A: each k step reads one zero-padded column sliver of length
+    // mr; ceil(MR/L) vector loads cover it (slack allows the full load).
+    constexpr int AV = (MR + L - 1) / L;
+    for (; k < kc; ++k) {
+      const T* col = a + k * lda;
+      V av[AV];
+      unroll<AV>([&](auto g) { av[g] = simd::load(col + g * L); });
+      V bv[NV];
+      unroll<NV>([&](auto jv) { bv[jv] = load_b(k, jv); });
+      unroll<MR>([&](auto i) {
+        unroll<NV>([&](auto jv) {
+          acc[i][jv] =
+              simd::fmadd_lane<i % L>(acc[i][jv], av[i / L], bv[jv]);
+        });
+      });
+    }
+  } else {
+    // Transposed A in place (TN/TT): op(A) column k is the contiguous run
+    // a[k*lda .. k*lda+MR). No slack exists past the run, so the last
+    // vector loads *overlapping* from col + MR - L and lanes are remapped
+    // (rows < L from av[g], tail rows from the overlapped vector).
+    constexpr int AV = (MR + L - 1) / L;
+    for (; k < kc; ++k) {
+      const T* col = a + k * lda;
+      V av[AV];
+      if constexpr (MR < L) {
+        av[0] = simd::load_partial(col, MR);
+      } else {
+        unroll<AV>([&](auto g) {
+          constexpr int base = (g == AV - 1) ? MR - L : g * L;
+          av[g] = simd::load(col + base);
+        });
+      }
+      V bv[NV];
+      unroll<NV>([&](auto jv) { bv[jv] = load_b(k, jv); });
+      unroll<MR>([&](auto i) {
+        constexpr int g = (i / L < AV - 1) ? i / L : AV - 1;
+        constexpr int base =
+            (MR < L) ? 0 : ((g == AV - 1) ? MR - L : g * L);
+        unroll<NV>([&](auto jv) {
+          acc[i][jv] =
+              simd::fmadd_lane<i - base>(acc[i][jv], av[g], bv[jv]);
+        });
+      });
+    }
+  }
+
+  // C update: C = beta*C + alpha*acc on the real (not padded) tile.
+  const V valpha = simd::broadcast(alpha);
+  const V vbeta = simd::broadcast(beta);
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto jv) {
+      T* cp = c + i * ldc + jv * L;
+      V r = simd::mul(acc[i][jv], valpha);
+      if constexpr (NTail) {
+        if constexpr (jv == NV - 1) {
+          if (beta != T{0})
+            r = simd::fmadd(r, simd::load_partial(cp, ntail), vbeta);
+          simd::store_partial(cp, r, ntail);
+          return;
+        }
+      }
+      if (beta != T{0}) r = simd::fmadd(r, simd::load(cp), vbeta);
+      simd::store(cp, r);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused NN packing kernel (Algorithm 1 lines 6-8, Fig. 4)
+// ---------------------------------------------------------------------------
+
+/// Computes the first MR-row stripe of C against B while storing every
+/// loaded B vector into the packed sliver `bc` (row stride NRFull,
+/// zero-padded).  With Ahead = true the kernel also streams the *next*
+/// sliver's rows (guaranteed full width by the driver) into `bc_next`
+/// (pack-ahead t = 1, Section 5.3.2: irregular-shaped inputs whose next
+/// sliver would otherwise miss in cache and TLB).  The pack stores are
+/// interleaved between the FMA groups so the OoO core overlaps them with
+/// compute - the key difference from pack-then-compute libraries
+/// (Section 5.3).
+///
+/// PackCur = false is the steady state of the t = 1 pipeline: the current
+/// sliver was packed by the previous iteration, so `b` points at the
+/// packed sliver itself (ldb == NRFull) and only the pack-ahead copy
+/// runs; PackCur = true additionally writes the current sliver (t = 0,
+/// and the pipeline prologue / edge slivers).
+///
+/// All widths are compile-time so the loop body is branch-free straight-
+/// line code; anything runtime-bounded here makes GCC spill the 21
+/// accumulators.
+template <typename T, int MR, int NRV, bool NTail, bool PackCur, bool Ahead,
+          int NRFull>
+void kern_fused_pack_nn(index_t kc, const T* SHALOM_RESTRICT a, index_t lda,
+                        const T* SHALOM_RESTRICT b, index_t ldb,
+                        T* SHALOM_RESTRICT bc,
+                        const T* SHALOM_RESTRICT b_next, index_t ldb_next,
+                        T* SHALOM_RESTRICT bc_next, T* SHALOM_RESTRICT c,
+                        index_t ldc, T alpha, T beta, int ntail) {
+  using V = simd::vec_of_t<T>;
+  constexpr int L = V::kLanes;
+  constexpr int NV = NRV + (NTail ? 1 : 0);
+  constexpr int NVFull = NRFull / L;
+  static_assert(NV * L <= NRFull);
+  (void)ntail;
+  (void)bc;
+  (void)b_next;
+  (void)ldb_next;
+  (void)bc_next;
+
+  V acc[MR][NV];
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto jv) { acc[i][jv] = simd::zero_vec<T>(); });
+  });
+
+  auto load_b = [&](index_t k, auto jv) SHALOM_INLINE_LAMBDA {
+    const T* row = b + k * ldb + jv * L;
+    if constexpr (NTail) {
+      if constexpr (jv == NV - 1) return simd::load_partial(row, ntail);
+    }
+    return simd::load(row);
+  };
+
+  // Packs row k of the current sliver (zero-padding the tail columns) and,
+  // when Ahead, copies row k of the next (full-width) sliver. Plain
+  // load->store pairs between the FMA groups; fully unrolled.
+  auto pack_rows = [&](index_t k, const V (&bv)[NV]) SHALOM_INLINE_LAMBDA {
+    if constexpr (PackCur) {
+      T* dst = bc + k * NRFull;
+      unroll<NV>([&](auto jv) { simd::store(dst + jv * L, bv[jv]); });
+      if constexpr (NV < NVFull) {
+        unroll<NVFull - NV>([&](auto z) {
+          simd::store(dst + (NV + z) * L, simd::zero_vec<T>());
+        });
+      }
+    }
+    if constexpr (Ahead) {
+      const T* src = b_next + k * ldb_next;
+      T* dst = bc_next + k * NRFull;
+      unroll<NVFull>(
+          [&](auto jv) { simd::store(dst + jv * L, simd::load(src + jv * L)); });
+    }
+  };
+
+  index_t k = 0;
+  for (; k + L <= kc; k += L) {
+    V av[MR];
+    unroll<MR>([&](auto i) { av[i] = simd::load(a + i * lda + k); });
+    unroll<L>([&](auto l) {
+      V bv[NV];
+      unroll<NV>([&](auto jv) { bv[jv] = load_b(k + l, jv); });
+      // Pack stores issue between the load group and the FMA group
+      // (steps 1/2 of Fig. 4).
+      pack_rows(k + l, bv);
+      unroll<MR>([&](auto i) {
+        unroll<NV>([&](auto jv) {
+          acc[i][jv] = simd::fmadd_lane<l>(acc[i][jv], av[i], bv[jv]);
+        });
+      });
+    });
+  }
+  for (; k < kc; ++k) {
+    V bv[NV];
+    unroll<NV>([&](auto jv) { bv[jv] = load_b(k, jv); });
+    pack_rows(k, bv);
+    unroll<MR>([&](auto i) {
+      const V as = simd::broadcast(a[i * lda + k]);
+      unroll<NV>([&](auto jv) {
+        acc[i][jv] = simd::fmadd(acc[i][jv], as, bv[jv]);
+      });
+    });
+  }
+
+  const V valpha = simd::broadcast(alpha);
+  const V vbeta = simd::broadcast(beta);
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto jv) {
+      T* cp = c + i * ldc + jv * L;
+      V r = simd::mul(acc[i][jv], valpha);
+      if constexpr (NTail) {
+        if constexpr (jv == NV - 1) {
+          if (beta != T{0})
+            r = simd::fmadd(r, simd::load_partial(cp, ntail), vbeta);
+          simd::store_partial(cp, r, ntail);
+          return;
+        }
+      }
+      if (beta != T{0}) r = simd::fmadd(r, simd::load(cp), vbeta);
+      simd::store(cp, r);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused NT packing kernel (Algorithm 3, Fig. 5)
+// ---------------------------------------------------------------------------
+
+/// Inner-product MR x JB kernel over transposed B.  op(B) columns
+/// jofs..jofs+JB-1 of the current sliver are rows of B storage, contiguous
+/// along k.  Per k-vector step: MR loads of A, JB loads of B, MR*JB
+/// vector-vector FMAs, and the JB*L-element scatter into the packed
+/// sliver (stride nr_full).  Accumulators reduce horizontally at the end.
+/// Called ceil(nr/JB) times to fill one sliver (paper: 12/3 = 4 calls).
+///
+/// The scatter is realized as an in-register transpose followed by one
+/// vector store per Bc row instead of element-wise extracts. When
+/// `store_full` is set the stores are full-width: the lane past the JB
+/// real columns lands on the slot the NEXT column group (at jofs + JB)
+/// owns and is rewritten by it - the driver sets the flag only when that
+/// group exists. The final group of a sliver uses partial stores.
+template <typename T, int MR, int JB>
+void kern_fused_pack_nt(index_t kc, const T* SHALOM_RESTRICT a, index_t lda,
+                        const T* SHALOM_RESTRICT b, index_t ldb,
+                        T* SHALOM_RESTRICT bc, int jofs, int nr_full,
+                        bool store_full, T* SHALOM_RESTRICT c, index_t ldc,
+                        T alpha, T beta) {
+  using V = simd::vec_of_t<T>;
+  constexpr int L = V::kLanes;
+
+  V acc[MR][JB];
+  unroll<MR>([&](auto i) {
+    unroll<JB>([&](auto cb) { acc[i][cb] = simd::zero_vec<T>(); });
+  });
+
+  index_t k = 0;
+  for (; k + L <= kc; k += L) {
+    V av[MR];
+    unroll<MR>([&](auto i) { av[i] = simd::load(a + i * lda + k); });
+    V bv[JB];
+    unroll<JB>([&](auto cb) {
+      bv[cb] = simd::load(b + (jofs + cb) * ldb + k);
+    });
+    // Scatter into Bc rows k..k+L-1 (Fig. 5: lane l of column cb lands at
+    // bc[(k+l)*nr_full + jofs+cb]), interleaved with the FMA stream below
+    // via program order.
+    if constexpr (L == 4 && std::is_same_v<T, float>) {
+      V r0 = bv[0];
+      V r1 = JB > 1 ? bv[1] : simd::zero_vec<T>();
+      V r2 = JB > 2 ? bv[2] : simd::zero_vec<T>();
+      V r3 = simd::zero_vec<T>();
+      simd::transpose4(r0, r1, r2, r3);
+      const V rows[4] = {r0, r1, r2, r3};
+      if (store_full) {
+        unroll<L>([&](auto l) {
+          simd::store(bc + (k + l) * nr_full + jofs, rows[l]);
+        });
+      } else {
+        unroll<L>([&](auto l) {
+          simd::store_partial(bc + (k + l) * nr_full + jofs, rows[l], JB);
+        });
+      }
+    } else {
+      unroll<JB>([&](auto cb) {
+        unroll<L>([&](auto l) {
+          bc[(k + l) * nr_full + jofs + cb] = simd::extract(bv[cb], l);
+        });
+      });
+    }
+    unroll<JB>([&](auto cb) {
+      unroll<MR>([&](auto i) {
+        acc[i][cb] = simd::fmadd(acc[i][cb], av[i], bv[cb]);
+      });
+    });
+  }
+
+  // k tail: scalar inner-product steps (fewer than L columns of A left).
+  T tail_acc[MR][JB] = {};
+  for (; k < kc; ++k) {
+    T bs[JB];
+    unroll<JB>([&](auto cb) {
+      bs[cb] = b[(jofs + cb) * ldb + k];
+      bc[k * nr_full + jofs + cb] = bs[cb];
+    });
+    unroll<MR>([&](auto i) {
+      const T as = a[i * lda + k];
+      unroll<JB>([&](auto cb) { tail_acc[i][cb] += as * bs[cb]; });
+    });
+  }
+
+  // Horizontal reduction + C update (paper: "Reduce (V10-V31)").
+  unroll<MR>([&](auto i) {
+    unroll<JB>([&](auto cb) {
+      const T total = simd::reduce_add(acc[i][cb]) + tail_acc[i][cb];
+      T* cp = c + i * ldc + jofs + cb;
+      *cp = (beta == T{0}) ? alpha * total : beta * *cp + alpha * total;
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused TN/TT packing kernel (Section 4.3: "for TN mode, we apply the
+// same strategy used for the NT mode to pack matrix A")
+// ---------------------------------------------------------------------------
+
+/// Outer-product kernel over transposed-in-place A that simultaneously
+/// streams the loaded op(A) columns into the packed sliver `ac`
+/// (layout ac[k*MR + i], the canonical column-sliver format), so later
+/// column slivers of the same block reuse Ac without ever paying a
+/// separate packing pass. The overlapping A loads double as the pack
+/// source: two stores per k (at +0 and +MR-L, overlapping on the shared
+/// rows) write the full column. Requires kPackSlackElems past the buffer.
+template <typename T, int MR, int NRV, bool NTail, BAccess BA>
+void kern_fused_pack_tn(index_t kc, const T* SHALOM_RESTRICT a, index_t lda,
+                        T* SHALOM_RESTRICT ac, const T* SHALOM_RESTRICT b,
+                        index_t ldb, T* SHALOM_RESTRICT c, index_t ldc,
+                        T alpha, T beta, int ntail) {
+  using V = simd::vec_of_t<T>;
+  constexpr int L = V::kLanes;
+  constexpr int NV = NRV + (NTail ? 1 : 0);
+  static_assert(MR >= L, "fused TN pack requires a full-height stripe");
+  constexpr int AV = (MR + L - 1) / L;
+  (void)ntail;
+
+  V acc[MR][NV];
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto jv) { acc[i][jv] = simd::zero_vec<T>(); });
+  });
+
+  auto load_b = [&](index_t k, auto jv) SHALOM_INLINE_LAMBDA {
+    const T* row = b + k * ldb + jv * L;
+    if constexpr (NTail && BA == BAccess::kDirect) {
+      if constexpr (jv == NV - 1) return simd::load_partial(row, ntail);
+    }
+    return simd::load(row);
+  };
+
+  for (index_t k = 0; k < kc; ++k) {
+    const T* col = a + k * lda;
+    V av[AV];
+    unroll<AV>([&](auto g) {
+      constexpr int base = (g == AV - 1) ? MR - L : g * L;
+      av[g] = simd::load(col + base);
+    });
+    // Pack stores between the load group and the FMAs: the overlapped
+    // vectors rewrite the shared rows with identical values.
+    T* dst = ac + k * MR;
+    unroll<AV>([&](auto g) {
+      constexpr int base = (g == AV - 1) ? MR - L : g * L;
+      simd::store(dst + base, av[g]);
+    });
+    V bv[NV];
+    unroll<NV>([&](auto jv) { bv[jv] = load_b(k, jv); });
+    unroll<MR>([&](auto i) {
+      constexpr int g = (i / L < AV - 1) ? i / L : AV - 1;
+      constexpr int base = (g == AV - 1) ? MR - L : g * L;
+      unroll<NV>([&](auto jv) {
+        acc[i][jv] =
+            simd::fmadd_lane<i - base>(acc[i][jv], av[g], bv[jv]);
+      });
+    });
+  }
+
+  const V valpha = simd::broadcast(alpha);
+  const V vbeta = simd::broadcast(beta);
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto jv) {
+      T* cp = c + i * ldc + jv * L;
+      V r = simd::mul(acc[i][jv], valpha);
+      if constexpr (NTail) {
+        if constexpr (jv == NV - 1) {
+          if (beta != T{0})
+            r = simd::fmadd(r, simd::load_partial(cp, ntail), vbeta);
+          simd::store_partial(cp, r, ntail);
+          return;
+        }
+      }
+      if (beta != T{0}) r = simd::fmadd(r, simd::load(cp), vbeta);
+      simd::store(cp, r);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Scalar fallback kernel (edge-optimization ablation)
+// ---------------------------------------------------------------------------
+
+/// Plain scalar tile update used when Config::optimized_edges is false:
+/// models the cost existing libraries pay on remainder tiles (batched
+/// loads, no latency hiding - the Fig. 6a behaviour).
+template <typename T, AAccess AA, BAccess BA>
+void kern_scalar(index_t m, index_t n, index_t kc, const T* a, index_t lda,
+                 const T* b, index_t ldb, T* c, index_t ldc, T alpha,
+                 T beta) {
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      T sum{};
+      for (index_t k = 0; k < kc; ++k) {
+        const T av =
+            (AA == AAccess::kDirect) ? a[i * lda + k] : a[k * lda + i];
+        sum += av * b[k * ldb + j];
+      }
+      T* cp = c + i * ldc + j;
+      *cp = (beta == T{0}) ? alpha * sum : beta * *cp + alpha * sum;
+    }
+  }
+}
+
+}  // namespace shalom::ukr

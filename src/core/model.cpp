@@ -1,0 +1,204 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace shalom::model {
+
+double tile_cmr(int mr, int nr) {
+  return 2.0 * mr * nr / static_cast<double>(mr + nr);
+}
+
+Tile solve_tile(int vector_registers, int lanes_per_vector) {
+  SHALOM_REQUIRE(vector_registers >= 4, " registers=", vector_registers);
+  SHALOM_REQUIRE(lanes_per_vector >= 1, " lanes=", lanes_per_vector);
+
+  // Small GEMMs call this on every gemm(); memoize the last few configs
+  // (thread-local: lock-free and trivially safe under the parallel driver).
+  struct CacheEntry {
+    int regs = -1;
+    int lanes = -1;
+    Tile tile;
+  };
+  thread_local CacheEntry cache[4];
+  const int slot = (vector_registers + lanes_per_vector) & 3;
+  if (cache[slot].regs == vector_registers &&
+      cache[slot].lanes == lanes_per_vector) {
+    return cache[slot].tile;
+  }
+
+  const int budget = vector_registers - 1;  // one register reserved for
+                                            // prefetch (paper Section 5.2.1)
+  const int j = lanes_per_vector;
+
+  Tile best;
+  double best_cmr = -1.0;
+  for (int mr = 1; mr <= budget; ++mr) {
+    for (int nr = j; nr <= budget * j; nr += j) {
+      const int used = mr + nr / j + mr * (nr / j);
+      if (used > budget) break;
+      const double cmr = tile_cmr(mr, nr);
+      // Tie-break towards the larger C tile: more accumulators means more
+      // independent FMA chains for the out-of-order core.
+      if (cmr > best_cmr ||
+          (cmr == best_cmr && mr * nr > best.mr * best.nr)) {
+        best_cmr = cmr;
+        best = {mr, nr};
+      }
+    }
+  }
+  cache[slot] = {vector_registers, lanes_per_vector, best};
+  return best;
+}
+
+namespace {
+
+index_t round_down_multiple(index_t value, index_t step) {
+  return std::max<index_t>(step, value / step * step);
+}
+
+}  // namespace
+
+template <typename T>
+Blocking solve_blocking(const arch::MachineDescriptor& m, Tile tile,
+                        index_t M, index_t N, index_t K) {
+  const index_t elem = sizeof(T);
+  Blocking b;
+
+  // kc: one kc x nr sliver of Bc plus the mr x kc A stripe live in L1
+  // together with the C tile; budget half the L1 for the Bc sliver.
+  const index_t l1_elems = static_cast<index_t>(m.l1d.size_bytes) / elem;
+  index_t kc = l1_elems / (2 * tile.nr);
+  kc = std::clamp<index_t>(kc, tile.nr, 512);
+  kc = std::min(kc, K);
+
+  // mc: the mc x kc A block should occupy at most half the (per-core
+  // share of the) L2.
+  const index_t l2_elems =
+      static_cast<index_t>(m.l2.size_bytes / m.l2.shared_by_cores) / elem;
+  index_t mc = l2_elems / (2 * kc);
+  mc = round_down_multiple(mc, tile.mr);
+  mc = std::min(mc, std::max<index_t>(tile.mr, M));
+
+  // nc: the kc x nc Bc panel should fit the LLC (or L2 when no L3).
+  const index_t llc_elems = static_cast<index_t>(m.llc().size_bytes) / elem;
+  index_t nc = llc_elems / (2 * kc);
+  nc = round_down_multiple(nc, tile.nr);
+  nc = std::min(nc, std::max<index_t>(tile.nr, N));
+
+  b.mc = mc;
+  b.kc = kc;
+  b.nc = nc;
+  return b;
+}
+
+template Blocking solve_blocking<float>(const arch::MachineDescriptor&, Tile,
+                                        index_t, index_t, index_t);
+template Blocking solve_blocking<double>(const arch::MachineDescriptor&, Tile,
+                                         index_t, index_t, index_t);
+
+template <typename T>
+PackDecision decide_packing(const arch::MachineDescriptor& m, Mode mode,
+                            index_t M, index_t N, index_t K,
+                            const Config& cfg) {
+  const std::size_t elem = sizeof(T);
+  const std::size_t bytes_a = static_cast<std::size_t>(M) * K * elem;
+  const std::size_t bytes_b = static_cast<std::size_t>(K) * N * elem;
+  const std::size_t l1 = m.l1d.size_bytes;
+  const std::size_t llc = m.llc().size_bytes;
+
+  PackDecision d;
+
+  if (!cfg.selective_packing) {
+    // Baseline behaviour (OpenBLAS/BLIS): both operands always packed in a
+    // separate pass, regardless of size or mode.
+    d.a = PackPlan::kPackAhead;
+    d.b = PackPlan::kPackAhead;
+    d.pack_ahead = 0;
+    return d;
+  }
+
+  const PackPlan fused_or_ahead =
+      cfg.fused_packing ? PackPlan::kPackFused : PackPlan::kPackAhead;
+
+  // Matrix B (columns of the product).
+  if (mode.b == Trans::T) {
+    // NT/TT: op(B) rows are strided in memory - condition (1) of Section
+    // 4.1 (cache-unfriendly access), so B is always packed.
+    d.b = fused_or_ahead;
+  } else {
+    // NN/TN: B is row-contiguous along N; pack only when it cannot stay
+    // L1 resident (Algorithm 1, line 5).
+    d.b = bytes_b > l1 ? fused_or_ahead : PackPlan::kNone;
+  }
+
+  // Matrix A (rows of the product). Row-major N-mode access to A is
+  // nearly continuous (Section 4.2: "we do not pack A even [if] it is the
+  // only matrix larger than the L1"), so only transposed A is packed.
+  d.a = (mode.a == Trans::T) ? fused_or_ahead : PackPlan::kNone;
+
+  // Pack-ahead distance t: 0 for small/medium B (within LLC), 1 for
+  // large/irregular B (Section 5.3.2).
+  const std::size_t packed_bytes = (mode.a == Trans::T) ? bytes_a : bytes_b;
+  d.pack_ahead = packed_bytes > llc ? 1 : 0;
+  return d;
+}
+
+template PackDecision decide_packing<float>(const arch::MachineDescriptor&,
+                                            Mode, index_t, index_t, index_t,
+                                            const Config&);
+template PackDecision decide_packing<double>(const arch::MachineDescriptor&,
+                                             Mode, index_t, index_t, index_t,
+                                             const Config&);
+
+Partition solve_partition(int threads, index_t M, index_t N, Tile tile) {
+  SHALOM_REQUIRE(threads >= 1, " threads=", threads);
+  SHALOM_REQUIRE(M >= 1 && N >= 1, " M=", M, " N=", N);
+
+  // Cap the usable thread count so every thread can own at least one
+  // register tile of C in each dimension.
+  const int max_tm = static_cast<int>(
+      std::max<index_t>(1, (M + tile.mr - 1) / tile.mr));
+  const int max_tn = static_cast<int>(
+      std::max<index_t>(1, (N + tile.nr - 1) / tile.nr));
+  int t = std::min<long long>(threads,
+                              static_cast<long long>(max_tm) * max_tn);
+  t = std::max(t, 1);
+
+  // Paper Eq. 4: the CMR of a per-thread block is maximized at
+  // Tn = sqrt(T*N/M); take the ceiling ("up-bound") and move up to the
+  // nearest divisor of T so cores divide evenly (T mod Tn == 0).
+  const double ideal =
+      std::sqrt(static_cast<double>(t) * static_cast<double>(N) /
+                static_cast<double>(M));
+  int tn_target = static_cast<int>(std::ceil(ideal));
+  tn_target = std::clamp(tn_target, 1, t);
+
+  auto divides = [&](int x) { return t % x == 0; };
+
+  int tn = t;  // fallback: all threads along N
+  for (int cand = tn_target; cand <= t; ++cand) {
+    if (divides(cand) && cand <= max_tn && t / cand <= max_tm) {
+      tn = cand;
+      break;
+    }
+  }
+  if (!divides(tn) || tn > max_tn || t / tn > max_tm) {
+    // Walk down instead (can happen when max_tn caps the search).
+    for (int cand = std::min(tn_target, max_tn); cand >= 1; --cand) {
+      if (divides(cand) && t / cand <= max_tm) {
+        tn = cand;
+        break;
+      }
+    }
+  }
+
+  Partition p;
+  p.tn = tn;
+  p.tm = t / tn;
+  return p;
+}
+
+}  // namespace shalom::model

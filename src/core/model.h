@@ -1,0 +1,97 @@
+// Analytic models (paper Sections 4-6).
+//
+// Everything LibShalom decides at run time is a closed-form or small-search
+// model over the MachineDescriptor, kept here as pure functions so each is
+// unit-testable against the constants the paper reports:
+//   * micro-kernel tile (mr, nr)       - Eq. 1 + Eq. 2  -> (7, 12) FP32,
+//                                                          (7, 6)  FP64
+//   * cache blocking (mc, kc, nc)      - Section 4 / Goto blocking
+//   * packing decision                 - Section 4.1 predicates
+//   * parallel partition (Tm, Tn)      - Eq. 3 + Eq. 4
+#pragma once
+
+#include <cstddef>
+
+#include "arch/machine.h"
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace shalom::model {
+
+/// Register-tile shape of the micro-kernel.
+struct Tile {
+  int mr = 0;
+  int nr = 0;
+};
+
+/// Computation-to-memory ratio of an mr x nr outer-product micro-kernel
+/// (paper Eq. 2): 2*mr*nr FLOPs per (mr + nr) elements loaded.
+double tile_cmr(int mr, int nr);
+
+/// Solves paper Eq. 1/2: maximize CMR subject to the register budget
+///   mr + nr/j + mr*nr/j <= registers - 1   and   nr % j == 0
+/// where j = lanes per vector. Exhaustive search over the (tiny) feasible
+/// set; equivalent to the paper's Lagrange-multiplier solution but exact
+/// over integers.
+Tile solve_tile(int vector_registers, int lanes_per_vector);
+
+/// Convenience: tile for an element type on a machine.
+template <typename T>
+Tile tile_for(const arch::MachineDescriptor& m) {
+  const int lanes = m.vector_bits / (8 * static_cast<int>(sizeof(T)));
+  return solve_tile(m.vector_registers, lanes);
+}
+
+/// Goto-style cache blocking derived from cache capacities.
+struct Blocking {
+  index_t mc = 0;
+  index_t kc = 0;
+  index_t nc = 0;
+};
+
+/// kc: a kc x nr sliver of Bc plus the A stripe must stay L1-resident.
+/// mc: an mc x kc block of A must fit in half the L2.
+/// nc: a kc x nc panel of Bc must fit in the LLC.
+/// All clamped to the problem size and rounded to tile multiples.
+template <typename T>
+Blocking solve_blocking(const arch::MachineDescriptor& m, Tile tile,
+                        index_t M, index_t N, index_t K);
+
+/// How the driver should treat operand packing for one GEMM call
+/// (paper Section 4.2/4.3).
+enum class PackPlan {
+  kNone,        // operand is cache friendly; read it in place
+  kPackFused,   // pack inside the micro-kernel, overlapped with FMAs
+  kPackAhead,   // pack in a separate pass (baseline / ablation behaviour)
+};
+
+/// Per-call packing decision for both operands.
+struct PackDecision {
+  PackPlan a = PackPlan::kNone;
+  PackPlan b = PackPlan::kNone;
+  /// Pack-ahead distance t (Section 5.3.2): 0 = pack only the current
+  /// sliver (medium matrices), 1 = additionally pack the next sliver
+  /// (large/irregular matrices).
+  int pack_ahead = 0;
+};
+
+/// Implements the predicates of Section 4: B is packed under NN only when
+/// it exceeds the L1 capacity; under NT it is always packed (discontinuous
+/// access); A is packed only when it is transposed (TN/TT).
+template <typename T>
+PackDecision decide_packing(const arch::MachineDescriptor& m, Mode mode,
+                            index_t M, index_t N, index_t K,
+                            const Config& cfg);
+
+/// 2-D thread grid for parallel GEMM.
+struct Partition {
+  int tm = 1;  // threads along M
+  int tn = 1;  // threads along N
+};
+
+/// Paper Eq. 3/4: Tn = ceil(sqrt(T*N/M)), adjusted up to the nearest
+/// divisor of T, then clamped so every thread owns at least one register
+/// tile in each dimension.
+Partition solve_partition(int threads, index_t M, index_t N, Tile tile);
+
+}  // namespace shalom::model

@@ -1,0 +1,83 @@
+#include "core/pack.h"
+
+namespace shalom::pack {
+
+template <typename T>
+void pack_b_n(const T* b, index_t ldb, index_t kc, index_t n, int nr, T* bc) {
+  for (index_t j0 = 0; j0 < n; j0 += nr) {
+    const index_t width = std::min<index_t>(nr, n - j0);
+    T* sliver = bc + (j0 / nr) * b_sliver_elems(kc, nr);
+    for (index_t k = 0; k < kc; ++k) {
+      const T* src = b + k * ldb + j0;
+      T* dst = sliver + k * nr;
+      index_t j = 0;
+      for (; j < width; ++j) dst[j] = src[j];
+      for (; j < nr; ++j) dst[j] = T{};
+    }
+  }
+}
+
+template <typename T>
+void pack_b_t(const T* b, index_t ldb, index_t kc, index_t n, int nr, T* bc) {
+  for (index_t j0 = 0; j0 < n; j0 += nr) {
+    const index_t width = std::min<index_t>(nr, n - j0);
+    T* sliver = bc + (j0 / nr) * b_sliver_elems(kc, nr);
+    // op(B)(k, j0+j) = b[(j0+j)*ldb + k]: walk each source row once so the
+    // reads stay streaming; writes scatter with stride nr (Fig. 5 layout).
+    for (index_t j = 0; j < width; ++j) {
+      const T* src = b + (j0 + j) * ldb;
+      for (index_t k = 0; k < kc; ++k) sliver[k * nr + j] = src[k];
+    }
+    for (index_t j = width; j < nr; ++j)
+      for (index_t k = 0; k < kc; ++k) sliver[k * nr + j] = T{};
+  }
+}
+
+template <typename T>
+void pack_a_n(const T* a, index_t lda, index_t m, index_t kc, int mr, T* ac) {
+  for (index_t i0 = 0; i0 < m; i0 += mr) {
+    const index_t height = std::min<index_t>(mr, m - i0);
+    T* sliver = ac + (i0 / mr) * a_sliver_elems(kc, mr);
+    for (index_t k = 0; k < kc; ++k) {
+      T* dst = sliver + k * mr;
+      index_t i = 0;
+      for (; i < height; ++i) dst[i] = a[(i0 + i) * lda + k];
+      for (; i < mr; ++i) dst[i] = T{};
+    }
+  }
+}
+
+template <typename T>
+void pack_a_t(const T* a, index_t lda, index_t m, index_t kc, int mr, T* ac) {
+  for (index_t i0 = 0; i0 < m; i0 += mr) {
+    const index_t height = std::min<index_t>(mr, m - i0);
+    T* sliver = ac + (i0 / mr) * a_sliver_elems(kc, mr);
+    // op(A)(i0+i, k) = a[k*lda + i0 + i]: contiguous run per k.
+    for (index_t k = 0; k < kc; ++k) {
+      const T* src = a + k * lda + i0;
+      T* dst = sliver + k * mr;
+      index_t i = 0;
+      for (; i < height; ++i) dst[i] = src[i];
+      for (; i < mr; ++i) dst[i] = T{};
+    }
+  }
+}
+
+template void pack_b_n<float>(const float*, index_t, index_t, index_t, int,
+                              float*);
+template void pack_b_n<double>(const double*, index_t, index_t, index_t, int,
+                               double*);
+template void pack_b_t<float>(const float*, index_t, index_t, index_t, int,
+                              float*);
+template void pack_b_t<double>(const double*, index_t, index_t, index_t, int,
+                               double*);
+template void pack_a_n<float>(const float*, index_t, index_t, index_t, int,
+                              float*);
+template void pack_a_n<double>(const double*, index_t, index_t, index_t, int,
+                               double*);
+template void pack_a_t<float>(const float*, index_t, index_t, index_t, int,
+                              float*);
+template void pack_a_t<double>(const double*, index_t, index_t, index_t, int,
+                               double*);
+
+}  // namespace shalom::pack

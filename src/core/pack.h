@@ -1,0 +1,60 @@
+// Packed-panel layouts and the standalone (non-fused) packing routines.
+//
+// Both packed layouts are the canonical Goto micro-panel formats:
+//
+//   Bc ("row slivers"): a kc x n panel is stored as ceil(n/nr) slivers;
+//   sliver s holds elements op(B)(k, s*nr + j) at  sliver[k*nr + j].
+//   Columns beyond the panel edge are zero-filled so the main kernel can
+//   always read nr lanes (stores to C remain exact via edge kernels).
+//
+//   Ac ("column slivers"): an m x kc block is stored as ceil(m/mr) slivers;
+//   sliver s holds op(A)(s*mr + i, k) at  sliver[k*mr + i], rows beyond the
+//   edge zero-filled.
+//
+// The fused variants that overlap these copies with FMA work live in the
+// micro-kernel header; the routines here are used by the TN/TT paths, by
+// the `fused_packing = false` ablation, and as test oracles for the fused
+// kernels (both must produce bit-identical buffers).
+#pragma once
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace shalom::pack {
+
+/// Elements one Bc sliver occupies for a given kc (zero padding included).
+inline index_t b_sliver_elems(index_t kc, int nr) { return kc * nr; }
+
+/// Total elements of a packed kc x n B panel.
+inline index_t b_panel_elems(index_t kc, index_t n, int nr) {
+  const index_t slivers = (n + nr - 1) / nr;
+  return slivers * b_sliver_elems(kc, nr);
+}
+
+inline index_t a_sliver_elems(index_t kc, int mr) { return kc * mr; }
+
+inline index_t a_panel_elems(index_t m, index_t kc, int mr) {
+  const index_t slivers = (m + mr - 1) / mr;
+  return slivers * a_sliver_elems(kc, mr);
+}
+
+/// Packs op(B) = B (N mode): source rows are contiguous along n.
+/// B points at the (kk, jj) corner; packs kc x n into `bc`.
+template <typename T>
+void pack_b_n(const T* b, index_t ldb, index_t kc, index_t n, int nr, T* bc);
+
+/// Packs op(B) = B^T (T mode): op(B)(k, j) = b[j*ldb + k]; source columns
+/// of the packed panel are contiguous along k (the NT scatter of Fig. 5).
+template <typename T>
+void pack_b_t(const T* b, index_t ldb, index_t kc, index_t n, int nr, T* bc);
+
+/// Packs op(A) = A (N mode) into column slivers: op(A)(i, k) = a[i*lda + k].
+template <typename T>
+void pack_a_n(const T* a, index_t lda, index_t m, index_t kc, int mr, T* ac);
+
+/// Packs op(A) = A^T (T mode): op(A)(i, k) = a[k*lda + i]; each (k) row of
+/// the source contributes a contiguous run of mr elements.
+template <typename T>
+void pack_a_t(const T* a, index_t lda, index_t m, index_t kc, int mr, T* ac);
+
+}  // namespace shalom::pack

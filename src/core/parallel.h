@@ -1,0 +1,31 @@
+// Parallel GEMM driver (paper Section 6).
+//
+// The C matrix is divided into a Tm x Tn grid of sub-blocks, one thread
+// each, with (Tm, Tn) chosen by the CMR-maximizing partition solver
+// (model::solve_partition, Eq. 3/4). Every thread then runs the serial
+// driver on its sub-problem, which parallelizes exactly the two outer
+// loops (L1/L3 of Fig. 1) as the paper prescribes, keeping threads free of
+// synchronization between fork and join.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace shalom {
+
+/// Splits [0, total) into `parts` contiguous chunks whose boundaries are
+/// multiples of `align` (except the final boundary). Returns parts + 1
+/// offsets. Chunks are balanced to within one tile; none is negative but
+/// trailing chunks may be empty when total < parts * align.
+std::vector<index_t> split_range(index_t total, int parts, int align);
+
+/// Multi-threaded GEMM; honours cfg.threads (0 = all host cores).
+/// Falls back to gemm_serial when one thread suffices.
+template <typename T>
+void gemm_parallel(Mode mode, index_t M, index_t N, index_t K, T alpha,
+                   const T* A, index_t lda, const T* B, index_t ldb, T beta,
+                   T* C, index_t ldc, const Config& cfg);
+
+}  // namespace shalom

@@ -1,0 +1,56 @@
+#include "core/shalom_c.h"
+
+#include "core/shalom.h"
+
+namespace {
+
+bool parse_trans(char c, shalom::Trans& out) {
+  switch (c) {
+    case 'N':
+    case 'n':
+      out = shalom::Trans::N;
+      return true;
+    case 'T':
+    case 't':
+      out = shalom::Trans::T;
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <typename T>
+int gemm_c(char trans_a, char trans_b, ptrdiff_t m, ptrdiff_t n, ptrdiff_t k,
+           T alpha, const T* a, ptrdiff_t lda, const T* b, ptrdiff_t ldb,
+           T beta, T* c, ptrdiff_t ldc, int threads) {
+  shalom::Trans ta, tb;
+  if (!parse_trans(trans_a, ta) || !parse_trans(trans_b, tb)) return 1;
+  shalom::Config cfg;
+  cfg.threads = threads <= 0 ? 0 : threads;
+  try {
+    shalom::gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg);
+  } catch (const shalom::invalid_argument&) {
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+extern "C" int shalom_sgemm(char trans_a, char trans_b, ptrdiff_t m,
+                            ptrdiff_t n, ptrdiff_t k, float alpha,
+                            const float* a, ptrdiff_t lda, const float* b,
+                            ptrdiff_t ldb, float beta, float* c,
+                            ptrdiff_t ldc, int threads) {
+  return gemm_c(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                ldc, threads);
+}
+
+extern "C" int shalom_dgemm(char trans_a, char trans_b, ptrdiff_t m,
+                            ptrdiff_t n, ptrdiff_t k, double alpha,
+                            const double* a, ptrdiff_t lda, const double* b,
+                            ptrdiff_t ldb, double beta, double* c,
+                            ptrdiff_t ldc, int threads) {
+  return gemm_c(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                ldc, threads);
+}

@@ -1,0 +1,28 @@
+/* LibShalom public C API.
+ *
+ * BLAS-style entry points over the C++ core. Matrices are ROW-MAJOR
+ * (unlike Fortran BLAS); transpose flags are 'N'/'n' or 'T'/'t'.
+ * `threads` <= 0 selects all cores, 1 is serial. Returns 0 on success,
+ * nonzero on invalid arguments.
+ */
+#pragma once
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+int shalom_sgemm(char trans_a, char trans_b, ptrdiff_t m, ptrdiff_t n,
+                 ptrdiff_t k, float alpha, const float* a, ptrdiff_t lda,
+                 const float* b, ptrdiff_t ldb, float beta, float* c,
+                 ptrdiff_t ldc, int threads);
+
+int shalom_dgemm(char trans_a, char trans_b, ptrdiff_t m, ptrdiff_t n,
+                 ptrdiff_t k, double alpha, const double* a, ptrdiff_t lda,
+                 const double* b, ptrdiff_t ldb, double beta, double* c,
+                 ptrdiff_t ldc, int threads);
+
+#ifdef __cplusplus
+}
+#endif

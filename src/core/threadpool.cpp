@@ -1,0 +1,85 @@
+#include "core/threadpool.h"
+
+#include <memory>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace shalom {
+
+ThreadPool::ThreadPool(int max_threads) : max_threads_(max_threads) {
+  SHALOM_REQUIRE(max_threads >= 1, " max_threads=", max_threads);
+  workers_.reserve(max_threads_ - 1);
+  for (int w = 1; w < max_threads_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn) {
+  SHALOM_REQUIRE(tasks >= 1 && tasks <= max_threads_, " tasks=", tasks,
+                 " max_threads=", max_threads_);
+  if (tasks == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_tasks_ = tasks;
+    outstanding_ = tasks - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  fn(0);  // the calling thread takes task 0 (fork-join semantics)
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int worker_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    int tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      tasks = job_tasks_;
+    }
+    // Workers with id >= tasks have nothing to do this round but must
+    // still report so the barrier drains.
+    if (worker_id < tasks && job != nullptr) (*job)(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (worker_id < tasks) {
+        if (--outstanding_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global(int threads) {
+  static std::mutex mu;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!pool || pool->max_threads() < threads)
+    pool = std::make_unique<ThreadPool>(threads);
+  return *pool;
+}
+
+}  // namespace shalom

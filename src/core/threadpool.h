@@ -1,0 +1,55 @@
+// Fork-join thread pool (paper Section 6).
+//
+// LibShalom parallelizes irregular-shaped GEMM "using the fork-join
+// operating system primitives" with a static partition. The pool keeps T-1
+// persistent workers parked on a condition variable; parallel_for wakes
+// them, runs task 0 on the calling thread, and joins at a generation
+// barrier. There is no work stealing by design - the partition solver is
+// responsible for balance, and the benches measure exactly that.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shalom {
+
+class ThreadPool {
+ public:
+  /// Creates a pool usable for up to `max_threads`-way parallel_for calls
+  /// (spawns max_threads - 1 workers).
+  explicit ThreadPool(int max_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(0) .. fn(tasks-1) across the pool, blocking until every task
+  /// has finished. `tasks` may not exceed max_threads: the paper's scheme
+  /// assigns exactly one C sub-block per thread.
+  void parallel_for(int tasks, const std::function<void(int)>& fn);
+
+  int max_threads() const { return max_threads_; }
+
+  /// Process-wide pool, grown on demand to at least `threads`.
+  static ThreadPool& global(int threads);
+
+ private:
+  void worker_loop(int worker_id);
+
+  const int max_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  int job_tasks_ = 0;
+  std::uint64_t generation_ = 0;
+  int outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace shalom

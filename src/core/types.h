@@ -1,0 +1,49 @@
+// Public enums and configuration for the GEMM drivers.
+#pragma once
+
+#include "arch/machine.h"
+#include "common/matrix.h"
+
+namespace shalom {
+
+/// Operand transposition, BLAS-style. Storage is always row-major;
+/// Trans::T means op(X) = X^T.
+enum class Trans { N, T };
+
+/// GEMM computation mode (paper Section 3.3): NN, NT, TN, TT.
+struct Mode {
+  Trans a = Trans::N;
+  Trans b = Trans::N;
+};
+
+/// Feature switches. The defaults are the full LibShalom design; the
+/// ablation benches (Fig. 13) turn individual optimizations off.
+struct Config {
+  /// Selective packing (paper Section 4): when false, operands are always
+  /// packed ahead of the kernel, as OpenBLAS/BLIS do.
+  bool selective_packing = true;
+  /// Fuse packing loads/stores into the micro-kernel's FMA stream
+  /// (paper Section 5.3). When false, packing runs as a separate pass.
+  bool fused_packing = true;
+  /// Pipelined vectorized edge-case kernels (paper Section 5.4). When
+  /// false, edge tiles fall back to a scalar routine, which mimics the
+  /// cost existing libraries pay on remainders.
+  bool optimized_edges = true;
+  /// Worker threads; 0 means "all cores of `machine`". 1 = serial.
+  int threads = 1;
+  /// Machine the analytic models should target; nullptr = running host.
+  const arch::MachineDescriptor* machine = nullptr;
+
+  /// Cache-blocking overrides for the auto-tuner (paper Section 10 future
+  /// work): 0 keeps the analytic model's value. Values are rounded to the
+  /// register-tile multiples the driver requires.
+  index_t kc_override = 0;
+  index_t mc_override = 0;
+  index_t nc_override = 0;
+
+  const arch::MachineDescriptor& resolved_machine() const {
+    return machine != nullptr ? *machine : arch::host_machine();
+  }
+};
+
+}  // namespace shalom

@@ -1,0 +1,192 @@
+#include "perfmodel/perfmodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/model.h"
+
+namespace shalom::perfmodel {
+
+namespace {
+
+/// Fraction of peak a scalar remainder routine achieves (one lane, no
+/// unrolling: 1 FMA per several cycles).
+constexpr double kScalarEdgeEff = 0.08;
+/// Fraction of the full-tile efficiency a vectorized (but partial-width)
+/// edge kernel achieves.
+constexpr double kVectorEdgeEff = 0.65;
+
+struct BlockShape {
+  index_t m = 0;
+  index_t n = 0;
+};
+
+/// Worst-loaded thread block under a partition scheme (ceil splits).
+BlockShape worst_block(PartitionScheme scheme, index_t M, index_t N,
+                       int threads, int mr, int nr) {
+  if (threads <= 1) return {M, N};
+  switch (scheme) {
+    case PartitionScheme::kColumns1D:
+      return {M, (N + threads - 1) / threads};
+    case PartitionScheme::kSquare2D: {
+      int tm = static_cast<int>(std::sqrt(static_cast<double>(threads)));
+      while (threads % tm != 0) --tm;
+      int tn = threads / tm;
+      if (M < N) std::swap(tm, tn);
+      tm = std::min<int>(tm, static_cast<int>(std::max<index_t>(1, M)));
+      tn = std::min<int>(tn, static_cast<int>(std::max<index_t>(1, N)));
+      return {(M + tm - 1) / tm, (N + tn - 1) / tn};
+    }
+    case PartitionScheme::kCmrOptimal: {
+      const model::Partition p =
+          model::solve_partition(threads, M, N, {mr, nr});
+      return {(M + p.tm - 1) / p.tm, (N + p.tn - 1) / p.tn};
+    }
+  }
+  return {M, N};
+}
+
+/// Active thread count a scheme can actually use on this problem.
+int active_threads(PartitionScheme scheme, index_t M, index_t N,
+                   int threads, int mr, int nr) {
+  if (threads <= 1) return 1;
+  switch (scheme) {
+    case PartitionScheme::kColumns1D:
+      return static_cast<int>(std::min<index_t>(threads, N));
+    case PartitionScheme::kSquare2D:
+      return threads;
+    case PartitionScheme::kCmrOptimal: {
+      const model::Partition p =
+          model::solve_partition(threads, M, N, {mr, nr});
+      return p.tm * p.tn;
+    }
+  }
+  return threads;
+}
+
+template <typename T>
+double predict_block_seconds(const arch::MachineDescriptor& m,
+                             const Strategy& s, Mode mode, index_t mb,
+                             index_t nb, index_t K, int active) {
+  const double lanes = m.vector_bits / (8.0 * sizeof(T));
+  const int nr = static_cast<int>(s.nrv * lanes);
+  const double peak_core = m.peak_gflops_per_core<T>() * 1e9;  // FLOP/s
+  const double cycle_hz = m.frequency_ghz * 1e9;
+
+  // --- kernel issue efficiency -------------------------------------------
+  // Per k-iteration of an mr x nr tile: mr*nrv vector FMAs against the
+  // FMA pipes vs (B loads + amortized A loads [+ pack stores when the
+  // packing is fused]) against the load/store pipes.
+  const double fma_ops = static_cast<double>(s.mr) * s.nrv;
+  double mem_ops = s.nrv + s.mr / lanes;
+  if (s.pack_b_fused) mem_ops += s.nrv;  // interleaved pack stores
+  const double cyc_fma = fma_ops / m.fma_pipes;
+  const double cyc_mem = mem_ops / m.load_pipes;
+  double tile_eff = cyc_fma / std::max(cyc_fma, cyc_mem);
+
+  // C-tile fill/drain amortization over the K loop.
+  const double c_update_cyc = fma_ops * 2.0;
+  tile_eff *= static_cast<double>(K) /
+              (static_cast<double>(K) + c_update_cyc / cyc_fma);
+
+  // --- edge-tile fraction --------------------------------------------------
+  const double cover_m =
+      mb >= s.mr ? static_cast<double>(mb / s.mr * s.mr) / mb : 0.0;
+  const double cover_n =
+      nb >= nr ? static_cast<double>(nb / nr * nr) / nb : 0.0;
+  const double frac_full = cover_m * cover_n;
+  const double edge_eff =
+      s.scalar_edges ? kScalarEdgeEff : kVectorEdgeEff * tile_eff;
+  const double eff =
+      frac_full * tile_eff + (1.0 - frac_full) * std::max(1e-3, edge_eff);
+
+  const double flops = 2.0 * mb * nb * K;
+  const double t_compute = flops / (peak_core * eff);
+
+  // --- packing cost ----------------------------------------------------
+  // Separate-pass packing moves the operand through the core twice
+  // (read + write), serialized with compute. The source read streams from
+  // DRAM, so with `active` threads packing simultaneously the pass is
+  // bounded by the per-thread share of chip bandwidth, not just the
+  // core's copy rate - this is what caps pack-then-compute libraries on
+  // many-core parts (paper Fig. 11). Fused packing is charged inside
+  // mem_ops above instead.
+  const double copy_bw = cycle_hz * 8.0;  // bytes/s, ~8 B/cycle sustained
+  const double bw_share = m.mem_bw_gbps * 1e9 / std::max(1, active);
+  const double pack_bw = std::min(copy_bw, bw_share);
+  double pack_bytes = 0.0;
+  const bool b_is_l1 = static_cast<double>(K) * nb * sizeof(T) <=
+                       static_cast<double>(m.l1d.size_bytes);
+  const bool skip_b = s.selective && mode.b == Trans::N && b_is_l1;
+  if (s.pack_b_separate && !skip_b)
+    pack_bytes += 2.0 * K * nb * sizeof(T);
+  const bool skip_a = s.selective && mode.a == Trans::N;
+  if (s.pack_a && !skip_a) pack_bytes += 2.0 * mb * K * sizeof(T);
+  const double t_pack = pack_bytes / pack_bw;
+
+  // --- DRAM roofline -----------------------------------------------------
+  const double traffic =
+      sizeof(T) * (static_cast<double>(mb) * K + static_cast<double>(K) * nb +
+                   2.0 * mb * nb) +
+      pack_bytes / 2.0;  // packed-buffer writebacks add traffic
+  const double t_mem = traffic / bw_share;
+
+  return std::max(t_compute + t_pack, t_mem);
+}
+
+}  // namespace
+
+const std::vector<Strategy>& modeled_strategies() {
+  static const std::vector<Strategy> v = {
+      {"OpenBLAS*", 8, 1, true, true, false, false, true,
+       PartitionScheme::kColumns1D},
+      {"ARMPL*", 6, 2, true, true, false, false, false,
+       PartitionScheme::kColumns1D},
+      {"BLIS*", 8, 2, true, true, false, false, false,
+       PartitionScheme::kSquare2D},
+      {"LibShalom", 7, 3, false, false, true, true, false,
+       PartitionScheme::kCmrOptimal},
+  };
+  return v;
+}
+
+template <typename T>
+double predict_gflops(const arch::MachineDescriptor& machine,
+                      const Strategy& s, Mode mode, index_t M, index_t N,
+                      index_t K, int threads) {
+  const double lanes = machine.vector_bits / (8.0 * sizeof(T));
+  const int nr = static_cast<int>(s.nrv * lanes);
+  const int active =
+      active_threads(s.partition, M, N, std::max(1, threads), s.mr, nr);
+  const BlockShape blk = worst_block(s.partition, M, N, active, s.mr, nr);
+  double t = predict_block_seconds<T>(machine, s, mode, blk.m, blk.n, K,
+                                      active);
+  if (active > 1)
+    t += machine.forkjoin_us * 1e-6 * std::log2(static_cast<double>(active));
+  const double flops = 2.0 * M * N * static_cast<double>(K);
+  return flops / t / 1e9;
+}
+
+template <typename T>
+double predict_speedup(const arch::MachineDescriptor& machine,
+                       const Strategy& s, Mode mode, index_t M, index_t N,
+                       index_t K, int threads) {
+  const double g1 = predict_gflops<T>(machine, s, mode, M, N, K, 1);
+  const double gt = predict_gflops<T>(machine, s, mode, M, N, K, threads);
+  return gt / g1;
+}
+
+template double predict_gflops<float>(const arch::MachineDescriptor&,
+                                      const Strategy&, Mode, index_t,
+                                      index_t, index_t, int);
+template double predict_gflops<double>(const arch::MachineDescriptor&,
+                                       const Strategy&, Mode, index_t,
+                                       index_t, index_t, int);
+template double predict_speedup<float>(const arch::MachineDescriptor&,
+                                       const Strategy&, Mode, index_t,
+                                       index_t, index_t, int);
+template double predict_speedup<double>(const arch::MachineDescriptor&,
+                                        const Strategy&, Mode, index_t,
+                                        index_t, index_t, int);
+
+}  // namespace shalom::perfmodel

@@ -1,0 +1,64 @@
+// Analytic GEMM performance model.
+//
+// The reproduction host is a single x86 core, so the paper's multi-core /
+// multi-platform figures (9, 10, 11) cannot be measured directly. This
+// model predicts GFLOPS for each library *strategy* on a
+// MachineDescriptor from first principles - the same quantities the
+// paper's own analysis reasons about:
+//
+//   * kernel issue efficiency from the register-tile CMR against the
+//     machine's FMA and load pipes,
+//   * packing cost, charged serially for pack-then-compute strategies and
+//     hidden behind the FMA stream for LibShalom's fused packing,
+//   * edge-tile fraction at the strategy's tile size (scalar-speed for
+//     strategies with dedicated remainder routines),
+//   * a DRAM roofline over the per-thread traffic,
+//   * fork-join cost and the work imbalance of the strategy's partition
+//     scheme (1-D columns, 2-D square, or LibShalom's CMR-optimal grid).
+//
+// EXPERIMENTS.md labels every number produced here as "modeled".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "core/types.h"
+
+namespace shalom::perfmodel {
+
+/// Partition scheme a strategy uses for parallel runs.
+enum class PartitionScheme { kColumns1D, kSquare2D, kCmrOptimal };
+
+/// Library strategy parameters the model consumes.
+struct Strategy {
+  std::string name;
+  int mr = 8;
+  int nrv = 1;                   // nr = nrv * lanes
+  bool pack_a = true;            // packs A in a separate pass
+  bool pack_b_separate = true;   // packs B in a separate pass
+  bool pack_b_fused = false;     // packs B overlapped with FMAs
+  bool selective = false;        // skips packing L1-resident operands
+  bool scalar_edges = false;     // remainder tiles run at scalar speed
+  PartitionScheme partition = PartitionScheme::kColumns1D;
+};
+
+/// The four strategies of the parallel figures: OpenBLAS*, ARMPL*, BLIS*,
+/// LibShalom (same order as baselines::parallel_libraries()).
+const std::vector<Strategy>& modeled_strategies();
+
+/// Predicted whole-call GFLOPS for one GEMM on `machine` with `threads`
+/// workers.
+template <typename T>
+double predict_gflops(const arch::MachineDescriptor& machine,
+                      const Strategy& strategy, Mode mode, index_t M,
+                      index_t N, index_t K, int threads);
+
+/// Predicted parallel speedup relative to the strategy's own
+/// single-thread time (used for the Fig. 11 scalability curves).
+template <typename T>
+double predict_speedup(const arch::MachineDescriptor& machine,
+                       const Strategy& strategy, Mode mode, index_t M,
+                       index_t N, index_t K, int threads);
+
+}  // namespace shalom::perfmodel

@@ -1,0 +1,66 @@
+#include "sparse/bsr.h"
+
+#include <algorithm>
+
+namespace shalom::sparse {
+
+template <typename T>
+BsrMatrix<T> BsrMatrix<T>::from_pattern(
+    index_t block_rows, index_t block_cols, index_t br, index_t bc,
+    const std::vector<std::pair<index_t, index_t>>& blocks) {
+  BsrMatrix m(block_rows, block_cols, br, bc);
+  auto sorted = blocks;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  m.col_idx_.reserve(sorted.size());
+  for (const auto& [r, c] : sorted) {
+    SHALOM_REQUIRE(r >= 0 && r < block_rows && c >= 0 && c < block_cols,
+                   " block (", r, ",", c, ")");
+    ++m.row_ptr_[r + 1];
+    m.col_idx_.push_back(c);
+  }
+  for (index_t r = 0; r < block_rows; ++r)
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  m.values_.assign(static_cast<std::size_t>(m.col_idx_.size()) * br * bc,
+                   T{});
+  return m;
+}
+
+template <typename T>
+BsrMatrix<T> BsrMatrix<T>::random(index_t block_rows, index_t block_cols,
+                                  index_t br, index_t bc, double density,
+                                  std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<std::pair<index_t, index_t>> pattern;
+  for (index_t r = 0; r < block_rows; ++r)
+    for (index_t c = 0; c < block_cols; ++c)
+      if (rng.next_unit() < density) pattern.emplace_back(r, c);
+  // Guarantee at least one block so degenerate densities stay usable.
+  if (pattern.empty() && block_rows > 0 && block_cols > 0)
+    pattern.emplace_back(0, 0);
+
+  BsrMatrix m = from_pattern(block_rows, block_cols, br, bc, pattern);
+  for (T& v : m.values_) v = static_cast<T>(rng.next_unit());
+  return m;
+}
+
+template <typename T>
+Matrix<T> BsrMatrix<T>::to_dense() const {
+  Matrix<T> dense(rows(), cols());
+  for (index_t brow = 0; brow < block_rows_; ++brow) {
+    for (index_t idx = row_begin(brow); idx < row_end(brow); ++idx) {
+      const index_t bcol = block_col(idx);
+      const T* blk = block(idx);
+      for (index_t i = 0; i < br_; ++i)
+        for (index_t j = 0; j < bc_; ++j)
+          dense(brow * br_ + i, bcol * bc_ + j) = blk[i * bc_ + j];
+    }
+  }
+  return dense;
+}
+
+template class BsrMatrix<float>;
+template class BsrMatrix<double>;
+
+}  // namespace shalom::sparse

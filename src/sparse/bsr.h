@@ -1,0 +1,75 @@
+// Block-sparse matrices (BSR layout).
+//
+// The paper's stated future work (Section 10) is extending its small-GEMM
+// optimizations to sparse matrix computation; the motivating application,
+// CP2K, already stores its matrices exactly this way (DBCSR: blocked
+// compressed sparse rows, dense blocks of sizes like 5x5 and 23x23).
+// This module provides that substrate: a BSR matrix whose nonzero blocks
+// are dense row-major tiles, multiplied against a dense matrix by running
+// one LibShalom small GEMM per block (src/sparse/spmm.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace shalom::sparse {
+
+/// Block compressed-sparse-row matrix with uniform br x bc dense blocks.
+/// Logical size: (block_rows * br) x (block_cols * bc).
+template <typename T>
+class BsrMatrix {
+ public:
+  BsrMatrix(index_t block_rows, index_t block_cols, index_t br, index_t bc)
+      : block_rows_(block_rows), block_cols_(block_cols), br_(br), bc_(bc) {
+    SHALOM_REQUIRE(block_rows >= 0 && block_cols >= 0 && br > 0 && bc > 0);
+    row_ptr_.assign(block_rows_ + 1, 0);
+  }
+
+  index_t rows() const { return block_rows_ * br_; }
+  index_t cols() const { return block_cols_ * bc_; }
+  index_t block_rows() const { return block_rows_; }
+  index_t block_cols() const { return block_cols_; }
+  index_t br() const { return br_; }
+  index_t bc() const { return bc_; }
+  index_t nnz_blocks() const {
+    return static_cast<index_t>(col_idx_.size());
+  }
+  double block_density() const {
+    const double total =
+        static_cast<double>(block_rows_) * static_cast<double>(block_cols_);
+    return total > 0 ? nnz_blocks() / total : 0.0;
+  }
+
+  /// CSR-style accessors over block rows.
+  index_t row_begin(index_t brow) const { return row_ptr_[brow]; }
+  index_t row_end(index_t brow) const { return row_ptr_[brow + 1]; }
+  index_t block_col(index_t idx) const { return col_idx_[idx]; }
+  /// Dense row-major br x bc storage of block `idx` (ld = bc).
+  const T* block(index_t idx) const { return values_.data() + idx * br_ * bc_; }
+  T* block(index_t idx) { return values_.data() + idx * br_ * bc_; }
+
+  /// Builds the structure from a sorted list of (block_row, block_col)
+  /// coordinates; block values start zeroed.
+  static BsrMatrix from_pattern(
+      index_t block_rows, index_t block_cols, index_t br, index_t bc,
+      const std::vector<std::pair<index_t, index_t>>& blocks);
+
+  /// Random pattern with roughly `density` fraction of blocks present
+  /// (deterministic in `seed`); block values uniform in [0, 1).
+  static BsrMatrix random(index_t block_rows, index_t block_cols, index_t br,
+                          index_t bc, double density, std::uint64_t seed);
+
+  /// Dense row-major copy (zeros where no block exists).
+  Matrix<T> to_dense() const;
+
+ private:
+  index_t block_rows_, block_cols_, br_, bc_;
+  std::vector<index_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+  std::vector<T> values_;  // nnz_blocks * br * bc, block-major
+};
+
+}  // namespace shalom::sparse

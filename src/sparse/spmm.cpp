@@ -1,0 +1,81 @@
+#include "sparse/spmm.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/gemm.h"
+#include "core/threadpool.h"
+
+namespace shalom::sparse {
+
+namespace {
+
+/// Scales one C block row by beta (the sparse sweep accumulates).
+template <typename T>
+void scale_rows(T beta, T* c, index_t ldc, index_t rows, index_t n) {
+  if (beta == T{1}) return;
+  for (index_t i = 0; i < rows; ++i) {
+    T* row = c + i * ldc;
+    if (beta == T{0}) {
+      std::fill(row, row + n, T{});
+    } else {
+      for (index_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void spmm(T alpha, const BsrMatrix<T>& a, const T* b, index_t ldb, T beta,
+          T* c, index_t ldc, index_t n, const Config& cfg) {
+  SHALOM_REQUIRE(ldb >= std::max<index_t>(1, n) &&
+                 ldc >= std::max<index_t>(1, n));
+  if (a.rows() == 0 || n == 0) return;
+
+  Config serial_cfg = cfg;
+  serial_cfg.threads = 1;
+
+  auto process_block_row = [&](index_t brow) {
+    T* c_slice = c + brow * a.br() * ldc;
+    scale_rows(beta, c_slice, ldc, a.br(), n);
+    for (index_t idx = a.row_begin(brow); idx < a.row_end(brow); ++idx) {
+      const T* b_slice = b + a.block_col(idx) * a.bc() * ldb;
+      // C_slice += alpha * block . B_slice  (accumulate: beta_eff = 1).
+      gemm_serial({Trans::N, Trans::N}, a.br(), n, a.bc(), alpha,
+                  a.block(idx), a.bc(), b_slice, ldb, T{1}, c_slice, ldc,
+                  serial_cfg);
+    }
+  };
+
+  int threads = cfg.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(a.block_rows()));
+
+  if (threads <= 1) {
+    for (index_t brow = 0; brow < a.block_rows(); ++brow)
+      process_block_row(brow);
+    return;
+  }
+
+  const index_t rows = a.block_rows();
+  const index_t per_thread = (rows + threads - 1) / threads;
+  ThreadPool::global(threads).parallel_for(threads, [&](int id) {
+    const index_t begin = id * per_thread;
+    const index_t end = std::min(rows, begin + per_thread);
+    for (index_t brow = begin; brow < end; ++brow)
+      process_block_row(brow);
+  });
+}
+
+template void spmm<float>(float, const BsrMatrix<float>&, const float*,
+                          index_t, float, float*, index_t, index_t,
+                          const Config&);
+template void spmm<double>(double, const BsrMatrix<double>&, const double*,
+                           index_t, double, double*, index_t, index_t,
+                           const Config&);
+
+}  // namespace shalom::sparse

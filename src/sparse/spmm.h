@@ -1,0 +1,22 @@
+// Block-sparse x dense multiplication built on LibShalom small GEMMs.
+//
+// C = alpha * A_bsr . B + beta * C, where A is block-sparse and B/C are
+// dense row-major. Each nonzero br x bc block of A contributes one small
+// GEMM  C[brow] += alpha * block . B[bcol]  - precisely the batched
+// small-GEMM workload the paper optimizes, applied to its own stated
+// future-work direction (Section 10). Parallelism is across block rows
+// (disjoint C slices, so no synchronization inside the sweep).
+#pragma once
+
+#include "core/types.h"
+#include "sparse/bsr.h"
+
+namespace shalom::sparse {
+
+/// C (A.rows() x N) = alpha * A . B + beta * C; B is A.cols() x N.
+/// cfg.threads parallelizes over block rows.
+template <typename T>
+void spmm(T alpha, const BsrMatrix<T>& a, const T* b, index_t ldb, T beta,
+          T* c, index_t ldc, index_t n, const Config& cfg = {});
+
+}  // namespace shalom::sparse

@@ -1,0 +1,68 @@
+#include "workloads/im2col.h"
+
+namespace shalom::workloads {
+
+template <typename T>
+void im2col(const ConvSpec& spec, const T* image, T* out) {
+  const index_t oh = spec.out_height();
+  const index_t ow = spec.out_width();
+  const index_t n = oh * ow;
+  index_t row = 0;
+  for (index_t ci = 0; ci < spec.in_channels; ++ci) {
+    for (index_t r = 0; r < spec.kernel; ++r) {
+      for (index_t s = 0; s < spec.kernel; ++s, ++row) {
+        T* dst = out + row * n;
+        for (index_t y = 0; y < oh; ++y) {
+          const index_t iy = y * spec.stride + r - spec.pad;
+          for (index_t x = 0; x < ow; ++x) {
+            const index_t ix = x * spec.stride + s - spec.pad;
+            const bool inside =
+                iy >= 0 && iy < spec.height && ix >= 0 && ix < spec.width;
+            dst[y * ow + x] =
+                inside ? image[(ci * spec.height + iy) * spec.width + ix]
+                       : T{};
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void conv2d_reference(const ConvSpec& spec, const T* image,
+                      const T* weights, T* out) {
+  const index_t oh = spec.out_height();
+  const index_t ow = spec.out_width();
+  for (index_t co = 0; co < spec.out_channels; ++co) {
+    for (index_t y = 0; y < oh; ++y) {
+      for (index_t x = 0; x < ow; ++x) {
+        T sum{};
+        for (index_t ci = 0; ci < spec.in_channels; ++ci) {
+          for (index_t r = 0; r < spec.kernel; ++r) {
+            const index_t iy = y * spec.stride + r - spec.pad;
+            if (iy < 0 || iy >= spec.height) continue;
+            for (index_t s = 0; s < spec.kernel; ++s) {
+              const index_t ix = x * spec.stride + s - spec.pad;
+              if (ix < 0 || ix >= spec.width) continue;
+              sum += weights[((co * spec.in_channels + ci) * spec.kernel +
+                              r) *
+                                 spec.kernel +
+                             s] *
+                     image[(ci * spec.height + iy) * spec.width + ix];
+            }
+          }
+        }
+        out[(co * oh + y) * ow + x] = sum;
+      }
+    }
+  }
+}
+
+template void im2col<float>(const ConvSpec&, const float*, float*);
+template void im2col<double>(const ConvSpec&, const double*, double*);
+template void conv2d_reference<float>(const ConvSpec&, const float*,
+                                      const float*, float*);
+template void conv2d_reference<double>(const ConvSpec&, const double*,
+                                       const double*, double*);
+
+}  // namespace shalom::workloads

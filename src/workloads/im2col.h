@@ -1,0 +1,47 @@
+// Convolution-to-GEMM lowering (im2col).
+//
+// The paper's irregular-shaped workloads come from CNN convolutions: a
+// conv layer with C_in input channels, R x S filters and P x Q output
+// pixels lowers to a GEMM with M = C_out, K = C_in*R*S, N = P*Q - exactly
+// the VGG16 shapes of Fig. 15. This module implements the lowering so the
+// examples can run a real convolution through LibShalom.
+#pragma once
+
+#include "common/matrix.h"
+
+namespace shalom::workloads {
+
+struct ConvSpec {
+  index_t in_channels = 0;
+  index_t out_channels = 0;
+  index_t height = 0;      // input spatial height
+  index_t width = 0;       // input spatial width
+  index_t kernel = 3;      // square R = S
+  index_t stride = 1;
+  index_t pad = 1;
+
+  index_t out_height() const {
+    return (height + 2 * pad - kernel) / stride + 1;
+  }
+  index_t out_width() const {
+    return (width + 2 * pad - kernel) / stride + 1;
+  }
+  /// GEMM dimensions of the lowered convolution.
+  index_t gemm_m() const { return out_channels; }
+  index_t gemm_n() const { return out_height() * out_width(); }
+  index_t gemm_k() const { return in_channels * kernel * kernel; }
+};
+
+/// Expands a CHW input image into the im2col matrix of shape
+/// (C*R*S) x (P*Q), zero-padding out-of-bounds taps. `out` must hold
+/// gemm_k() * gemm_n() elements (row-major, ld = gemm_n()).
+template <typename T>
+void im2col(const ConvSpec& spec, const T* image, T* out);
+
+/// Reference direct convolution (for testing the lowering):
+/// out[co][y][x] = sum_{ci,r,s} w[co][ci][r][s] * in[ci][y*st+r-p][x*st+s-p].
+template <typename T>
+void conv2d_reference(const ConvSpec& spec, const T* image,
+                      const T* weights, T* out);
+
+}  // namespace shalom::workloads

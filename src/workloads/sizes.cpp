@@ -1,0 +1,124 @@
+#include "workloads/sizes.h"
+
+namespace shalom::workloads {
+
+namespace {
+
+std::string size_label(index_t m, index_t n, index_t k) {
+  return std::to_string(m) + "x" + std::to_string(n) + "x" +
+         std::to_string(k);
+}
+
+GemmShape shape(index_t m, index_t n, index_t k) {
+  return {size_label(m, n, k), m, n, k};
+}
+
+}  // namespace
+
+std::vector<GemmShape> small_square_sizes() {
+  std::vector<GemmShape> v;
+  for (index_t s = 8; s <= 120; s += 8)
+    v.push_back({std::to_string(s), s, s, s});
+  return v;
+}
+
+std::vector<GemmShape> motivation_square_sizes(bool full) {
+  std::vector<GemmShape> v;
+  const index_t cap = full ? 4096 : 1024;
+  for (index_t s = 8; s <= cap; s *= 2)
+    v.push_back({std::to_string(s), s, s, s});
+  return v;
+}
+
+std::vector<GemmShape> motivation_irregular_sizes(bool full) {
+  std::vector<GemmShape> v;
+  const index_t nk = full ? 10000 : 1536;
+  const index_t cap = full ? 4096 : 1024;
+  for (index_t m = 8; m <= cap; m *= 2)
+    v.push_back({std::to_string(m), m, nk, nk});
+  return v;
+}
+
+std::vector<GemmShape> irregular_sweep_m(bool full) {
+  std::vector<GemmShape> v;
+  const index_t k = full ? 5000 : 768;
+  for (index_t m : {32, 64, 128, 256}) {
+    if (full) {
+      for (index_t n = 2048; n <= 10240; n += 2048)
+        v.push_back(shape(m, n, k));
+    } else {
+      for (index_t n = 512; n <= 2560; n += 512) v.push_back(shape(m, n, k));
+    }
+  }
+  return v;
+}
+
+std::vector<GemmShape> irregular_sweep_n(bool full) {
+  std::vector<GemmShape> v;
+  const index_t k = full ? 5000 : 768;
+  for (index_t n : {32, 64, 128, 256}) {
+    if (full) {
+      for (index_t m = 2048; m <= 10240; m += 2048)
+        v.push_back(shape(m, n, k));
+    } else {
+      for (index_t m = 512; m <= 2560; m += 512) v.push_back(shape(m, n, k));
+    }
+  }
+  return v;
+}
+
+std::vector<GemmShape> irregular_platform_sizes(bool full) {
+  std::vector<GemmShape> v;
+  const index_t k = full ? 5000 : 768;
+  for (index_t m : {32, 128}) {
+    if (full) {
+      for (index_t n = 2048; n <= 10240; n += 2048)
+        v.push_back(shape(m, n, k));
+    } else {
+      for (index_t n = 512; n <= 2560; n += 512) v.push_back(shape(m, n, k));
+    }
+  }
+  return v;
+}
+
+GemmShape vgg_scalability_shape(bool full) {
+  return full ? shape(64, 50176, 576) : shape(64, 6272, 576);
+}
+
+std::vector<GemmShape> cache_miss_sweep(bool full) {
+  std::vector<GemmShape> v;
+  const index_t n = full ? 50176 : 1568;
+  const index_t step = full ? 128 : 640;
+  for (index_t k = 576; k <= 3744; k += step)
+    v.push_back({std::to_string(k), 64, n, k});
+  return v;
+}
+
+std::vector<GemmShape> breakdown_sizes(bool full) {
+  std::vector<GemmShape> v;
+  const index_t n = full ? 50176 : 6272;
+  for (index_t m = 20; m <= 100; m += 20)
+    v.push_back({std::to_string(m), m, n, 576});
+  return v;
+}
+
+std::vector<GemmShape> cp2k_sizes() {
+  // Paper Fig. 14 x-axis labels.
+  return {
+      shape(5, 5, 5),    shape(13, 5, 13),  shape(13, 13, 13),
+      shape(23, 23, 23), shape(26, 26, 13),
+  };
+}
+
+std::vector<GemmShape> vgg16_layers(bool full) {
+  const index_t div = full ? 1 : 8;
+  return {
+      {"conv1.2", 64, 50176 / div, 576},
+      {"conv2.2", 128, 12544 / div, 1152},
+      {"conv3.3", 256, 3136 / div, 2304},
+      {"conv4.2", 512, 784, 4608},
+      {"conv5.2", 512, 196, 4608},
+  };
+}
+
+}  // namespace shalom::workloads

@@ -1,0 +1,61 @@
+// Workload definitions: the exact GEMM shapes the paper evaluates.
+//
+// Each figure sweeps a family of shapes; this header centralizes them so
+// benches, tests and EXPERIMENTS.md stay in sync. `scale` shrinks the
+// irregular dimensions for the 1-core reproduction host (--full restores
+// the paper values); every bench prints the sizes it actually ran.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace shalom::workloads {
+
+struct GemmShape {
+  std::string label;
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+};
+
+/// Paper Fig. 7/8: small square sizes, M = N = K in 8..120 step 8.
+std::vector<GemmShape> small_square_sizes();
+
+/// Paper Fig. 2a: M = N = K in {8, 16, ..., 4096} (powers of two).
+std::vector<GemmShape> motivation_square_sizes(bool full);
+
+/// Paper Fig. 2b: M in {8..4096}, N = K = 10000 (scaled: 1536).
+std::vector<GemmShape> motivation_irregular_sizes(bool full);
+
+/// Paper Fig. 9: M in {32, 64, 128, 256}, N in {2048..10240}, K = 5000.
+/// Scaled: N in {512..2048}, K = 768.
+std::vector<GemmShape> irregular_sweep_m(bool full);
+
+/// Paper Fig. 9 bottom row: N in {32..256}, M swept, K = 5000.
+std::vector<GemmShape> irregular_sweep_n(bool full);
+
+/// Paper Fig. 10: M in {32, 128}, N sweep, K = 5000 (scaled as above).
+std::vector<GemmShape> irregular_platform_sizes(bool full);
+
+/// Paper Fig. 11: the VGG conv kernel 64 x 50176 x 576 (scaled N).
+GemmShape vgg_scalability_shape(bool full);
+
+/// Paper Fig. 12: M = 64, N = 50176 (scaled), K = 576..3744 step 128
+/// (scaled: coarser step).
+std::vector<GemmShape> cache_miss_sweep(bool full);
+
+/// Paper Fig. 13: N = 50176, K = 576, M = 20..100 step 20 (scaled N).
+std::vector<GemmShape> breakdown_sizes(bool full);
+
+/// Paper Fig. 14: CP2K FP64 block sizes.
+std::vector<GemmShape> cp2k_sizes();
+
+/// Paper Fig. 15 / Section 8.6: VGG16 conv layers as GEMM shapes
+/// M = {64,128,256,512,512}, N = {50176,12544,3136,784,196},
+/// K = {576,1152,2304,4608,4608} (scaled: N / 8 for the two largest).
+std::vector<GemmShape> vgg16_layers(bool full);
+
+}  // namespace shalom::workloads

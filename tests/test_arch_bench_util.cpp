@@ -1,0 +1,112 @@
+// Tests for the machine descriptors (paper Table 1 constants) and the
+// bench utility layer (stats, timing, table rendering).
+#include <gtest/gtest.h>
+
+#include "arch/machine.h"
+#include "bench_util/reporter.h"
+#include "common/error.h"
+#include "bench_util/runner.h"
+#include "bench_util/stats.h"
+
+namespace shalom {
+namespace {
+
+TEST(Arch, PhytiumMatchesTable1) {
+  const auto m = arch::phytium_2000p();
+  EXPECT_EQ(m.cores, 64);
+  EXPECT_DOUBLE_EQ(m.frequency_ghz, 2.2);
+  EXPECT_EQ(m.l1d.size_bytes, 32u * 1024);
+  EXPECT_EQ(m.l2.size_bytes, 2048u * 1024);
+  EXPECT_FALSE(m.l3.present());
+  // Paper Table 1: 1126.4 FP32 peak GFLOPS.
+  EXPECT_NEAR(m.peak_gflops<float>(), 1126.4, 1e-6);
+  // LLC falls back to the L2 when no L3 exists.
+  EXPECT_EQ(&m.llc(), &m.l2);
+}
+
+TEST(Arch, Kp920MatchesTable1) {
+  const auto m = arch::kunpeng_920();
+  EXPECT_NEAR(m.peak_gflops<float>(), 2662.4, 1e-6);
+  EXPECT_EQ(m.l1d.size_bytes, 64u * 1024);
+  EXPECT_TRUE(m.l3.present());
+  EXPECT_EQ(&m.llc(), &m.l3);
+}
+
+TEST(Arch, ThunderX2MatchesTable1) {
+  const auto m = arch::thunderx2();
+  EXPECT_EQ(m.cores, 32);
+  EXPECT_NEAR(m.peak_gflops<float>(), 1280.0, 1e-6);
+}
+
+TEST(Arch, Fp64PeakIsHalfOfFp32) {
+  for (const auto& m : arch::paper_machines())
+    EXPECT_NEAR(m.peak_gflops<double>(), m.peak_gflops<float>() / 2, 1e-9);
+}
+
+TEST(Arch, HostDetectionIsSane) {
+  const auto& m = arch::host_machine();
+  EXPECT_GE(m.cores, 1);
+  EXPECT_GT(m.frequency_ghz, 0.1);
+  EXPECT_TRUE(m.l1d.present());
+  EXPECT_TRUE(m.l2.present());
+  EXPECT_GE(m.vector_registers, 16);
+}
+
+TEST(Stats, GeomeanMinMax) {
+  const auto s = bench::summarize({1.0, 4.0, 16.0});
+  EXPECT_DOUBLE_EQ(s.geomean_s, 4.0);
+  EXPECT_DOUBLE_EQ(s.min_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 16.0);
+  EXPECT_EQ(s.reps, 3);
+}
+
+TEST(Stats, SingleSample) {
+  const auto s = bench::summarize({2.5});
+  EXPECT_DOUBLE_EQ(s.geomean_s, 2.5);
+}
+
+TEST(Stats, GemmGflops) {
+  // 2*M*N*K flops: 2*100*100*100 = 2e6 flops in 1 ms -> 2 GFLOPS.
+  EXPECT_DOUBLE_EQ(bench::gemm_gflops(100, 100, 100, 1e-3), 2.0);
+}
+
+TEST(Runner, TimeKernelRunsRequestedReps) {
+  int calls = 0;
+  const auto s = bench::time_kernel([&] { ++calls; }, 3, /*warm=*/true);
+  EXPECT_EQ(calls, 4);  // 1 warmup + 3 timed
+  EXPECT_EQ(s.reps, 3);
+  EXPECT_GE(s.min_s, 0.0);
+}
+
+TEST(Runner, OptionsParse) {
+  const char* argv[] = {"bench", "--full", "--reps", "9", "--csv"};
+  const auto opt =
+      bench::BenchOptions::parse(5, const_cast<char**>(argv));
+  EXPECT_TRUE(opt.full);
+  EXPECT_TRUE(opt.csv);
+  EXPECT_EQ(opt.reps, 9);
+}
+
+TEST(Runner, OptionsDefaults) {
+  const char* argv[] = {"bench"};
+  const auto opt = bench::BenchOptions::parse(1, const_cast<char**>(argv));
+  EXPECT_FALSE(opt.full);
+  EXPECT_FALSE(opt.csv);
+  EXPECT_EQ(opt.reps, 5);
+}
+
+TEST(Reporter, TableRowValidation) {
+  bench::Table t("test", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), invalid_argument);
+  t.add_row("label", {1.25});
+  t.print();  // must not crash
+  t.print(/*csv=*/true);
+}
+
+TEST(Reporter, FmtPrecision) {
+  EXPECT_EQ(bench::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(bench::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace shalom

@@ -1,0 +1,140 @@
+// Tests for the cache simulator: LRU behaviour against hand-computed
+// sequences, hierarchy interactions, and sanity properties of the
+// strategy walkers (the Fig. 12 substrate).
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.h"
+#include "cachesim/walkers.h"
+
+namespace shalom::cachesim {
+namespace {
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel c(1024, 2, 64);  // 8 sets x 2 ways
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1004));  // same line
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  // 2-way set: lines A, B fill the set; touching A then inserting C must
+  // evict B (the least recently used), so A still hits and B misses.
+  CacheLevel c(1024, 2, 64);  // set index = (addr/64) % 8
+  const addr_t a = 0 * 64 * 8;  // all map to set 0
+  const addr_t b = 1 * 64 * 8;
+  const addr_t d = 2 * 64 * 8;
+  EXPECT_FALSE(c.access(a));
+  EXPECT_FALSE(c.access(b));
+  EXPECT_TRUE(c.access(a));   // A now MRU
+  EXPECT_FALSE(c.access(d));  // evicts B
+  EXPECT_TRUE(c.access(a));
+  EXPECT_FALSE(c.access(b));  // B was evicted
+}
+
+TEST(CacheLevel, CapacitySweepMissesEveryLine) {
+  // Working set of 2x the cache with LRU: a repeated sequential sweep
+  // misses on every access.
+  CacheLevel c(4096, 4, 64);
+  const int lines = 2 * 4096 / 64;
+  for (int rep = 0; rep < 3; ++rep)
+    for (int l = 0; l < lines; ++l) c.access(static_cast<addr_t>(l) * 64);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), static_cast<std::uint64_t>(3 * lines));
+}
+
+TEST(CacheLevel, FitsWorkingSetAfterWarmup) {
+  CacheLevel c(4096, 4, 64);
+  const int lines = 4096 / 64;
+  for (int l = 0; l < lines; ++l) c.access(static_cast<addr_t>(l) * 64);
+  c.reset_counters();
+  for (int rep = 0; rep < 5; ++rep)
+    for (int l = 0; l < lines; ++l) c.access(static_cast<addr_t>(l) * 64);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions) {
+  arch::MachineDescriptor m;
+  m.l1d = {1024, 64, 2, 1};
+  m.l2 = {16 * 1024, 64, 4, 1};
+  Hierarchy h(m);
+  // Sweep 8 KB (8x the L1, half the L2) twice: first pass misses both,
+  // second pass misses L1 but hits L2.
+  const int lines = 8 * 1024 / 64;
+  for (int l = 0; l < lines; ++l) h.access(static_cast<addr_t>(l) * 64);
+  const auto l2_cold = h.l2_misses();
+  for (int l = 0; l < lines; ++l) h.access(static_cast<addr_t>(l) * 64);
+  EXPECT_EQ(h.l2_misses(), l2_cold) << "second sweep must hit in L2";
+  EXPECT_EQ(h.l1_misses(), static_cast<std::uint64_t>(2 * lines));
+}
+
+TEST(Hierarchy, MultiLineAccessTouchesEachLine) {
+  arch::MachineDescriptor m;
+  m.l1d = {4096, 64, 4, 1};
+  m.l2 = {64 * 1024, 64, 8, 1};
+  Hierarchy h(m);
+  h.access(0, 256);  // 4 lines
+  EXPECT_EQ(h.accesses(), 4u);
+  h.access(60, 8);  // straddles a line boundary
+  EXPECT_EQ(h.accesses(), 6u);
+}
+
+TEST(Walkers, ShalomBeatsAlwaysPackOnIrregularNt) {
+  // The Fig. 12 headline property: on an irregular NT problem, the
+  // LibShalom walker must generate fewer L2 misses than the always-pack
+  // walker, on both modelled platforms.
+  for (const auto& mach : {arch::kunpeng_920(), arch::thunderx2()}) {
+    const auto base = walk_goto_nt<float>(mach, 64, 784, 576, 8, 4);
+    const auto shal = walk_shalom_nt<float>(mach, 64, 784, 576);
+    EXPECT_GT(base.accesses, 0u);
+    EXPECT_GT(shal.accesses, 0u);
+    EXPECT_LT(shal.l2_misses, base.l2_misses) << mach.name;
+  }
+}
+
+TEST(Walkers, MissesGrowWithK) {
+  const auto mach = arch::kunpeng_920();
+  const auto small = walk_shalom_nt<float>(mach, 64, 784, 576);
+  const auto large = walk_shalom_nt<float>(mach, 64, 784, 1728);
+  EXPECT_GT(large.l2_misses, small.l2_misses);
+  EXPECT_GT(large.accesses, small.accesses);
+}
+
+TEST(Walkers, TinyProblemFitsL2) {
+  // A GEMM whose whole working set fits the L2 should show almost no L2
+  // misses beyond compulsory ones (one per touched line).
+  const auto mach = arch::kunpeng_920();  // 512 KB private L2
+  const auto r = walk_goto_nt<float>(mach, 32, 64, 64, 8, 4);
+  const std::uint64_t lines_touched =
+      (32 * 64 + 64 * 64 + 32 * 64) * 4 / 64 + 1024 /* pack buffers */;
+  EXPECT_LT(r.l2_misses, 2 * lines_touched);
+}
+
+TEST(Hierarchy, TlbCountsPageGranularity) {
+  arch::MachineDescriptor m;
+  m.l1d = {4096, 64, 4, 1};
+  m.l2 = {64 * 1024, 64, 8, 1};
+  Hierarchy h(m);
+  // 256 touches inside one page: exactly one dTLB miss.
+  for (int i = 0; i < 256; ++i) h.access(0x10000 + i * 8, 4);
+  EXPECT_EQ(h.tlb_misses(), 1u);
+  // Touching 128 distinct pages blows the 64-entry dTLB: re-walking them
+  // misses every time.
+  for (int rep = 0; rep < 2; ++rep)
+    for (int p = 0; p < 128; ++p)
+      h.access(0x100000 + static_cast<addr_t>(p) * 4096, 4);
+  EXPECT_GE(h.tlb_misses(), 1u + 2 * 128u - 64u);
+}
+
+TEST(Walkers, ShalomReducesTlbMissesToo) {
+  // Pack-ahead + no A packing -> fewer first-touch TLB misses than the
+  // always-pack walker (the Section 5.3.2 motivation).
+  const auto mach = arch::kunpeng_920();
+  const auto base = walk_goto_nt<float>(mach, 64, 784, 1152, 8, 4);
+  const auto shal = walk_shalom_nt<float>(mach, 64, 784, 1152);
+  EXPECT_LT(shal.tlb_misses, base.tlb_misses);
+}
+
+}  // namespace
+}  // namespace shalom::cachesim

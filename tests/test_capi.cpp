@@ -1,0 +1,57 @@
+// Tests for the C API: happy path against the oracle, transpose-flag
+// parsing, error codes and thread handling.
+#include <gtest/gtest.h>
+
+#include "core/shalom_c.h"
+#include "tests/test_util.h"
+
+namespace shalom {
+namespace {
+
+TEST(CApi, SgemmMatchesOracle) {
+  testing::Problem<float> p({Trans::N, Trans::N}, 17, 23, 13);
+  const int rc = shalom_sgemm('N', 'N', 17, 23, 13, 1.5f, p.a.data(),
+                              p.a.ld(), p.b.data(), p.b.ld(), 0.25f,
+                              p.c.data(), p.c.ld(), 1);
+  EXPECT_EQ(rc, 0);
+  p.run_reference(1.5f, 0.25f);
+  p.expect_matches("shalom_sgemm");
+}
+
+TEST(CApi, DgemmTransposedLowercase) {
+  testing::Problem<double> p({Trans::T, Trans::T}, 11, 9, 21);
+  const int rc = shalom_dgemm('t', 't', 11, 9, 21, 1.0, p.a.data(),
+                              p.a.ld(), p.b.data(), p.b.ld(), 0.0,
+                              p.c.data(), p.c.ld(), 1);
+  EXPECT_EQ(rc, 0);
+  p.run_reference(1.0, 0.0);
+  p.expect_matches("shalom_dgemm");
+}
+
+TEST(CApi, InvalidTransFlag) {
+  float x[4] = {};
+  EXPECT_EQ(shalom_sgemm('X', 'N', 2, 2, 2, 1.f, x, 2, x, 2, 0.f, x, 2, 1),
+            1);
+}
+
+TEST(CApi, InvalidDimensionsReturnError) {
+  float x[4] = {};
+  EXPECT_EQ(shalom_sgemm('N', 'N', 2, 2, 2, 1.f, x, /*lda=*/1, x, 2, 0.f,
+                         x, 2, 1),
+            2);
+  EXPECT_EQ(shalom_sgemm('N', 'N', -3, 2, 2, 1.f, x, 2, x, 2, 0.f, x, 2, 1),
+            2);
+}
+
+TEST(CApi, MultiThreaded) {
+  testing::Problem<float> p({Trans::N, Trans::T}, 30, 500, 120);
+  const int rc = shalom_sgemm('N', 'T', 30, 500, 120, 1.f, p.a.data(),
+                              p.a.ld(), p.b.data(), p.b.ld(), 0.f,
+                              p.c.data(), p.c.ld(), 4);
+  EXPECT_EQ(rc, 0);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("shalom_sgemm threads=4");
+}
+
+}  // namespace
+}  // namespace shalom

@@ -1,0 +1,116 @@
+// Unit tests for the common substrate: aligned buffers, matrix views,
+// deterministic RNG fills and error contracts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace shalom {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndGrowth) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes,
+            0u);
+  EXPECT_GE(buf.capacity(), 100u);
+  const std::size_t cap = buf.capacity();
+  buf.reserve(50);  // no shrink, no realloc
+  EXPECT_EQ(buf.capacity(), cap);
+  buf.reserve(10000);
+  EXPECT_GE(buf.capacity(), 10000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes,
+            0u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(256);
+  void* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+  AlignedBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+}
+
+TEST(AlignedBuffer, ThreadArenaPersists) {
+  AlignedBuffer& arena = thread_pack_arena();
+  arena.reserve(1024);
+  EXPECT_EQ(&arena, &thread_pack_arena());
+  EXPECT_GE(thread_pack_arena().capacity(), 1024u);
+}
+
+TEST(Matrix, IndexingAndLd) {
+  Matrix<float> m(3, 4, 6);  // padded ld
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.ld(), 6);
+  m(2, 3) = 42.f;
+  EXPECT_EQ(m.data()[2 * 6 + 3], 42.f);
+}
+
+TEST(Matrix, CopyIsDeep) {
+  Matrix<double> m(2, 2);
+  m(0, 0) = 5.0;
+  Matrix<double> n(m);
+  n(0, 0) = 7.0;
+  EXPECT_EQ(m(0, 0), 5.0);
+  EXPECT_EQ(n(0, 0), 7.0);
+}
+
+TEST(MatrixView, BlockSharesStorage) {
+  Matrix<float> m(4, 4);
+  m(2, 2) = 9.f;
+  auto v = m.view().block(1, 1, 3, 3);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v(1, 1), 9.f);
+  v(1, 1) = 11.f;
+  EXPECT_EQ(m(2, 2), 11.f);
+}
+
+TEST(MatrixView, RejectsBadLd) {
+  float x[4];
+  EXPECT_THROW(MatrixView<float>(x, 2, 4, 2), invalid_argument);
+}
+
+TEST(Rng, DeterministicAndInUnitRange) {
+  Matrix<float> a(16, 16), b(16, 16);
+  fill_random(a, 99);
+  fill_random(b, 99);
+  bool nontrivial = false;
+  for (index_t i = 0; i < 16; ++i) {
+    for (index_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(a(i, j), b(i, j));
+      EXPECT_GE(a(i, j), 0.f);
+      EXPECT_LT(a(i, j), 1.f);
+      if (a(i, j) != a(0, 0)) nontrivial = true;
+    }
+  }
+  EXPECT_TRUE(nontrivial);
+}
+
+TEST(Rng, SeedChangesStream) {
+  Matrix<float> a(8, 8), b(8, 8);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  int diffs = 0;
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) diffs += a(i, j) != b(i, j);
+  EXPECT_GT(diffs, 32);
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    SHALOM_REQUIRE(1 == 2, " extra=", 42);
+    FAIL() << "should have thrown";
+  } catch (const invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace shalom

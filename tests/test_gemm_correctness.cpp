@@ -1,0 +1,200 @@
+// Exhaustive GEMM correctness sweeps against the naive oracle: all four
+// modes, float and double, alpha/beta combinations, edge sizes around the
+// register tile, padded leading dimensions, packing-triggering sizes and
+// every feature-flag ablation. These are the tests that pin down the
+// drivers end to end.
+#include <gtest/gtest.h>
+
+#include "core/shalom.h"
+#include "tests/test_util.h"
+
+namespace shalom {
+namespace {
+
+using testing::kAllModes;
+using testing::Problem;
+
+template <typename T>
+void run_and_check(Mode mode, index_t m, index_t n, index_t k, T alpha,
+                   T beta, const Config& cfg = {}, index_t pad = 0) {
+  Problem<T> p(mode, m, n, k, pad, pad, pad);
+  gemm(mode.a, mode.b, m, n, k, alpha, p.a.data(), p.a.ld(), p.b.data(),
+       p.b.ld(), beta, p.c.data(), p.c.ld(), cfg);
+  p.run_reference(alpha, beta);
+  p.expect_matches("gemm");
+}
+
+// ---------------------------------------------------------------------------
+// Size sweep: every (m, n, k) combination around the tile boundaries.
+// ---------------------------------------------------------------------------
+class GemmSizeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizeSweep, AllModesF32) {
+  const auto [m, n, k] = GetParam();
+  for (Mode mode : kAllModes)
+    run_and_check<float>(mode, m, n, k, 1.f, 0.f);
+}
+
+TEST_P(GemmSizeSweep, NnNtF64) {
+  const auto [m, n, k] = GetParam();
+  run_and_check<double>({Trans::N, Trans::N}, m, n, k, 1.0, 0.0);
+  run_and_check<double>({Trans::N, Trans::T}, m, n, k, 1.0, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileBoundaries, GemmSizeSweep,
+    ::testing::Combine(::testing::Values(1, 2, 6, 7, 8, 13, 14, 23),
+                       ::testing::Values(1, 3, 11, 12, 13, 24, 30),
+                       ::testing::Values(1, 4, 5, 16, 37)));
+
+// ---------------------------------------------------------------------------
+// Alpha/beta semantics.
+// ---------------------------------------------------------------------------
+class GemmAlphaBeta
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GemmAlphaBeta, F32AndF64) {
+  const auto [alpha, beta] = GetParam();
+  run_and_check<float>({Trans::N, Trans::N}, 19, 26, 31,
+                       static_cast<float>(alpha), static_cast<float>(beta));
+  run_and_check<double>({Trans::N, Trans::T}, 19, 26, 31, alpha, beta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scalars, GemmAlphaBeta,
+    ::testing::Combine(::testing::Values(0.0, 1.0, -1.0, 2.5),
+                       ::testing::Values(0.0, 1.0, -0.5, 3.0)));
+
+TEST(GemmSemantics, BetaZeroOverwritesNan) {
+  Matrix<float> a(4, 4), b(4, 4), c(4, 4);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  c.fill(std::numeric_limits<float>::quiet_NaN());
+  gemm(Trans::N, Trans::N, index_t{4}, index_t{4}, index_t{4}, 1.f,
+       a.data(), a.ld(), b.data(), b.ld(), 0.f, c.data(), c.ld());
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 4; ++j) EXPECT_FALSE(std::isnan(c(i, j)));
+}
+
+TEST(GemmSemantics, AlphaZeroScalesCOnly) {
+  Matrix<float> a(4, 4), b(4, 4), c(4, 4);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  c.fill(2.f);
+  gemm(Trans::N, Trans::N, index_t{4}, index_t{4}, index_t{4}, 0.f,
+       a.data(), a.ld(), b.data(), b.ld(), 0.5f, c.data(), c.ld());
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 4; ++j) EXPECT_EQ(c(i, j), 1.f);
+}
+
+TEST(GemmSemantics, ZeroDimensionsAreNoOps) {
+  Matrix<float> a(4, 4), b(4, 4), c(4, 4);
+  c.fill(3.f);
+  gemm(Trans::N, Trans::N, index_t{0}, index_t{4}, index_t{4}, 1.f,
+       a.data(), a.ld(), b.data(), b.ld(), 0.f, c.data(), c.ld());
+  EXPECT_EQ(c(0, 0), 3.f);  // M == 0: C untouched
+  gemm(Trans::N, Trans::N, index_t{4}, index_t{4}, index_t{0}, 1.f,
+       a.data(), a.ld(), b.data(), b.ld(), 2.f, c.data(), c.ld());
+  EXPECT_EQ(c(0, 0), 6.f);  // K == 0: C *= beta
+}
+
+TEST(GemmSemantics, RejectsBadArguments) {
+  Matrix<float> a(4, 4), b(4, 4), c(4, 4);
+  EXPECT_THROW(gemm(Trans::N, Trans::N, index_t{4}, index_t{4}, index_t{4},
+                    1.f, a.data(), index_t{2} /* lda < K */, b.data(),
+                    b.ld(), 0.f, c.data(), c.ld()),
+               invalid_argument);
+  EXPECT_THROW(gemm(Trans::N, Trans::N, index_t{-1}, index_t{4}, index_t{4},
+                    1.f, a.data(), a.ld(), b.data(), b.ld(), 0.f, c.data(),
+                    c.ld()),
+               invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Padded leading dimensions (operands inside larger allocations).
+// ---------------------------------------------------------------------------
+TEST(GemmLayout, PaddedLeadingDimensions) {
+  for (Mode mode : kAllModes)
+    run_and_check<float>(mode, 21, 34, 29, 1.5f, -1.f, {}, /*pad=*/5);
+}
+
+TEST(GemmLayout, ViewOverload) {
+  Problem<float> p({Trans::N, Trans::T}, 15, 22, 18);
+  gemm(1.0f, MatrixView<const float>(p.a.view()), Trans::N,
+       MatrixView<const float>(p.b.view()), Trans::T, 0.5f, p.c.view());
+  p.run_reference(1.0f, 0.5f);
+  p.expect_matches("view overload");
+}
+
+// ---------------------------------------------------------------------------
+// Packing-triggering sizes: B beyond L1 (fused pack), beyond LLC on the
+// preset machines (pack-ahead pipeline), and mc-spanning M.
+// ---------------------------------------------------------------------------
+class GemmPackingPaths : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(GemmPackingPaths, LargeBSmallM) {
+  // B ~ 770 KB: packs on every machine; M = 30 < mr * 5.
+  run_and_check<float>(GetParam(), 30, 770, 256, 1.f, 0.f);
+}
+
+TEST_P(GemmPackingPaths, MultipleKcBlocks) {
+  // K spans several kc blocks so the beta-accumulation path runs.
+  run_and_check<float>(GetParam(), 25, 130, 1100, 1.f, 2.f);
+}
+
+TEST_P(GemmPackingPaths, MSpansMcBlocks) {
+  run_and_check<float>(GetParam(), 600, 140, 96, 1.f, 0.f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, GemmPackingPaths,
+                         ::testing::ValuesIn(kAllModes));
+
+TEST(GemmPackingPaths, PackAheadPipelineOnTinyLlcMachine) {
+  // Force the t = 1 pack-ahead pipeline by using the Phytium descriptor
+  // (2 MB LLC) with a B larger than it, N covering many slivers
+  // including an edge one.
+  static const arch::MachineDescriptor phy = arch::phytium_2000p();
+  Config cfg;
+  cfg.machine = &phy;
+  run_and_check<float>({Trans::N, Trans::N}, 23, 1210, 520, 1.f, 0.f, cfg);
+  run_and_check<float>({Trans::N, Trans::N}, 23, 1212, 520, 1.f, 1.f, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Feature-flag ablations must not change results.
+// ---------------------------------------------------------------------------
+class GemmAblations : public ::testing::TestWithParam<std::tuple<bool, bool,
+                                                                 bool>> {};
+
+TEST_P(GemmAblations, SameResultUnderAllFlagCombos) {
+  const auto [selective, fused, edges] = GetParam();
+  Config cfg;
+  cfg.selective_packing = selective;
+  cfg.fused_packing = fused;
+  cfg.optimized_edges = edges;
+  for (Mode mode : kAllModes) {
+    run_and_check<float>(mode, 33, 45, 27, 1.f, 0.5f, cfg);
+    run_and_check<float>(mode, 20, 700, 300, 1.f, 0.f, cfg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Flags, GemmAblations,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Paper machines as config targets (models consume their cache sizes).
+// ---------------------------------------------------------------------------
+TEST(GemmMachines, AllPresetsProduceCorrectResults) {
+  for (const auto& mach : arch::paper_machines()) {
+    Config cfg;
+    cfg.machine = &mach;
+    run_and_check<float>({Trans::N, Trans::N}, 64, 200, 150, 1.f, 0.f, cfg);
+    run_and_check<float>({Trans::N, Trans::T}, 64, 200, 150, 1.f, 0.f, cfg);
+  }
+}
+
+}  // namespace
+}  // namespace shalom

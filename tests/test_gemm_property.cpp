@@ -1,0 +1,88 @@
+// Randomized property tests: several hundred GEMM problems with random
+// shapes, modes, scalars, paddings, thread counts and feature flags, all
+// checked against the naive oracle. Complements the structured sweeps in
+// test_gemm_correctness.cpp by exploring the parameter space jointly.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/shalom.h"
+#include "tests/test_util.h"
+
+namespace shalom {
+namespace {
+
+struct RandomCase {
+  Mode mode;
+  index_t m, n, k;
+  float alpha, beta;
+  index_t pad;
+  Config cfg;
+};
+
+RandomCase draw(SplitMix64& rng, bool irregular) {
+  RandomCase c;
+  c.mode.a = rng.next_u64() % 2 ? Trans::T : Trans::N;
+  c.mode.b = rng.next_u64() % 2 ? Trans::T : Trans::N;
+  if (irregular) {
+    c.m = 1 + rng.next_u64() % 48;
+    c.n = 64 + rng.next_u64() % 700;
+    c.k = 32 + rng.next_u64() % 500;
+    if (rng.next_u64() % 2) std::swap(c.m, c.n);
+  } else {
+    c.m = 1 + rng.next_u64() % 40;
+    c.n = 1 + rng.next_u64() % 40;
+    c.k = 1 + rng.next_u64() % 40;
+  }
+  const float alphas[] = {0.f, 1.f, -1.f, 0.75f};
+  const float betas[] = {0.f, 1.f, -0.5f, 2.f};
+  c.alpha = alphas[rng.next_u64() % 4];
+  c.beta = betas[rng.next_u64() % 4];
+  c.pad = rng.next_u64() % 9;
+  c.cfg.selective_packing = rng.next_u64() % 4 != 0;
+  c.cfg.fused_packing = rng.next_u64() % 4 != 0;
+  c.cfg.optimized_edges = rng.next_u64() % 4 != 0;
+  c.cfg.threads = 1 + static_cast<int>(rng.next_u64() % 4);
+  return c;
+}
+
+void run_case(const RandomCase& c, int iteration) {
+  testing::Problem<float> p(c.mode, c.m, c.n, c.k, c.pad, c.pad, c.pad);
+  gemm(c.mode.a, c.mode.b, p.m, p.n, p.k, c.alpha, p.a.data(), p.a.ld(),
+       p.b.data(), p.b.ld(), c.beta, p.c.data(), p.c.ld(), c.cfg);
+  p.run_reference(c.alpha, c.beta);
+  SCOPED_TRACE(::testing::Message()
+               << "iteration " << iteration << " m=" << c.m << " n=" << c.n
+               << " k=" << c.k << " alpha=" << c.alpha << " beta=" << c.beta
+               << " pad=" << c.pad << " threads=" << c.cfg.threads
+               << " flags=" << c.cfg.selective_packing
+               << c.cfg.fused_packing << c.cfg.optimized_edges);
+  p.expect_matches("property");
+}
+
+TEST(GemmProperty, RandomSmallProblems) {
+  SplitMix64 rng(20260705);
+  for (int i = 0; i < 200; ++i) run_case(draw(rng, false), i);
+}
+
+TEST(GemmProperty, RandomIrregularProblems) {
+  SplitMix64 rng(424242);
+  for (int i = 0; i < 60; ++i) run_case(draw(rng, true), i);
+}
+
+TEST(GemmProperty, RepeatedCallsAreDeterministic) {
+  // Same inputs -> bit-identical outputs, serial and parallel.
+  testing::Problem<float> p1({Trans::N, Trans::T}, 33, 450, 210);
+  testing::Problem<float> p2({Trans::N, Trans::T}, 33, 450, 210);
+  Config cfg;
+  cfg.threads = 4;
+  gemm(Trans::N, Trans::T, p1.m, p1.n, p1.k, 1.f, p1.a.data(), p1.a.ld(),
+       p1.b.data(), p1.b.ld(), 0.f, p1.c.data(), p1.c.ld(), cfg);
+  gemm(Trans::N, Trans::T, p2.m, p2.n, p2.k, 1.f, p2.a.data(), p2.a.ld(),
+       p2.b.data(), p2.b.ld(), 0.f, p2.c.data(), p2.c.ld(), cfg);
+  for (index_t i = 0; i < p1.m; ++i)
+    for (index_t j = 0; j < p1.n; ++j)
+      ASSERT_EQ(p1.c(i, j), p2.c(i, j)) << i << "," << j;
+}
+
+}  // namespace
+}  // namespace shalom

@@ -1,0 +1,68 @@
+// Smoke tests: LibShalom GEMM vs the naive oracle on a few basic shapes.
+// The exhaustive sweeps live in test_gemm_correctness.cpp.
+#include <gtest/gtest.h>
+
+#include "baselines/naive.h"
+#include "common/rng.h"
+#include "core/shalom.h"
+
+namespace shalom {
+namespace {
+
+template <typename T>
+void expect_matches_naive(Mode mode, index_t M, index_t N, index_t K,
+                          T alpha, T beta) {
+  const index_t a_rows = (mode.a == Trans::N) ? M : K;
+  const index_t a_cols = (mode.a == Trans::N) ? K : M;
+  const index_t b_rows = (mode.b == Trans::N) ? K : N;
+  const index_t b_cols = (mode.b == Trans::N) ? N : K;
+
+  Matrix<T> a(a_rows, a_cols), b(b_rows, b_cols);
+  Matrix<T> c(M, N), c_ref(M, N);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  fill_random(c, 3);
+  c_ref = c;
+
+  gemm(mode.a, mode.b, M, N, K, alpha, a.data(), a.ld(), b.data(), b.ld(),
+       beta, c.data(), c.ld());
+  baselines::naive_gemm(mode, M, N, K, alpha, a.data(), a.ld(), b.data(),
+                        b.ld(), beta, c_ref.data(), c_ref.ld());
+
+  const double tol = static_cast<double>(K + 8) * 1e-6 *
+                     (std::is_same_v<T, float> ? 1.0 : 1e-8);
+  for (index_t i = 0; i < M; ++i)
+    for (index_t j = 0; j < N; ++j)
+      ASSERT_NEAR(c(i, j), c_ref(i, j), tol)
+          << "at (" << i << "," << j << ") M=" << M << " N=" << N
+          << " K=" << K;
+}
+
+TEST(GemmSmoke, TinyNN) {
+  expect_matches_naive<float>({Trans::N, Trans::N}, 8, 8, 8, 1.f, 0.f);
+}
+
+TEST(GemmSmoke, SmallAllModes) {
+  for (Trans ta : {Trans::N, Trans::T})
+    for (Trans tb : {Trans::N, Trans::T})
+      expect_matches_naive<float>({ta, tb}, 23, 29, 17, 1.25f, -0.5f);
+}
+
+TEST(GemmSmoke, EdgeSizesNN) {
+  expect_matches_naive<float>({Trans::N, Trans::N}, 7, 12, 16, 1.f, 1.f);
+  expect_matches_naive<float>({Trans::N, Trans::N}, 9, 13, 5, 1.f, 0.f);
+  expect_matches_naive<float>({Trans::N, Trans::N}, 1, 1, 1, 2.f, 3.f);
+}
+
+TEST(GemmSmoke, DoubleNT) {
+  expect_matches_naive<double>({Trans::N, Trans::T}, 31, 18, 40, 1.0, 0.25);
+}
+
+TEST(GemmSmoke, LargeEnoughToPack) {
+  // B bigger than any L1: exercises the fused packing path.
+  expect_matches_naive<float>({Trans::N, Trans::N}, 33, 700, 150, 1.f, 0.f);
+  expect_matches_naive<float>({Trans::N, Trans::T}, 33, 700, 150, 1.f, 0.f);
+}
+
+}  // namespace
+}  // namespace shalom

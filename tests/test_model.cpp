@@ -1,0 +1,192 @@
+// Tests for the analytic models (paper Eq. 1-4): the tile solver must
+// reproduce the paper's constants and respect the register budget across
+// the whole parameter space; the blocking, packing-decision and partition
+// solvers must satisfy their documented invariants.
+#include <gtest/gtest.h>
+
+#include "arch/machine.h"
+#include "core/model.h"
+
+namespace shalom::model {
+namespace {
+
+TEST(TileSolver, PaperConstantsFp32) {
+  // 32 registers, 128-bit vectors, FP32 (j = 4): paper Section 5.2.3.
+  const Tile t = solve_tile(32, 4);
+  EXPECT_EQ(t.mr, 7);
+  EXPECT_EQ(t.nr, 12);
+}
+
+TEST(TileSolver, PaperConstantsFp64) {
+  // FP64 (j = 2): nr = 6 (paper Section 4.2 "12 or 6").
+  const Tile t = solve_tile(32, 2);
+  EXPECT_EQ(t.mr, 7);
+  EXPECT_EQ(t.nr, 6);
+}
+
+TEST(TileSolver, CmrFormula) {
+  EXPECT_DOUBLE_EQ(tile_cmr(7, 12), 2.0 * 7 * 12 / 19.0);
+  EXPECT_DOUBLE_EQ(tile_cmr(1, 4), 8.0 / 5.0);
+}
+
+class TileSolverSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TileSolverSweep, SatisfiesRegisterBudgetAndBeatsNeighbours) {
+  const auto [regs, lanes] = GetParam();
+  const Tile t = solve_tile(regs, lanes);
+  ASSERT_GE(t.mr, 1);
+  ASSERT_GE(t.nr, lanes);
+  EXPECT_EQ(t.nr % lanes, 0) << "Eq.1: nr must be a lane multiple";
+  const int used = t.mr + t.nr / lanes + t.mr * (t.nr / lanes);
+  EXPECT_LE(used, regs - 1) << "Eq.1: register budget";
+
+  // Optimality: no feasible tile has strictly higher CMR.
+  const double best = tile_cmr(t.mr, t.nr);
+  for (int mr = 1; mr <= regs; ++mr) {
+    for (int nr = lanes; nr <= regs * lanes; nr += lanes) {
+      if (mr + nr / lanes + mr * (nr / lanes) > regs - 1) continue;
+      EXPECT_LE(tile_cmr(mr, nr), best + 1e-12)
+          << "better tile exists: " << mr << "x" << nr;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegisterFiles, TileSolverSweep,
+    ::testing::Combine(::testing::Values(16, 24, 32, 48, 64),
+                       ::testing::Values(2, 4, 8, 16)));
+
+TEST(Blocking, RespectsCachesAndTiles) {
+  const auto mach = arch::kunpeng_920();
+  const Tile t{7, 12};
+  const Blocking b = solve_blocking<float>(mach, t, 1000, 2000, 3000);
+  EXPECT_GE(b.kc, t.nr);
+  // One Bc sliver must fit in half the L1.
+  EXPECT_LE(static_cast<std::size_t>(b.kc * t.nr) * sizeof(float),
+            mach.l1d.size_bytes);
+  // mc/nc are tile multiples unless clamped by the problem edge.
+  EXPECT_TRUE(b.mc % t.mr == 0 || b.mc == 1000) << b.mc;
+  EXPECT_TRUE(b.nc % t.nr == 0 || b.nc == 2000) << b.nc;
+  // A block within half the (per-core) L2.
+  EXPECT_LE(static_cast<std::size_t>(b.mc * b.kc) * sizeof(float),
+            mach.l2.size_bytes);
+}
+
+TEST(Blocking, ClampsToProblem) {
+  const auto mach = arch::thunderx2();
+  const Blocking b = solve_blocking<float>(mach, {7, 12}, 5, 9, 3);
+  EXPECT_LE(b.kc, 12);  // clamped near K but >= nr floor
+  EXPECT_GE(b.mc, 7);
+  EXPECT_GE(b.nc, 12);
+}
+
+TEST(PackDecision, SmallBIsNotPackedUnderNN) {
+  const auto mach = arch::phytium_2000p();  // L1 = 32 KB
+  Config cfg;
+  // 64x64 FP32 B = 16 KB < L1.
+  const auto d =
+      decide_packing<float>(mach, {Trans::N, Trans::N}, 64, 64, 64, cfg);
+  EXPECT_EQ(d.a, PackPlan::kNone);
+  EXPECT_EQ(d.b, PackPlan::kNone);
+}
+
+TEST(PackDecision, LargeBIsFusedPackedUnderNN) {
+  const auto mach = arch::phytium_2000p();
+  Config cfg;
+  const auto d = decide_packing<float>(mach, {Trans::N, Trans::N}, 64,
+                                       4096, 512, cfg);
+  EXPECT_EQ(d.a, PackPlan::kNone);
+  EXPECT_EQ(d.b, PackPlan::kPackFused);
+}
+
+TEST(PackDecision, TransposedBAlwaysPacked) {
+  const auto mach = arch::phytium_2000p();
+  Config cfg;
+  const auto d =
+      decide_packing<float>(mach, {Trans::N, Trans::T}, 8, 8, 8, cfg);
+  EXPECT_EQ(d.b, PackPlan::kPackFused);
+  EXPECT_EQ(d.a, PackPlan::kNone);
+}
+
+TEST(PackDecision, TransposedAIsPacked) {
+  const auto mach = arch::phytium_2000p();
+  Config cfg;
+  const auto d =
+      decide_packing<float>(mach, {Trans::T, Trans::N}, 64, 64, 64, cfg);
+  EXPECT_NE(d.a, PackPlan::kNone);
+}
+
+TEST(PackDecision, PackAheadOnlyBeyondLlc) {
+  const auto mach = arch::phytium_2000p();  // LLC = 2 MB L2
+  Config cfg;
+  const auto small = decide_packing<float>(mach, {Trans::N, Trans::N}, 64,
+                                           512, 256, cfg);
+  EXPECT_EQ(small.pack_ahead, 0);
+  const auto big = decide_packing<float>(mach, {Trans::N, Trans::N}, 64,
+                                         50176, 576, cfg);
+  EXPECT_EQ(big.pack_ahead, 1);
+}
+
+TEST(PackDecision, AblationFlagsForceBaseline) {
+  const auto mach = arch::phytium_2000p();
+  Config cfg;
+  cfg.selective_packing = false;
+  const auto d =
+      decide_packing<float>(mach, {Trans::N, Trans::N}, 8, 8, 8, cfg);
+  EXPECT_EQ(d.a, PackPlan::kPackAhead);
+  EXPECT_EQ(d.b, PackPlan::kPackAhead);
+
+  Config cfg2;
+  cfg2.fused_packing = false;
+  const auto d2 = decide_packing<float>(mach, {Trans::N, Trans::T}, 64,
+                                        4096, 512, cfg2);
+  EXPECT_EQ(d2.b, PackPlan::kPackAhead);
+}
+
+TEST(Partition, PaperExample) {
+  // Paper Section 6.1: M = 2048, N = 256, T = 64 -> Tn = 4, Tm = 16.
+  const Partition p = solve_partition(64, 2048, 256, {7, 12});
+  EXPECT_EQ(p.tn, 4);
+  EXPECT_EQ(p.tm, 16);
+}
+
+class PartitionSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, index_t, index_t>> {};
+
+TEST_P(PartitionSweep, Invariants) {
+  const auto [threads, m, n] = GetParam();
+  const Tile tile{7, 12};
+  const Partition p = solve_partition(threads, m, n, tile);
+  EXPECT_GE(p.tm, 1);
+  EXPECT_GE(p.tn, 1);
+  const int t = p.tm * p.tn;
+  EXPECT_LE(t, threads);
+  EXPECT_EQ(t % p.tn, 0);
+  // Every thread owns at least one register tile in each dimension.
+  EXPECT_LE(p.tm, (m + tile.mr - 1) / tile.mr);
+  EXPECT_LE(p.tn, (n + tile.nr - 1) / tile.nr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 16, 32, 64),
+                       ::testing::Values<index_t>(1, 7, 32, 64, 2048, 50176),
+                       ::testing::Values<index_t>(1, 12, 32, 256, 10240)));
+
+TEST(Partition, SkinnyNGoesToRows) {
+  // M huge, N tiny: threads should mostly stack along M.
+  const Partition p = solve_partition(64, 50176, 24, {7, 12});
+  EXPECT_LE(p.tn, 2);
+  EXPECT_GE(p.tm, 32);
+}
+
+TEST(Partition, SkinnyMGoesToColumns) {
+  const Partition p = solve_partition(64, 24, 50176, {7, 12});
+  EXPECT_LE(p.tm, 2);
+  EXPECT_GE(p.tn, 32);
+}
+
+}  // namespace
+}  // namespace shalom::model

@@ -1,0 +1,116 @@
+// Tests for the packed-panel layouts: every packing routine is checked
+// against the layout definition (sliver s, element [k*nr + j] =
+// op(B)(k, s*nr + j), zero past the edge) on exact and edge widths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pack.h"
+
+namespace shalom::pack {
+namespace {
+
+template <typename T>
+T b_op(const Matrix<T>& b, Trans t, index_t k, index_t j) {
+  return t == Trans::N ? b(k, j) : b(j, k);
+}
+
+class PackBSweep : public ::testing::TestWithParam<
+                       std::tuple<index_t, index_t, int, Trans>> {};
+
+TEST_P(PackBSweep, LayoutMatchesDefinition) {
+  const auto [kc, n, nr, trans] = GetParam();
+  Matrix<float> b(trans == Trans::N ? kc : n, trans == Trans::N ? n : kc);
+  fill_random(b, 7);
+
+  std::vector<float> bc(b_panel_elems(kc, n, nr), -1.f);
+  if (trans == Trans::N) {
+    pack_b_n(b.data(), b.ld(), kc, n, nr, bc.data());
+  } else {
+    pack_b_t(b.data(), b.ld(), kc, n, nr, bc.data());
+  }
+
+  const index_t slivers = (n + nr - 1) / nr;
+  for (index_t s = 0; s < slivers; ++s) {
+    const float* sliver = bc.data() + s * b_sliver_elems(kc, nr);
+    for (index_t k = 0; k < kc; ++k) {
+      for (int j = 0; j < nr; ++j) {
+        const index_t col = s * nr + j;
+        const float expected =
+            col < n ? b_op(b, trans, k, col) : 0.f;  // zero padding
+        ASSERT_EQ(sliver[k * nr + j], expected)
+            << "sliver " << s << " k " << k << " j " << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, PackBSweep,
+    ::testing::Combine(::testing::Values<index_t>(1, 5, 16, 33),
+                       ::testing::Values<index_t>(1, 11, 12, 13, 24, 40),
+                       ::testing::Values(4, 12),
+                       ::testing::Values(Trans::N, Trans::T)));
+
+class PackASweep : public ::testing::TestWithParam<
+                       std::tuple<index_t, index_t, int, Trans>> {};
+
+TEST_P(PackASweep, LayoutMatchesDefinition) {
+  const auto [m, kc, mr, trans] = GetParam();
+  Matrix<float> a(trans == Trans::N ? m : kc, trans == Trans::N ? kc : m);
+  fill_random(a, 13);
+
+  std::vector<float> ac(a_panel_elems(m, kc, mr), -1.f);
+  if (trans == Trans::N) {
+    pack_a_n(a.data(), a.ld(), m, kc, mr, ac.data());
+  } else {
+    pack_a_t(a.data(), a.ld(), m, kc, mr, ac.data());
+  }
+
+  const index_t slivers = (m + mr - 1) / mr;
+  for (index_t s = 0; s < slivers; ++s) {
+    const float* sliver = ac.data() + s * a_sliver_elems(kc, mr);
+    for (index_t k = 0; k < kc; ++k) {
+      for (int i = 0; i < mr; ++i) {
+        const index_t row = s * mr + i;
+        const float expected =
+            row < m ? (trans == Trans::N ? a(row, k) : a(k, row)) : 0.f;
+        ASSERT_EQ(sliver[k * mr + i], expected)
+            << "sliver " << s << " k " << k << " i " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Heights, PackASweep,
+    ::testing::Combine(::testing::Values<index_t>(1, 6, 7, 8, 20),
+                       ::testing::Values<index_t>(1, 9, 32),
+                       ::testing::Values(7, 8),
+                       ::testing::Values(Trans::N, Trans::T)));
+
+TEST(PackSizes, ElementCounts) {
+  EXPECT_EQ(b_sliver_elems(10, 12), 120);
+  EXPECT_EQ(b_panel_elems(10, 25, 12), 3 * 120);  // ceil(25/12) = 3
+  EXPECT_EQ(a_sliver_elems(10, 7), 70);
+  EXPECT_EQ(a_panel_elems(15, 10, 7), 3 * 70);  // ceil(15/7) = 3
+}
+
+TEST(PackDouble, WorksForFp64) {
+  const index_t kc = 9, n = 14;
+  const int nr = 6;
+  Matrix<double> b(kc, n);
+  fill_random(b, 3);
+  std::vector<double> bc(b_panel_elems(kc, n, nr));
+  pack_b_n(b.data(), b.ld(), kc, n, nr, bc.data());
+  EXPECT_EQ(bc[0], b(0, 0));
+  EXPECT_EQ(bc[1 * nr + 2], b(1, 2));
+  // Second sliver, padded region.
+  const double* s2 = bc.data() + 2 * b_sliver_elems(kc, nr);
+  EXPECT_EQ(s2[0 * nr + 1], b(0, 13));
+  EXPECT_EQ(s2[0 * nr + 2], 0.0);
+}
+
+}  // namespace
+}  // namespace shalom::pack

@@ -1,0 +1,169 @@
+// Tests for the parallel layer: range splitting invariants, thread-pool
+// fork-join behaviour, and parallel-vs-serial result equality across
+// thread counts and shapes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "core/parallel.h"
+#include "core/shalom.h"
+#include "core/threadpool.h"
+#include "tests/test_util.h"
+
+namespace shalom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// split_range
+// ---------------------------------------------------------------------------
+class SplitRangeSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, int, int>> {};
+
+TEST_P(SplitRangeSweep, CoversExactlyAndAligned) {
+  const auto [total, parts, align] = GetParam();
+  const auto offs = split_range(total, parts, align);
+  ASSERT_EQ(offs.size(), static_cast<std::size_t>(parts) + 1);
+  EXPECT_EQ(offs.front(), 0);
+  EXPECT_EQ(offs.back(), total);
+  for (int p = 0; p < parts; ++p) {
+    EXPECT_LE(offs[p], offs[p + 1]);  // monotone, no negative chunks
+    if (offs[p + 1] != total) {
+      EXPECT_EQ(offs[p + 1] % align, 0) << "interior boundary alignment";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, SplitRangeSweep,
+    ::testing::Combine(::testing::Values<index_t>(0, 1, 7, 15, 64, 1000,
+                                                  50176),
+                       ::testing::Values(1, 2, 3, 7, 64),
+                       ::testing::Values(1, 7, 12)));
+
+TEST(SplitRange, BalancedWithinOneTile) {
+  const auto offs = split_range(1000, 8, 12);
+  index_t min_chunk = 1000, max_chunk = 0;
+  for (int p = 0; p < 8; ++p) {
+    min_chunk = std::min(min_chunk, offs[p + 1] - offs[p]);
+    max_chunk = std::max(max_chunk, offs[p + 1] - offs[p]);
+  }
+  EXPECT_LE(max_chunk - min_chunk, 12 + 4);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(4);
+  pool.parallel_for(4, [&](int id) { counts[id]++; });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_for(3, [&](int) { total++; });
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, FewerTasksThanWorkers) {
+  ThreadPool pool(8);
+  std::set<int> seen;
+  std::mutex mu;
+  pool.parallel_for(3, [&](int id) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(id);
+  });
+  EXPECT_EQ(seen, (std::set<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, SingleTaskRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.parallel_for(1, [&](int) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, GlobalGrowsOnDemand) {
+  ThreadPool& a = ThreadPool::global(2);
+  EXPECT_GE(a.max_threads(), 2);
+  ThreadPool& b = ThreadPool::global(4);
+  EXPECT_GE(b.max_threads(), 4);
+}
+
+TEST(ThreadPool, RejectsTooManyTasks) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(3, [](int) {}), invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel GEMM equals serial GEMM.
+// ---------------------------------------------------------------------------
+class ParallelGemmSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ParallelGemmSweep, MatchesOracleAllModes) {
+  const auto [threads, m, n, k] = GetParam();
+  for (Mode mode : testing::kAllModes) {
+    testing::Problem<float> p(mode, m, n, k);
+    Config cfg;
+    cfg.threads = threads;
+    gemm(mode.a, mode.b, p.m, p.n, p.k, 1.5f, p.a.data(), p.a.ld(),
+         p.b.data(), p.b.ld(), 0.5f, p.c.data(), p.c.ld(), cfg);
+    p.run_reference(1.5f, 0.5f);
+    p.expect_matches("parallel gemm");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndShapes, ParallelGemmSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(13, 32, 130),
+                       ::testing::Values(24, 250),
+                       ::testing::Values(40, 170)));
+
+TEST(ParallelGemm, IrregularShapes) {
+  for (int threads : {2, 4}) {
+    for (auto [m, n] : {std::pair<index_t, index_t>{16, 1500},
+                        {1500, 16},
+                        {7, 777}}) {
+      testing::Problem<float> p({Trans::N, Trans::T}, m, n, 300);
+      Config cfg;
+      cfg.threads = threads;
+      gemm(Trans::N, Trans::T, p.m, p.n, p.k, 1.f, p.a.data(), p.a.ld(),
+           p.b.data(), p.b.ld(), 0.f, p.c.data(), p.c.ld(), cfg);
+      p.run_reference(1.f, 0.f);
+      p.expect_matches("irregular parallel");
+    }
+  }
+}
+
+TEST(ParallelGemm, ThreadsZeroMeansAllCores) {
+  testing::Problem<float> p({Trans::N, Trans::N}, 64, 256, 64);
+  Config cfg;
+  cfg.threads = 0;
+  gemm(Trans::N, Trans::N, p.m, p.n, p.k, 1.f, p.a.data(), p.a.ld(),
+       p.b.data(), p.b.ld(), 0.f, p.c.data(), p.c.ld(), cfg);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("threads=0");
+}
+
+TEST(ParallelGemm, MoreThreadsThanTiles) {
+  // 8x8 with 16 threads: the partition must clamp, not crash or misplace.
+  testing::Problem<float> p({Trans::N, Trans::N}, 8, 8, 8);
+  Config cfg;
+  cfg.threads = 16;
+  gemm(Trans::N, Trans::N, p.m, p.n, p.k, 1.f, p.a.data(), p.a.ld(),
+       p.b.data(), p.b.ld(), 0.f, p.c.data(), p.c.ld(), cfg);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("overprovisioned");
+}
+
+}  // namespace
+}  // namespace shalom

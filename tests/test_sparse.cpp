@@ -1,0 +1,114 @@
+// Tests for the block-sparse substrate: BSR construction invariants,
+// dense round-trips, and spmm correctness against dense GEMM across
+// densities, block sizes and thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/naive.h"
+#include "common/rng.h"
+#include "sparse/spmm.h"
+
+namespace shalom::sparse {
+namespace {
+
+TEST(Bsr, PatternConstruction) {
+  auto m = BsrMatrix<float>::from_pattern(
+      3, 4, 2, 2, {{0, 1}, {2, 3}, {0, 0}, {2, 0}, {0, 1}});  // dup ignored
+  EXPECT_EQ(m.rows(), 6);
+  EXPECT_EQ(m.cols(), 8);
+  EXPECT_EQ(m.nnz_blocks(), 4);
+  EXPECT_EQ(m.row_end(0) - m.row_begin(0), 2);  // (0,0), (0,1)
+  EXPECT_EQ(m.row_end(1) - m.row_begin(1), 0);
+  EXPECT_EQ(m.row_end(2) - m.row_begin(2), 2);
+  // Columns sorted within a row.
+  EXPECT_EQ(m.block_col(m.row_begin(0)), 0);
+  EXPECT_EQ(m.block_col(m.row_begin(0) + 1), 1);
+}
+
+TEST(Bsr, RejectsOutOfRangeBlocks) {
+  EXPECT_THROW(BsrMatrix<float>::from_pattern(2, 2, 3, 3, {{2, 0}}),
+               invalid_argument);
+}
+
+TEST(Bsr, DenseRoundTrip) {
+  auto m = BsrMatrix<double>::random(4, 5, 3, 2, 0.5, 42);
+  const Matrix<double> dense = m.to_dense();
+  EXPECT_EQ(dense.rows(), 12);
+  EXPECT_EQ(dense.cols(), 10);
+  // Every stored block matches the dense image; absent blocks are zero.
+  index_t nonzero = 0;
+  for (index_t i = 0; i < dense.rows(); ++i)
+    for (index_t j = 0; j < dense.cols(); ++j) nonzero += dense(i, j) != 0;
+  EXPECT_GT(nonzero, 0);
+  EXPECT_LE(nonzero, m.nnz_blocks() * 3 * 2);
+}
+
+TEST(Bsr, DensityIsApproximate) {
+  auto m = BsrMatrix<float>::random(40, 40, 5, 5, 0.3, 7);
+  EXPECT_NEAR(m.block_density(), 0.3, 0.1);
+}
+
+class SpmmSweep : public ::testing::TestWithParam<
+                      std::tuple<double, std::pair<int, int>, int>> {};
+
+TEST_P(SpmmSweep, MatchesDenseGemm) {
+  const auto [density, block, threads] = GetParam();
+  const auto [br, bc] = block;
+  const index_t brows = 7, bcols = 6, n = 33;
+
+  auto a = BsrMatrix<float>::random(brows, bcols, br, bc, density, 99);
+  Matrix<float> b(a.cols(), n);
+  Matrix<float> c(a.rows(), n), c_ref(a.rows(), n);
+  fill_random(b, 1);
+  fill_random(c, 2);
+  c_ref = c;
+
+  Config cfg;
+  cfg.threads = threads;
+  spmm(1.5f, a, b.data(), b.ld(), 0.5f, c.data(), c.ld(), n, cfg);
+
+  const Matrix<float> dense = a.to_dense();
+  baselines::naive_gemm({Trans::N, Trans::N}, a.rows(), n, a.cols(), 1.5f,
+                        dense.data(), dense.ld(), b.data(), b.ld(), 0.5f,
+                        c_ref.data(), c_ref.ld());
+
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < n; ++j)
+      ASSERT_NEAR(c(i, j), c_ref(i, j), 1e-3f)
+          << "density=" << density << " block=" << br << "x" << bc
+          << " threads=" << threads << " at (" << i << "," << j << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SpmmSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.3, 1.0),
+                       ::testing::Values(std::pair<int, int>{5, 5},
+                                         std::pair<int, int>{8, 8},
+                                         std::pair<int, int>{7, 12},
+                                         std::pair<int, int>{23, 23}),
+                       ::testing::Values(1, 4)));
+
+TEST(Spmm, BetaZeroOverwrites) {
+  auto a = BsrMatrix<float>::random(3, 3, 4, 4, 0.5, 5);
+  Matrix<float> b(a.cols(), 8), c(a.rows(), 8);
+  fill_random(b, 1);
+  c.fill(std::numeric_limits<float>::quiet_NaN());
+  spmm(1.f, a, b.data(), b.ld(), 0.f, c.data(), c.ld(), index_t{8});
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < 8; ++j) EXPECT_FALSE(std::isnan(c(i, j)));
+}
+
+TEST(Spmm, EmptyRowsOnlyScaleC) {
+  auto a = BsrMatrix<float>::from_pattern(3, 3, 2, 2, {{1, 1}});
+  Matrix<float> b(a.cols(), 4), c(a.rows(), 4);
+  fill_random(b, 1);
+  c.fill(2.f);
+  spmm(1.f, a, b.data(), b.ld(), 0.5f, c.data(), c.ld(), index_t{4});
+  EXPECT_EQ(c(0, 0), 1.f);  // block row 0 empty: pure beta scale
+  EXPECT_EQ(c(5, 3), 1.f);  // block row 2 empty
+}
+
+}  // namespace
+}  // namespace shalom::sparse

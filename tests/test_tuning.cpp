@@ -1,0 +1,61 @@
+// Tests for the auto-tuner: the search must return a valid, correct
+// configuration, include the model's default among candidates, and never
+// regress below it.
+#include <gtest/gtest.h>
+
+#include "core/shalom.h"
+#include "tests/test_util.h"
+#include "tuning/autotune.h"
+
+namespace shalom::tuning {
+namespace {
+
+TEST(Autotune, ReturnsValidConfigAndCandidates) {
+  TuneOptions opt;
+  opt.reps = 1;
+  opt.scales = {0.5, 1.0, 2.0};
+  const TuneResult r =
+      tune<float>({Trans::N, Trans::N}, 64, 256, 128, {}, opt);
+
+  EXPECT_GT(r.best_gflops, 0.0);
+  EXPECT_GT(r.model_gflops, 0.0);
+  // best-first ordering; the model default is candidate #0 in the list
+  // before sorting, so it must appear somewhere.
+  ASSERT_GE(r.candidates.size(), 3u);
+  for (std::size_t i = 1; i < r.candidates.size(); ++i)
+    EXPECT_GE(r.candidates[i - 1].gflops, r.candidates[i].gflops);
+  // The returned best can never be below the model's measurement.
+  EXPECT_GE(r.best_gflops, r.model_gflops * 0.999);
+  EXPECT_GE(r.gain(), 0.999);
+}
+
+TEST(Autotune, TunedConfigComputesCorrectly) {
+  TuneOptions opt;
+  opt.reps = 1;
+  opt.scales = {0.5, 1.0};
+  const TuneResult r =
+      tune<float>({Trans::N, Trans::T}, 40, 300, 200, {}, opt);
+
+  testing::Problem<float> p({Trans::N, Trans::T}, 40, 300, 200);
+  gemm(Trans::N, Trans::T, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(),
+       p.b.data(), p.b.ld(), 0.0f, p.c.data(), p.c.ld(), r.config);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("tuned config");
+}
+
+TEST(Autotune, OverridesAreHonouredAndRounded) {
+  // A pathological kc override must still give correct results (rounding
+  // and clamping happen in the driver).
+  Config cfg;
+  cfg.kc_override = 7;    // tiny
+  cfg.mc_override = 1;    // below mr: rounded up to one tile
+  cfg.nc_override = 1000;
+  testing::Problem<float> p({Trans::N, Trans::N}, 50, 120, 90);
+  gemm(Trans::N, Trans::N, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(),
+       p.b.data(), p.b.ld(), 0.0f, p.c.data(), p.c.ld(), cfg);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("override config");
+}
+
+}  // namespace
+}  // namespace shalom::tuning

@@ -1,0 +1,82 @@
+// Shared helpers for the test suite: operand construction for a GEMM mode
+// and tolerance-aware comparison against the naive oracle.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/naive.h"
+#include "common/rng.h"
+#include "core/types.h"
+
+namespace shalom::testing {
+
+/// Absolute tolerance for a dot product of length K of values in [0, 1).
+template <typename T>
+double gemm_tolerance(index_t k) {
+  const double eps = std::is_same_v<T, float> ? 1e-6 : 1e-14;
+  return (static_cast<double>(k) + 16.0) * eps;
+}
+
+/// Operand bundle for one GEMM problem; A/B shaped per the mode, C filled
+/// randomly so beta paths are exercised.
+template <typename T>
+struct Problem {
+  Mode mode;
+  index_t m, n, k;
+  Matrix<T> a, b, c, c_ref;
+
+  Problem(Mode mode_, index_t m_, index_t n_, index_t k_,
+          index_t pad_a = 0, index_t pad_b = 0, index_t pad_c = 0)
+      : mode(mode_),
+        m(m_),
+        n(n_),
+        k(k_),
+        a((mode.a == Trans::N) ? m : k,
+          ((mode.a == Trans::N) ? k : m) + pad_a,
+          ((mode.a == Trans::N) ? k : m) + pad_a),
+        b((mode.b == Trans::N) ? k : n,
+          ((mode.b == Trans::N) ? n : k) + pad_b,
+          ((mode.b == Trans::N) ? n : k) + pad_b),
+        c(m, n + pad_c, n + pad_c),
+        c_ref(m, n + pad_c, n + pad_c) {
+    // Note: pad_* widen the leading dimension past the logical width.
+    fill_random(a, 0xA + m * 131 + n * 7 + k);
+    fill_random(b, 0xB + m + n * 31 + k * 17);
+    fill_random(c, 0xC + m + n + k);
+    c_ref = c;
+  }
+
+  index_t a_cols() const { return (mode.a == Trans::N) ? k : m; }
+  index_t b_cols() const { return (mode.b == Trans::N) ? n : k; }
+
+  /// Computes the oracle result into c_ref.
+  void run_reference(T alpha, T beta) {
+    baselines::naive_gemm(mode, m, n, k, alpha, a.data(), a.ld(), b.data(),
+                          b.ld(), beta, c_ref.data(), c_ref.ld());
+  }
+
+  /// Asserts c == c_ref element-wise within tolerance.
+  void expect_matches(const char* context) const {
+    const double tol = gemm_tolerance<T>(k);
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        ASSERT_NEAR(c(i, j), c_ref(i, j), tol)
+            << context << " at (" << i << "," << j << ") m=" << m
+            << " n=" << n << " k=" << k << " mode="
+            << (mode.a == Trans::N ? "N" : "T")
+            << (mode.b == Trans::N ? "N" : "T");
+      }
+    }
+  }
+};
+
+inline const Mode kAllModes[] = {
+    {Trans::N, Trans::N},
+    {Trans::N, Trans::T},
+    {Trans::T, Trans::N},
+    {Trans::T, Trans::T},
+};
+
+}  // namespace shalom::testing

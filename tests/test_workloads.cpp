@@ -1,0 +1,143 @@
+// Tests for the workload generators: the shape lists must match the
+// paper's specifications, and the im2col lowering must agree with a
+// direct convolution when composed with GEMM.
+#include <gtest/gtest.h>
+
+#include "core/shalom.h"
+#include "common/rng.h"
+#include "workloads/im2col.h"
+#include "workloads/sizes.h"
+
+namespace shalom::workloads {
+namespace {
+
+TEST(Sizes, SmallSquareMatchesPaper) {
+  const auto v = small_square_sizes();
+  ASSERT_EQ(v.size(), 15u);  // 8..120 step 8
+  EXPECT_EQ(v.front().m, 8);
+  EXPECT_EQ(v.back().m, 120);
+  for (const auto& s : v) {
+    EXPECT_EQ(s.m, s.n);
+    EXPECT_EQ(s.n, s.k);
+    EXPECT_EQ(s.m % 8, 0);
+  }
+}
+
+TEST(Sizes, Cp2kMatchesPaperLabels) {
+  const auto v = cp2k_sizes();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0].label, "5x5x5");
+  EXPECT_EQ(v[4].label, "26x26x13");
+  EXPECT_EQ(v[1].m, 13);
+  EXPECT_EQ(v[1].n, 5);
+  EXPECT_EQ(v[1].k, 13);
+}
+
+TEST(Sizes, Vgg16FullMatchesPaper) {
+  const auto v = vgg16_layers(/*full=*/true);
+  ASSERT_EQ(v.size(), 5u);
+  const index_t m[] = {64, 128, 256, 512, 512};
+  const index_t n[] = {50176, 12544, 3136, 784, 196};
+  const index_t k[] = {576, 1152, 2304, 4608, 4608};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(v[i].m, m[i]) << i;
+    EXPECT_EQ(v[i].n, n[i]) << i;
+    EXPECT_EQ(v[i].k, k[i]) << i;
+  }
+}
+
+TEST(Sizes, ScaledVariantsAreSmallerButSameFamily) {
+  const auto scaled = irregular_sweep_m(false);
+  const auto full = irregular_sweep_m(true);
+  EXPECT_EQ(scaled.size(), full.size());
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    EXPECT_EQ(scaled[i].m, full[i].m);  // M values are the paper's
+    EXPECT_LE(scaled[i].n, full[i].n);
+    EXPECT_LE(scaled[i].k, full[i].k);
+  }
+}
+
+TEST(Sizes, CacheMissSweepRange) {
+  const auto v = cache_miss_sweep(true);
+  EXPECT_EQ(v.front().k, 576);
+  EXPECT_EQ(v.back().k, 3744 - (3744 - 576) % 128);
+  for (const auto& s : v) EXPECT_EQ(s.m, 64);
+}
+
+TEST(ConvSpec, GemmDimensionsMatchVgg) {
+  // VGG conv1.2: 64 channels in/out, 224x224, 3x3 pad 1 -> the paper's
+  // 64 x 50176 x 576 GEMM.
+  ConvSpec spec;
+  spec.in_channels = 64;
+  spec.out_channels = 64;
+  spec.height = 224;
+  spec.width = 224;
+  EXPECT_EQ(spec.gemm_m(), 64);
+  EXPECT_EQ(spec.gemm_n(), 50176);
+  EXPECT_EQ(spec.gemm_k(), 576);
+}
+
+TEST(Im2col, GemmComposesToDirectConvolution) {
+  ConvSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 5;
+  spec.height = 9;
+  spec.width = 7;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+
+  const index_t m = spec.gemm_m(), n = spec.gemm_n(), k = spec.gemm_k();
+  Matrix<float> image(spec.in_channels, spec.height * spec.width);
+  Matrix<float> weights(m, k);  // [co][ci*r*s]
+  fill_random(image, 3);
+  fill_random(weights, 4);
+
+  Matrix<float> lowered(k, n);
+  im2col(spec, image.data(), lowered.data());
+
+  Matrix<float> out_gemm(m, n);
+  gemm(Trans::N, Trans::N, m, n, k, 1.0f, weights.data(), weights.ld(),
+       lowered.data(), lowered.ld(), 0.0f, out_gemm.data(), out_gemm.ld());
+
+  Matrix<float> out_direct(m, n);
+  conv2d_reference(spec, image.data(), weights.data(), out_direct.data());
+
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j)
+      ASSERT_NEAR(out_gemm(i, j), out_direct(i, j), 1e-4f)
+          << "(" << i << "," << j << ")";
+}
+
+TEST(Im2col, StrideTwoAndNoPadding) {
+  ConvSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  spec.height = 8;
+  spec.width = 8;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.pad = 0;
+  EXPECT_EQ(spec.out_height(), 3);
+  EXPECT_EQ(spec.out_width(), 3);
+
+  Matrix<float> image(spec.in_channels, spec.height * spec.width);
+  Matrix<float> weights(spec.gemm_m(), spec.gemm_k());
+  fill_random(image, 5);
+  fill_random(weights, 6);
+
+  Matrix<float> lowered(spec.gemm_k(), spec.gemm_n());
+  im2col(spec, image.data(), lowered.data());
+  Matrix<float> out_gemm(spec.gemm_m(), spec.gemm_n());
+  gemm(Trans::N, Trans::N, spec.gemm_m(), spec.gemm_n(), spec.gemm_k(),
+       1.0f, weights.data(), weights.ld(), lowered.data(), lowered.ld(),
+       0.0f, out_gemm.data(), out_gemm.ld());
+  Matrix<float> out_direct(spec.gemm_m(), spec.gemm_n());
+  conv2d_reference(spec, image.data(), weights.data(), out_direct.data());
+  for (index_t i = 0; i < spec.gemm_m(); ++i)
+    for (index_t j = 0; j < spec.gemm_n(); ++j)
+      ASSERT_NEAR(out_gemm(i, j), out_direct(i, j), 1e-4f);
+}
+
+}  // namespace
+}  // namespace shalom::workloads
