@@ -1,0 +1,106 @@
+// Ablation (beyond the paper): what the execution-plan layer buys.
+//
+// For repeated small GEMMs the per-call analytic decisions (tile solve,
+// blocking solve, packing predicates, partition) are a fixed overhead that
+// shrinks relative to compute as the shape grows. This bench times warm
+// repeated products at M=N=K <= 64 three ways:
+//
+//   percall  - plan cache off: full decision chain on every call
+//   cached   - plan cache on (the default): decisions amortized through
+//              the shape-keyed LRU cache, key hashing on every call
+//   plan     - explicit plan_create once + plan_execute per call: the
+//              floor, no per-call lookup at all
+//
+// The interesting columns are the speedups over percall; they bound how
+// much of the small-GEMM envelope is decision overhead rather than math.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util/reporter.h"
+#include "bench_util/runner.h"
+#include "bench_util/stats.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/plan.h"
+#include "core/plan_cache.h"
+#include "core/shalom.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+
+  const std::vector<index_t> sizes = {4, 6, 8, 12, 16, 24, 32, 48, 64};
+  const struct {
+    const char* label;
+    Mode mode;
+  } modes[] = {{"NN", {Trans::N, Trans::N}}, {"NT", {Trans::N, Trans::T}}};
+
+  for (const auto& mc : modes) {
+    bench::Table table(
+        std::string("Ablation: plan layer on warm repeated small GEMM (") +
+            mc.label + ", single thread), GFLOPS",
+        {"shape", "percall", "cached", "plan", "cached/percall",
+         "plan/percall"});
+
+    for (index_t s : sizes) {
+      const Mode mode = mc.mode;
+      Matrix<float> a(s, s);  // square: same layout under either trans
+      Matrix<float> b(s, s);
+      Matrix<float> c(s, s);
+      fill_random(a, 11);
+      fill_random(b, 12);
+      fill_random(c, 13);
+
+      // Keep each timed rep around a fixed flop budget so tiny shapes are
+      // timed over many calls and the clock resolution never dominates.
+      const double flops = 2.0 * s * s * s;
+      const int calls =
+          std::max(20, static_cast<int>(2.0e7 / flops)) * (opt.full ? 4 : 1);
+
+      Config percall_cfg;
+      percall_cfg.threads = 1;
+      percall_cfg.use_plan_cache = false;
+      Config cached_cfg;
+      cached_cfg.threads = 1;
+      cached_cfg.use_plan_cache = true;
+
+      auto run_gemm = [&](const Config& cfg) {
+        for (int i = 0; i < calls; ++i) {
+          gemm(mode.a, mode.b, s, s, s, 1.0f, a.data(), a.ld(), b.data(),
+               b.ld(), 0.0f, c.data(), c.ld(), cfg);
+        }
+      };
+
+      const GemmPlan<float> plan =
+          plan_create<float>(mode, s, s, s, percall_cfg);
+      auto run_plan = [&] {
+        for (int i = 0; i < calls; ++i) {
+          plan_execute(plan, 1.0f, a.data(), a.ld(), b.data(), b.ld(), 0.0f,
+                       c.data(), c.ld());
+        }
+      };
+
+      const auto t_percall = bench::time_kernel(
+          [&] { run_gemm(percall_cfg); }, opt.reps, /*warm=*/true);
+      const auto t_cached = bench::time_kernel(
+          [&] { run_gemm(cached_cfg); }, opt.reps, /*warm=*/true);
+      const auto t_plan = bench::time_kernel(run_plan, opt.reps,
+                                             /*warm=*/true);
+
+      const double g_percall = bench::gemm_gflops(
+          s, s, s, t_percall.geomean_s / calls);
+      const double g_cached =
+          bench::gemm_gflops(s, s, s, t_cached.geomean_s / calls);
+      const double g_plan =
+          bench::gemm_gflops(s, s, s, t_plan.geomean_s / calls);
+
+      const std::string label = std::to_string(s) + "^3";
+      table.add_row(label,
+                    {g_percall, g_cached, g_plan, g_cached / g_percall,
+                     g_plan / g_percall});
+    }
+    table.print(opt.csv);
+  }
+  return 0;
+}

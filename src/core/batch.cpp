@@ -1,9 +1,9 @@
 #include "core/batch.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "core/gemm.h"
+#include "core/plan_cache.h"
 #include "core/threadpool.h"
 
 namespace shalom {
@@ -13,18 +13,22 @@ void gemm_batch(Mode mode, const std::vector<BatchEntry<T>>& batch,
                 const Config& cfg) {
   if (batch.empty()) return;
 
+  // Batched traffic is where the plan cache pays off most: CP2K-style
+  // batches repeat a handful of block shapes thousands of times, so after
+  // the first few entries every product executes a cached plan.
   Config serial_cfg = cfg;
   serial_cfg.threads = 1;
   auto run_one = [&](const BatchEntry<T>& e) {
-    gemm_serial(mode, e.m, e.n, e.k, e.alpha, e.a, e.lda, e.b, e.ldb,
-                e.beta, e.c, e.ldc, serial_cfg);
+    if (cfg.use_plan_cache) {
+      gemm_cached(mode, e.m, e.n, e.k, e.alpha, e.a, e.lda, e.b, e.ldb,
+                  e.beta, e.c, e.ldc, serial_cfg);
+    } else {
+      gemm_serial(mode, e.m, e.n, e.k, e.alpha, e.a, e.lda, e.b, e.ldb,
+                  e.beta, e.c, e.ldc, serial_cfg);
+    }
   };
 
-  int threads = cfg.threads;
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 0 ? static_cast<int>(hw) : 1;
-  }
+  int threads = detail::resolve_threads(cfg.threads);
   threads = std::min<int>(threads, static_cast<int>(batch.size()));
 
   if (threads <= 1) {

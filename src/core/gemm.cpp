@@ -1,344 +1,27 @@
 #include "core/gemm.h"
 
-#include <algorithm>
-
-#include "common/aligned_buffer.h"
-#include "common/error.h"
-#include "core/dispatch.h"
-#include "core/model.h"
-#include "core/pack.h"
+#include "core/plan.h"
 
 namespace shalom {
 
-namespace {
-
-template <typename T>
-void scale_c(index_t M, index_t N, T beta, T* C, index_t ldc) {
-  if (beta == T{1}) return;
-  for (index_t i = 0; i < M; ++i) {
-    T* row = C + i * ldc;
-    if (beta == T{0}) {
-      std::fill(row, row + N, T{});
-    } else {
-      for (index_t j = 0; j < N; ++j) row[j] *= beta;
-    }
-  }
-}
-
-/// Validates operand dimensions against the mode.
-template <typename T>
-void check_args(Mode mode, index_t M, index_t N, index_t K, const T* A,
-                index_t lda, const T* B, index_t ldb, const T* C,
-                index_t ldc) {
-  SHALOM_REQUIRE(M >= 0 && N >= 0 && K >= 0, " M=", M, " N=", N, " K=", K);
-  const index_t a_cols = (mode.a == Trans::N) ? K : M;
-  const index_t b_cols = (mode.b == Trans::N) ? N : K;
-  SHALOM_REQUIRE(lda >= std::max<index_t>(1, a_cols), " lda=", lda);
-  SHALOM_REQUIRE(ldb >= std::max<index_t>(1, b_cols), " ldb=", ldb);
-  SHALOM_REQUIRE(ldc >= std::max<index_t>(1, N), " ldc=", ldc);
-  if (M > 0 && N > 0) SHALOM_REQUIRE(C != nullptr);
-  if (M > 0 && K > 0) SHALOM_REQUIRE(A != nullptr);
-  if (K > 0 && N > 0) SHALOM_REQUIRE(B != nullptr);
-}
-
-/// Everything the inner tile loop needs about one (ii, kk) block.
-template <typename T>
-struct BlockCtx {
-  // A access: direct (row-major, stride lda) or packed column slivers.
-  bool a_packed = false;
-  const T* a_base = nullptr;  // block corner (direct) or packed buffer
-  index_t a_ld = 0;           // lda (direct) or mr sliver stride (packed)
-
-  // B access for the current sliver.
-  const T* b_src = nullptr;
-  index_t b_ld = 0;  // ldb (direct) or nr (packed)
-  bool b_packed = false;
-};
-
-/// Runs the i0 row-tile loop for one B sliver.
-template <typename T>
-void run_row_tiles(const BlockCtx<T>& ctx, const model::Tile& tile,
-                   const Config& cfg, index_t i_start, index_t mcur,
-                   int n_eff, index_t kcur, T* c_col, index_t ldc, T alpha,
-                   T beta_eff) {
-  using ukr::AAccess;
-  using ukr::BAccess;
-  for (index_t i0 = i_start; i0 < mcur; i0 += tile.mr) {
-    const int m_eff = static_cast<int>(
-        std::min<index_t>(tile.mr, mcur - i0));
-    const T* a_tile =
-        ctx.a_packed
-            ? ctx.a_base + (i0 / tile.mr) * pack::a_sliver_elems(kcur, tile.mr)
-            : ctx.a_base + i0 * ctx.a_ld;
-    T* c_tile = c_col + i0 * ldc;
-    const bool edge = m_eff < tile.mr || n_eff < tile.nr;
-
-    if (edge && !cfg.optimized_edges) {
-      // Ablation: remainder tiles processed by the unscheduled scalar
-      // routine (the cost model of existing libraries' edge handling).
-      if (ctx.a_packed) {
-        ukr::kern_scalar<T, AAccess::kPacked, BAccess::kDirect>(
-            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
-            c_tile, ldc, alpha, beta_eff);
-      } else {
-        ukr::kern_scalar<T, AAccess::kDirect, BAccess::kDirect>(
-            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
-            c_tile, ldc, alpha, beta_eff);
-      }
-      continue;
-    }
-
-    if (ctx.a_packed) {
-      if (ctx.b_packed) {
-        ukr::run_main_tile<T, AAccess::kPacked, BAccess::kPacked>(
-            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
-            c_tile, ldc, alpha, beta_eff);
-      } else {
-        ukr::run_main_tile<T, AAccess::kPacked, BAccess::kDirect>(
-            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
-            c_tile, ldc, alpha, beta_eff);
-      }
-    } else {
-      if (ctx.b_packed) {
-        ukr::run_main_tile<T, AAccess::kDirect, BAccess::kPacked>(
-            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
-            c_tile, ldc, alpha, beta_eff);
-      } else {
-        ukr::run_main_tile<T, AAccess::kDirect, BAccess::kDirect>(
-            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
-            c_tile, ldc, alpha, beta_eff);
-      }
-    }
-  }
-}
-
-}  // namespace
-
+// The decision chain (blocking, packing, fused-pack eligibility, arena
+// sizing) and the loop nest both live in core/plan.cpp: gemm_serial is one
+// throwaway plan built and executed in place, which keeps it bitwise
+// identical to plan_execute on a cached plan of the same shape.
 template <typename T>
 void gemm_serial(Mode mode, index_t M, index_t N, index_t K, T alpha,
                  const T* A, index_t lda, const T* B, index_t ldb, T beta,
                  T* C, index_t ldc, const Config& cfg) {
-  check_args(mode, M, N, K, A, lda, B, ldb, C, ldc);
+  detail::check_gemm_args(mode, M, N, K, A, lda, B, ldb, C, ldc);
   if (M == 0 || N == 0) return;
   if (K == 0 || alpha == T{0}) {
-    scale_c(M, N, beta, C, ldc);
+    detail::scale_c(M, N, beta, C, ldc);
     return;
   }
-
-  const arch::MachineDescriptor& mach = cfg.resolved_machine();
-  constexpr int kLanes = simd::vec_of_t<T>::kLanes;
-
-  model::Tile tile = model::tile_for<T>(mach);
-  tile.mr = std::min(tile.mr, ukr::kMaxMr);
-  tile.nr = std::min(tile.nr, ukr::kMaxNrv * kLanes);
-
-  // Fast path for small GEMMs (the library's headline workload): when both
-  // operands are read in place - mode NN with B L1-resident, the paper's
-  // no-packing case - the blocking solver, the packing plan and the arena
-  // are all dead weight, and for an 8x8x8 problem they would dominate the
-  // runtime. Jump straight to the register-tile loops over the full K.
-  if (cfg.selective_packing && cfg.optimized_edges && mode.a == Trans::N &&
-      mode.b == Trans::N &&
-      static_cast<std::size_t>(K) * N * sizeof(T) <= mach.l1d.size_bytes) {
-    for (index_t j0 = 0; j0 < N; j0 += tile.nr) {
-      const int n_eff =
-          static_cast<int>(std::min<index_t>(tile.nr, N - j0));
-      for (index_t i0 = 0; i0 < M; i0 += tile.mr) {
-        const int m_eff =
-            static_cast<int>(std::min<index_t>(tile.mr, M - i0));
-        ukr::run_main_tile<T, ukr::AAccess::kDirect, ukr::BAccess::kDirect>(
-            m_eff, n_eff, K, A + i0 * lda, lda, B + j0, ldb,
-            C + i0 * ldc + j0, ldc, alpha, beta);
-      }
-    }
-    return;
-  }
-
-  model::Blocking blk = model::solve_blocking<T>(mach, tile, M, N, K);
-  if (cfg.kc_override > 0) blk.kc = std::min(cfg.kc_override, K);
-  if (cfg.mc_override > 0)
-    blk.mc = std::max<index_t>(tile.mr,
-                               cfg.mc_override / tile.mr * tile.mr);
-  if (cfg.nc_override > 0)
-    blk.nc = std::max<index_t>(tile.nr,
-                               cfg.nc_override / tile.nr * tile.nr);
-  const model::PackDecision plan =
-      model::decide_packing<T>(mach, mode, M, N, K, cfg);
-
-  const bool a_packed = plan.a != model::PackPlan::kNone;
-  const bool b_packed = plan.b != model::PackPlan::kNone;
-  // Fused (overlapped) A packing for the transposed-A modes (Section
-  // 4.3): the first column sliver's stripes compute while streaming op(A)
-  // into Ac; later slivers reuse the packed block.
-  const bool a_fused = a_packed && plan.a == model::PackPlan::kPackFused &&
-                       mode.a == Trans::T && tile.mr == ukr::kMaxMr &&
-                       cfg.optimized_edges;
-  // Fused (overlapped) B packing needs in-place A reads and a full-height
-  // first stripe (the NN/NT kernels). For TN/TT it is A that gets the
-  // fused treatment (a_fused above); fusing both at once would double the
-  // pack stores inside one kernel for no benefit.
-  const bool b_fusable = b_packed &&
-                         plan.b == model::PackPlan::kPackFused &&
-                         !a_packed && tile.mr == ukr::kMaxMr &&
-                         tile.nr == ukr::kNrFull<T>;
-
-  // Arena: [Ac panel][Bc sliver 0][Bc sliver 1], each with vector slack.
-  const index_t ac_elems =
-      a_packed ? pack::a_panel_elems(blk.mc, blk.kc, tile.mr) : 0;
-  const index_t bc_sliver = b_packed
-                                ? pack::b_sliver_elems(blk.kc, tile.nr) +
-                                      ukr::kPackSlackElems
-                                : 0;
-  AlignedBuffer& arena = thread_pack_arena();
-  arena.reserve(static_cast<std::size_t>(ac_elems + ukr::kPackSlackElems +
-                                         2 * bc_sliver) *
-                sizeof(T));
-  T* const ac = arena.as<T>();
-  T* const bc_base = ac + ac_elems + ukr::kPackSlackElems;
-
-  for (index_t jj = 0; jj < N; jj += blk.nc) {
-    const index_t ncur = std::min<index_t>(blk.nc, N - jj);
-    for (index_t ii = 0; ii < M; ii += blk.mc) {
-      const index_t mcur = std::min<index_t>(blk.mc, M - ii);
-      for (index_t kk = 0; kk < K; kk += blk.kc) {
-        const index_t kcur = std::min<index_t>(blk.kc, K - kk);
-        const T beta_eff = (kk == 0) ? beta : T{1};
-
-        BlockCtx<T> ctx;
-        ctx.a_packed = a_packed;
-        if (a_packed) {
-          if (a_fused) {
-            // Deferred: the s == 0 stripe loop below fills Ac.
-          } else if (mode.a == Trans::N) {
-            pack::pack_a_n(A + ii * lda + kk, lda, mcur, kcur, tile.mr, ac);
-          } else {
-            pack::pack_a_t(A + kk * lda + ii, lda, mcur, kcur, tile.mr, ac);
-          }
-          ctx.a_base = ac;
-          ctx.a_ld = tile.mr;
-        } else {
-          SHALOM_ASSERT(mode.a == Trans::N);
-          ctx.a_base = A + ii * lda + kk;
-          ctx.a_ld = lda;
-        }
-
-        const index_t nslivers = (ncur + tile.nr - 1) / tile.nr;
-        // True when the previous fused call already streamed the current
-        // sliver into its packed buffer (pack-ahead t = 1 pipeline).
-        bool prepacked = false;
-        for (index_t s = 0; s < nslivers; ++s) {
-          const index_t j0 = s * tile.nr;
-          const int n_eff = static_cast<int>(
-              std::min<index_t>(tile.nr, ncur - j0));
-          T* const c_col = C + ii * ldc + jj + j0;
-          index_t i_start = 0;
-
-          if (!b_packed) {
-            SHALOM_ASSERT(mode.b == Trans::N);
-            ctx.b_src = B + kk * ldb + jj + j0;
-            ctx.b_ld = ldb;
-            ctx.b_packed = false;
-          } else {
-            T* const bc_cur = bc_base + (s % 2) * bc_sliver;
-            T* const bc_next = bc_base + ((s + 1) % 2) * bc_sliver;
-            const bool fused = b_fusable && mcur >= tile.mr;
-
-            if (fused && mode.b == Trans::N) {
-              // NN fused pack (Fig. 4). With pack-ahead (t = 1) the
-              // current sliver arrives pre-packed from the previous
-              // iteration, and this call streams sliver s+1 into the
-              // other buffer while computing the first C stripe. Only
-              // full-width next slivers are streamed ahead; an edge
-              // final sliver packs itself on arrival.
-              const bool next_full =
-                  s + 1 < nslivers && ncur - (s + 1) * tile.nr >= tile.nr;
-              const bool ahead = plan.pack_ahead == 1 && next_full;
-              const T* b_cur =
-                  prepacked ? bc_cur : B + kk * ldb + jj + j0;
-              const index_t b_cur_ld = prepacked ? tile.nr : ldb;
-              const T* b_next =
-                  ahead ? B + kk * ldb + jj + j0 + tile.nr : nullptr;
-              ukr::run_fused_pack_nn<T>(
-                  !prepacked, ahead, n_eff, kcur, A + ii * lda + kk, lda,
-                  b_cur, b_cur_ld, bc_cur, b_next, ldb,
-                  ahead ? bc_next : nullptr, c_col, ldc, alpha, beta_eff);
-              prepacked = ahead;
-              i_start = tile.mr;
-            } else if (fused && mode.b == Trans::T && kcur >= 32) {
-              // NT fused pack (Fig. 5 / Algorithm 3): inner-product
-              // compute + scatter, 3 op(B) columns per call. The kernel
-              // ends with a horizontal reduction of all mr x nr
-              // accumulators, a fixed cost only a long enough K loop
-              // amortizes; tiny-K slivers take the plain-pack path below
-              // instead (same results, no reduction).
-              if (n_eff < tile.nr)
-                std::fill(bc_cur, bc_cur + kcur * tile.nr, T{});
-              const T* b_cols = B + (jj + j0) * ldb + kk;
-              for (int jb = 0; jb < n_eff; jb += 3) {
-                const int w = std::min(3, n_eff - jb);
-                const bool store_full = jb + w < n_eff;
-                ukr::run_fused_pack_nt<T>(w, kcur, A + ii * lda + kk, lda,
-                                          b_cols, ldb, bc_cur, jb, tile.nr,
-                                          store_full, c_col, ldc, alpha,
-                                          beta_eff);
-              }
-              i_start = tile.mr;
-            } else {
-              // Pack-ahead (sequential) path: baseline behaviour and the
-              // TN/TT + short-stripe fallbacks.
-              if (mode.b == Trans::N) {
-                pack::pack_b_n(B + kk * ldb + jj + j0, ldb, kcur, n_eff,
-                               tile.nr, bc_cur);
-              } else {
-                pack::pack_b_t(B + (jj + j0) * ldb + kk, ldb, kcur, n_eff,
-                               tile.nr, bc_cur);
-              }
-            }
-            ctx.b_src = bc_cur;
-            ctx.b_ld = tile.nr;
-            ctx.b_packed = true;
-          }
-
-          if (a_fused && s == 0) {
-            // First sliver: every full stripe computes its C tile with
-            // the fused kernel while packing its Ac sliver; an edge
-            // stripe packs plainly then runs the packed-A kernel.
-            for (index_t i0 = 0; i0 < mcur; i0 += tile.mr) {
-              const int m_eff = static_cast<int>(
-                  std::min<index_t>(tile.mr, mcur - i0));
-              T* const ac_sliver =
-                  ac + (i0 / tile.mr) * pack::a_sliver_elems(kcur, tile.mr);
-              const T* a_cols = A + kk * lda + ii + i0;
-              T* const c_tile = c_col + i0 * ldc;
-              if (m_eff == tile.mr) {
-                ukr::run_fused_pack_tn<T>(ctx.b_packed, n_eff, kcur,
-                                          a_cols, lda, ac_sliver,
-                                          ctx.b_src, ctx.b_ld, c_tile, ldc,
-                                          alpha, beta_eff);
-              } else {
-                pack::pack_a_t(a_cols, lda, m_eff, kcur, tile.mr,
-                               ac_sliver);
-                if (ctx.b_packed) {
-                  ukr::run_main_tile<T, ukr::AAccess::kPacked,
-                                     ukr::BAccess::kPacked>(
-                      m_eff, n_eff, kcur, ac_sliver, tile.mr, ctx.b_src,
-                      ctx.b_ld, c_tile, ldc, alpha, beta_eff);
-                } else {
-                  ukr::run_main_tile<T, ukr::AAccess::kPacked,
-                                     ukr::BAccess::kDirect>(
-                      m_eff, n_eff, kcur, ac_sliver, tile.mr, ctx.b_src,
-                      ctx.b_ld, c_tile, ldc, alpha, beta_eff);
-                }
-              }
-            }
-            continue;
-          }
-          run_row_tiles(ctx, tile, cfg, i_start, mcur, n_eff, kcur, c_col,
-                        ldc, alpha, beta_eff);
-        }
-      }
-    }
-  }
+  Config serial_cfg = cfg;
+  serial_cfg.threads = 1;
+  const GemmPlan<T> plan = plan_create<T>(mode, M, N, K, serial_cfg);
+  detail::execute_serial(plan, alpha, A, lda, B, ldb, beta, C, ldc);
 }
 
 template void gemm_serial<float>(Mode, index_t, index_t, index_t, float,

@@ -1,13 +1,10 @@
 #include "core/parallel.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/error.h"
-#include "core/dispatch.h"
 #include "core/gemm.h"
-#include "core/model.h"
-#include "core/threadpool.h"
+#include "core/plan_cache.h"
 
 namespace shalom {
 
@@ -26,50 +23,25 @@ template <typename T>
 void gemm_parallel(Mode mode, index_t M, index_t N, index_t K, T alpha,
                    const T* A, index_t lda, const T* B, index_t ldb, T beta,
                    T* C, index_t ldc, const Config& cfg) {
-  int threads = cfg.threads;
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  if (cfg.use_plan_cache) {
+    gemm_cached(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc, cfg);
+    return;
   }
+
+  const int threads = detail::resolve_threads(cfg.threads);
   if (threads <= 1 || M == 0 || N == 0) {
     gemm_serial(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc, cfg);
     return;
   }
 
-  const arch::MachineDescriptor& mach = cfg.resolved_machine();
-  constexpr int kLanes = simd::vec_of_t<T>::kLanes;
-  model::Tile tile = model::tile_for<T>(mach);
-  tile.mr = std::min(tile.mr, ukr::kMaxMr);
-  tile.nr = std::min(tile.nr, ukr::kMaxNrv * kLanes);
-
-  const model::Partition part = model::solve_partition(threads, M, N, tile);
-  const int t = part.tm * part.tn;
-  if (t == 1) {
-    gemm_serial(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc, cfg);
-    return;
-  }
-
-  const std::vector<index_t> rows = split_range(M, part.tm, tile.mr);
-  const std::vector<index_t> cols = split_range(N, part.tn, tile.nr);
-
-  Config serial_cfg = cfg;
-  serial_cfg.threads = 1;
-
-  ThreadPool::global(t).parallel_for(t, [&](int id) {
-    const int pm = id / part.tn;
-    const int pn = id % part.tn;
-    const index_t i0 = rows[pm];
-    const index_t m = rows[pm + 1] - i0;
-    const index_t j0 = cols[pn];
-    const index_t n = cols[pn + 1] - j0;
-    if (m == 0 || n == 0) return;
-
-    // Shift operand views to the thread's sub-block of op(A)/op(B)/C.
-    const T* a_sub = (mode.a == Trans::N) ? A + i0 * lda : A + i0;
-    const T* b_sub = (mode.b == Trans::N) ? B + j0 : B + j0 * ldb;
-    gemm_serial(mode, m, n, K, alpha, a_sub, lda, b_sub, ldb, beta,
-                C + i0 * ldc + j0, ldc, serial_cfg);
-  });
+  // The Tm x Tn partition, the tile-aligned row/col splits and the
+  // per-cell serial decisions all live in the plan layer now; a per-call
+  // parallel GEMM is a throwaway plan executed once.
+  detail::check_gemm_args(mode, M, N, K, A, lda, B, ldb, C, ldc);
+  Config resolved = cfg;
+  resolved.threads = threads;
+  const GemmPlan<T> plan = plan_create<T>(mode, M, N, K, resolved);
+  detail::execute_plan(plan, alpha, A, lda, B, ldb, beta, C, ldc);
 }
 
 template void gemm_parallel<float>(Mode, index_t, index_t, index_t, float,

@@ -1,0 +1,504 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/aligned_buffer.h"
+#include "common/error.h"
+#include "core/dispatch.h"
+#include "core/pack.h"
+#include "core/parallel.h"
+#include "core/threadpool.h"
+
+namespace shalom {
+
+namespace detail {
+
+template <typename T>
+void scale_c(index_t M, index_t N, T beta, T* C, index_t ldc) {
+  if (beta == T{1}) return;
+  for (index_t i = 0; i < M; ++i) {
+    T* row = C + i * ldc;
+    if (beta == T{0}) {
+      std::fill(row, row + N, T{});
+    } else {
+      for (index_t j = 0; j < N; ++j) row[j] *= beta;
+    }
+  }
+}
+
+template void scale_c<float>(index_t, index_t, float, float*, index_t);
+template void scale_c<double>(index_t, index_t, double, double*, index_t);
+
+template <typename T>
+void check_gemm_args(Mode mode, index_t M, index_t N, index_t K, const T* A,
+                     index_t lda, const T* B, index_t ldb, const T* C,
+                     index_t ldc) {
+  SHALOM_REQUIRE(M >= 0 && N >= 0 && K >= 0, " M=", M, " N=", N, " K=", K);
+  const index_t a_cols = (mode.a == Trans::N) ? K : M;
+  const index_t b_cols = (mode.b == Trans::N) ? N : K;
+  SHALOM_REQUIRE(lda >= std::max<index_t>(1, a_cols), " lda=", lda);
+  SHALOM_REQUIRE(ldb >= std::max<index_t>(1, b_cols), " ldb=", ldb);
+  SHALOM_REQUIRE(ldc >= std::max<index_t>(1, N), " ldc=", ldc);
+  if (M > 0 && N > 0) SHALOM_REQUIRE(C != nullptr);
+  if (M > 0 && K > 0) SHALOM_REQUIRE(A != nullptr);
+  if (K > 0 && N > 0) SHALOM_REQUIRE(B != nullptr);
+}
+
+template void check_gemm_args<float>(Mode, index_t, index_t, index_t,
+                                     const float*, index_t, const float*,
+                                     index_t, const float*, index_t);
+template void check_gemm_args<double>(Mode, index_t, index_t, index_t,
+                                      const double*, index_t, const double*,
+                                      index_t, const double*, index_t);
+
+int resolve_threads(int threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+/// Everything the inner tile loop needs about one (ii, kk) block.
+template <typename T>
+struct BlockCtx {
+  // A access: direct (row-major, stride lda) or packed column slivers.
+  bool a_packed = false;
+  const T* a_base = nullptr;  // block corner (direct) or packed buffer
+  index_t a_ld = 0;           // lda (direct) or mr sliver stride (packed)
+
+  // B access for the current sliver.
+  const T* b_src = nullptr;
+  index_t b_ld = 0;  // ldb (direct) or nr (packed)
+  bool b_packed = false;
+};
+
+/// Runs the i0 row-tile loop for one B sliver.
+template <typename T>
+void run_row_tiles(const BlockCtx<T>& ctx, const model::Tile& tile,
+                   bool optimized_edges, index_t i_start, index_t mcur,
+                   int n_eff, index_t kcur, T* c_col, index_t ldc, T alpha,
+                   T beta_eff) {
+  using ukr::AAccess;
+  using ukr::BAccess;
+  for (index_t i0 = i_start; i0 < mcur; i0 += tile.mr) {
+    const int m_eff = static_cast<int>(
+        std::min<index_t>(tile.mr, mcur - i0));
+    const T* a_tile =
+        ctx.a_packed
+            ? ctx.a_base + (i0 / tile.mr) * pack::a_sliver_elems(kcur, tile.mr)
+            : ctx.a_base + i0 * ctx.a_ld;
+    T* c_tile = c_col + i0 * ldc;
+    const bool edge = m_eff < tile.mr || n_eff < tile.nr;
+
+    if (edge && !optimized_edges) {
+      // Ablation: remainder tiles processed by the unscheduled scalar
+      // routine (the cost model of existing libraries' edge handling).
+      if (ctx.a_packed) {
+        ukr::kern_scalar<T, AAccess::kPacked, BAccess::kDirect>(
+            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
+            c_tile, ldc, alpha, beta_eff);
+      } else {
+        ukr::kern_scalar<T, AAccess::kDirect, BAccess::kDirect>(
+            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
+            c_tile, ldc, alpha, beta_eff);
+      }
+      continue;
+    }
+
+    if (ctx.a_packed) {
+      if (ctx.b_packed) {
+        ukr::run_main_tile<T, AAccess::kPacked, BAccess::kPacked>(
+            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
+            c_tile, ldc, alpha, beta_eff);
+      } else {
+        ukr::run_main_tile<T, AAccess::kPacked, BAccess::kDirect>(
+            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
+            c_tile, ldc, alpha, beta_eff);
+      }
+    } else {
+      if (ctx.b_packed) {
+        ukr::run_main_tile<T, AAccess::kDirect, BAccess::kPacked>(
+            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
+            c_tile, ldc, alpha, beta_eff);
+      } else {
+        ukr::run_main_tile<T, AAccess::kDirect, BAccess::kDirect>(
+            m_eff, n_eff, kcur, a_tile, ctx.a_ld, ctx.b_src, ctx.b_ld,
+            c_tile, ldc, alpha, beta_eff);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void execute_serial(const GemmPlan<T>& plan, T alpha, const T* A,
+                    index_t lda, const T* B, index_t ldb, T beta, T* C,
+                    index_t ldc) {
+  const index_t M = plan.m, N = plan.n, K = plan.k;
+  if (M == 0 || N == 0) return;
+  if (K == 0 || alpha == T{0}) {
+    scale_c(M, N, beta, C, ldc);
+    return;
+  }
+
+  const model::Tile& tile = plan.tile;
+
+  // Fast path for small GEMMs (the library's headline workload): the plan
+  // resolved the no-packing case once; jump straight to the register-tile
+  // loops over the full K.
+  if (plan.small_fast_path) {
+    for (index_t j0 = 0; j0 < N; j0 += tile.nr) {
+      const int n_eff =
+          static_cast<int>(std::min<index_t>(tile.nr, N - j0));
+      for (index_t i0 = 0; i0 < M; i0 += tile.mr) {
+        const int m_eff =
+            static_cast<int>(std::min<index_t>(tile.mr, M - i0));
+        ukr::run_main_tile<T, ukr::AAccess::kDirect, ukr::BAccess::kDirect>(
+            m_eff, n_eff, K, A + i0 * lda, lda, B + j0, ldb,
+            C + i0 * ldc + j0, ldc, alpha, beta);
+      }
+    }
+    return;
+  }
+
+  const Mode mode = plan.mode;
+  const model::Blocking& blk = plan.blk;
+  const model::PackDecision& pack_plan = plan.pack;
+  const bool a_packed = plan.a_packed;
+  const bool b_packed = plan.b_packed;
+  const bool a_fused = plan.a_fused;
+  const bool b_fusable = plan.b_fusable;
+  const index_t ac_elems = plan.ac_elems;
+  const index_t bc_sliver = plan.bc_sliver;
+
+  // Grow-only: a no-op after the plan's creation-time reservation unless
+  // this thread's arena has never served a problem this large.
+  AlignedBuffer& arena = thread_pack_arena();
+  arena.reserve(plan.arena_bytes);
+  T* const ac = arena.as<T>();
+  T* const bc_base = ac + ac_elems + ukr::kPackSlackElems;
+
+  for (index_t jj = 0; jj < N; jj += blk.nc) {
+    const index_t ncur = std::min<index_t>(blk.nc, N - jj);
+    for (index_t ii = 0; ii < M; ii += blk.mc) {
+      const index_t mcur = std::min<index_t>(blk.mc, M - ii);
+      for (index_t kk = 0; kk < K; kk += blk.kc) {
+        const index_t kcur = std::min<index_t>(blk.kc, K - kk);
+        const T beta_eff = (kk == 0) ? beta : T{1};
+
+        BlockCtx<T> ctx;
+        ctx.a_packed = a_packed;
+        if (a_packed) {
+          if (a_fused) {
+            // Deferred: the s == 0 stripe loop below fills Ac.
+          } else if (mode.a == Trans::N) {
+            pack::pack_a_n(A + ii * lda + kk, lda, mcur, kcur, tile.mr, ac);
+          } else {
+            pack::pack_a_t(A + kk * lda + ii, lda, mcur, kcur, tile.mr, ac);
+          }
+          ctx.a_base = ac;
+          ctx.a_ld = tile.mr;
+        } else {
+          SHALOM_ASSERT(mode.a == Trans::N);
+          ctx.a_base = A + ii * lda + kk;
+          ctx.a_ld = lda;
+        }
+
+        const index_t nslivers = (ncur + tile.nr - 1) / tile.nr;
+        // True when the previous fused call already streamed the current
+        // sliver into its packed buffer (pack-ahead t = 1 pipeline).
+        bool prepacked = false;
+        for (index_t s = 0; s < nslivers; ++s) {
+          const index_t j0 = s * tile.nr;
+          const int n_eff = static_cast<int>(
+              std::min<index_t>(tile.nr, ncur - j0));
+          T* const c_col = C + ii * ldc + jj + j0;
+          index_t i_start = 0;
+
+          if (!b_packed) {
+            SHALOM_ASSERT(mode.b == Trans::N);
+            ctx.b_src = B + kk * ldb + jj + j0;
+            ctx.b_ld = ldb;
+            ctx.b_packed = false;
+          } else {
+            T* const bc_cur = bc_base + (s % 2) * bc_sliver;
+            T* const bc_next = bc_base + ((s + 1) % 2) * bc_sliver;
+            const bool fused = b_fusable && mcur >= tile.mr;
+
+            if (fused && mode.b == Trans::N) {
+              // NN fused pack (Fig. 4). With pack-ahead (t = 1) the
+              // current sliver arrives pre-packed from the previous
+              // iteration, and this call streams sliver s+1 into the
+              // other buffer while computing the first C stripe. Only
+              // full-width next slivers are streamed ahead; an edge
+              // final sliver packs itself on arrival.
+              const bool next_full =
+                  s + 1 < nslivers && ncur - (s + 1) * tile.nr >= tile.nr;
+              const bool ahead = pack_plan.pack_ahead == 1 && next_full;
+              const T* b_cur =
+                  prepacked ? bc_cur : B + kk * ldb + jj + j0;
+              const index_t b_cur_ld = prepacked ? tile.nr : ldb;
+              const T* b_next =
+                  ahead ? B + kk * ldb + jj + j0 + tile.nr : nullptr;
+              ukr::run_fused_pack_nn<T>(
+                  !prepacked, ahead, n_eff, kcur, A + ii * lda + kk, lda,
+                  b_cur, b_cur_ld, bc_cur, b_next, ldb,
+                  ahead ? bc_next : nullptr, c_col, ldc, alpha, beta_eff);
+              prepacked = ahead;
+              i_start = tile.mr;
+            } else if (fused && mode.b == Trans::T && kcur >= 32) {
+              // NT fused pack (Fig. 5 / Algorithm 3): inner-product
+              // compute + scatter, 3 op(B) columns per call. The kernel
+              // ends with a horizontal reduction of all mr x nr
+              // accumulators, a fixed cost only a long enough K loop
+              // amortizes; tiny-K slivers take the plain-pack path below
+              // instead (same results, no reduction).
+              if (n_eff < tile.nr)
+                std::fill(bc_cur, bc_cur + kcur * tile.nr, T{});
+              const T* b_cols = B + (jj + j0) * ldb + kk;
+              for (int jb = 0; jb < n_eff; jb += 3) {
+                const int w = std::min(3, n_eff - jb);
+                const bool store_full = jb + w < n_eff;
+                ukr::run_fused_pack_nt<T>(w, kcur, A + ii * lda + kk, lda,
+                                          b_cols, ldb, bc_cur, jb, tile.nr,
+                                          store_full, c_col, ldc, alpha,
+                                          beta_eff);
+              }
+              i_start = tile.mr;
+            } else {
+              // Pack-ahead (sequential) path: baseline behaviour and the
+              // TN/TT + short-stripe fallbacks.
+              if (mode.b == Trans::N) {
+                pack::pack_b_n(B + kk * ldb + jj + j0, ldb, kcur, n_eff,
+                               tile.nr, bc_cur);
+              } else {
+                pack::pack_b_t(B + (jj + j0) * ldb + kk, ldb, kcur, n_eff,
+                               tile.nr, bc_cur);
+              }
+            }
+            ctx.b_src = bc_cur;
+            ctx.b_ld = tile.nr;
+            ctx.b_packed = true;
+          }
+
+          if (a_fused && s == 0) {
+            // First sliver: every full stripe computes its C tile with
+            // the fused kernel while packing its Ac sliver; an edge
+            // stripe packs plainly then runs the packed-A kernel.
+            for (index_t i0 = 0; i0 < mcur; i0 += tile.mr) {
+              const int m_eff = static_cast<int>(
+                  std::min<index_t>(tile.mr, mcur - i0));
+              T* const ac_sliver =
+                  ac + (i0 / tile.mr) * pack::a_sliver_elems(kcur, tile.mr);
+              const T* a_cols = A + kk * lda + ii + i0;
+              T* const c_tile = c_col + i0 * ldc;
+              if (m_eff == tile.mr) {
+                ukr::run_fused_pack_tn<T>(ctx.b_packed, n_eff, kcur,
+                                          a_cols, lda, ac_sliver,
+                                          ctx.b_src, ctx.b_ld, c_tile, ldc,
+                                          alpha, beta_eff);
+              } else {
+                pack::pack_a_t(a_cols, lda, m_eff, kcur, tile.mr,
+                               ac_sliver);
+                if (ctx.b_packed) {
+                  ukr::run_main_tile<T, ukr::AAccess::kPacked,
+                                     ukr::BAccess::kPacked>(
+                      m_eff, n_eff, kcur, ac_sliver, tile.mr, ctx.b_src,
+                      ctx.b_ld, c_tile, ldc, alpha, beta_eff);
+                } else {
+                  ukr::run_main_tile<T, ukr::AAccess::kPacked,
+                                     ukr::BAccess::kDirect>(
+                      m_eff, n_eff, kcur, ac_sliver, tile.mr, ctx.b_src,
+                      ctx.b_ld, c_tile, ldc, alpha, beta_eff);
+                }
+              }
+            }
+            continue;
+          }
+          run_row_tiles(ctx, tile, plan.optimized_edges, i_start, mcur,
+                        n_eff, kcur, c_col, ldc, alpha, beta_eff);
+        }
+      }
+    }
+  }
+}
+
+template void execute_serial<float>(const GemmPlan<float>&, float,
+                                    const float*, index_t, const float*,
+                                    index_t, float, float*, index_t);
+template void execute_serial<double>(const GemmPlan<double>&, double,
+                                     const double*, index_t, const double*,
+                                     index_t, double, double*, index_t);
+
+template <typename T>
+void execute_plan(const GemmPlan<T>& plan, T alpha, const T* A, index_t lda,
+                  const T* B, index_t ldb, T beta, T* C, index_t ldc) {
+  if (plan.threads <= 1) {
+    execute_serial(plan, alpha, A, lda, B, ldb, beta, C, ldc);
+    return;
+  }
+  if (plan.m == 0 || plan.n == 0) return;
+  if (plan.k == 0 || alpha == T{0}) {
+    scale_c(plan.m, plan.n, beta, C, ldc);
+    return;
+  }
+
+  const Mode mode = plan.mode;
+  const int t = plan.threads;
+  ThreadPool::global(t).parallel_for(t, [&](int id) {
+    const GemmPlan<T>& s = plan.sub[id];
+    if (s.m == 0 || s.n == 0) return;
+    const int pm = id / plan.part.tn;
+    const int pn = id % plan.part.tn;
+    const index_t i0 = plan.rows[pm];
+    const index_t j0 = plan.cols[pn];
+
+    // Shift operand views to the thread's sub-block of op(A)/op(B)/C.
+    const T* a_sub = (mode.a == Trans::N) ? A + i0 * lda : A + i0;
+    const T* b_sub = (mode.b == Trans::N) ? B + j0 : B + j0 * ldb;
+    execute_serial(s, alpha, a_sub, lda, b_sub, ldb, beta,
+                   C + i0 * ldc + j0, ldc);
+  });
+}
+
+template void execute_plan<float>(const GemmPlan<float>&, float,
+                                  const float*, index_t, const float*,
+                                  index_t, float, float*, index_t);
+template void execute_plan<double>(const GemmPlan<double>&, double,
+                                   const double*, index_t, const double*,
+                                   index_t, double, double*, index_t);
+
+}  // namespace detail
+
+template <typename T>
+GemmPlan<T> plan_create(Mode mode, index_t M, index_t N, index_t K,
+                        const Config& cfg) {
+  SHALOM_REQUIRE(M >= 0 && N >= 0 && K >= 0, " M=", M, " N=", N, " K=", K);
+
+  GemmPlan<T> p;
+  p.mode = mode;
+  p.m = M;
+  p.n = N;
+  p.k = K;
+  p.optimized_edges = cfg.optimized_edges;
+
+  const arch::MachineDescriptor& mach = cfg.resolved_machine();
+  constexpr int kLanes = simd::vec_of_t<T>::kLanes;
+  p.tile = model::tile_for<T>(mach);
+  p.tile.mr = std::min(p.tile.mr, ukr::kMaxMr);
+  p.tile.nr = std::min(p.tile.nr, ukr::kMaxNrv * kLanes);
+
+  // Degenerate shapes: execution only ever scales C (or returns).
+  if (M == 0 || N == 0 || K == 0) return p;
+
+  const int want = detail::resolve_threads(cfg.threads);
+  if (want > 1) {
+    const model::Partition part = model::solve_partition(want, M, N, p.tile);
+    const int t = part.tm * part.tn;
+    if (t > 1) {
+      p.threads = t;
+      p.part = part;
+      p.rows = split_range(M, part.tm, p.tile.mr);
+      p.cols = split_range(N, part.tn, p.tile.nr);
+
+      Config serial_cfg = cfg;
+      serial_cfg.threads = 1;
+      p.sub.reserve(static_cast<std::size_t>(t));
+      std::size_t max_arena = 0;
+      for (int id = 0; id < t; ++id) {
+        const int pm = id / part.tn;
+        const int pn = id % part.tn;
+        const index_t m = p.rows[pm + 1] - p.rows[pm];
+        const index_t n = p.cols[pn + 1] - p.cols[pn];
+        if (m == 0 || n == 0) {
+          p.sub.emplace_back();  // empty cell: m == 0 marks "skip"
+        } else {
+          p.sub.push_back(plan_create<T>(mode, m, n, K, serial_cfg));
+          max_arena = std::max(max_arena, p.sub.back().arena_bytes);
+        }
+      }
+      p.arena_bytes = max_arena;
+      // Pre-size every pool worker's arena now (persistent-pool
+      // reservation): executions then never touch the allocator. The
+      // fork-join cost is paid once per plan, not per call.
+      if (max_arena > 0) {
+        ThreadPool::global(t).parallel_for(t, [&](int) {
+          thread_pack_arena().reserve(max_arena);
+        });
+      }
+      return p;
+    }
+  }
+
+  // Serial plan: resolve the per-call decision chain once.
+  if (cfg.selective_packing && cfg.optimized_edges && mode.a == Trans::N &&
+      mode.b == Trans::N &&
+      static_cast<std::size_t>(K) * N * sizeof(T) <= mach.l1d.size_bytes) {
+    p.small_fast_path = true;
+    return p;
+  }
+
+  p.blk = model::solve_blocking<T>(mach, p.tile, M, N, K);
+  if (cfg.kc_override > 0) p.blk.kc = std::min(cfg.kc_override, K);
+  if (cfg.mc_override > 0)
+    p.blk.mc = std::max<index_t>(p.tile.mr,
+                                 cfg.mc_override / p.tile.mr * p.tile.mr);
+  if (cfg.nc_override > 0)
+    p.blk.nc = std::max<index_t>(p.tile.nr,
+                                 cfg.nc_override / p.tile.nr * p.tile.nr);
+  p.pack = model::decide_packing<T>(mach, mode, M, N, K, cfg);
+
+  p.a_packed = p.pack.a != model::PackPlan::kNone;
+  p.b_packed = p.pack.b != model::PackPlan::kNone;
+  // Fused (overlapped) A packing for the transposed-A modes (Section
+  // 4.3): the first column sliver's stripes compute while streaming op(A)
+  // into Ac; later slivers reuse the packed block.
+  p.a_fused = p.a_packed && p.pack.a == model::PackPlan::kPackFused &&
+              mode.a == Trans::T && p.tile.mr == ukr::kMaxMr &&
+              cfg.optimized_edges;
+  // Fused (overlapped) B packing needs in-place A reads and a full-height
+  // first stripe (the NN/NT kernels). For TN/TT it is A that gets the
+  // fused treatment (a_fused above); fusing both at once would double the
+  // pack stores inside one kernel for no benefit.
+  p.b_fusable = p.b_packed && p.pack.b == model::PackPlan::kPackFused &&
+                !p.a_packed && p.tile.mr == ukr::kMaxMr &&
+                p.tile.nr == ukr::kNrFull<T>;
+
+  // Arena: [Ac panel][Bc sliver 0][Bc sliver 1], each with vector slack.
+  p.ac_elems =
+      p.a_packed ? pack::a_panel_elems(p.blk.mc, p.blk.kc, p.tile.mr) : 0;
+  p.bc_sliver = p.b_packed ? pack::b_sliver_elems(p.blk.kc, p.tile.nr) +
+                                 ukr::kPackSlackElems
+                           : 0;
+  p.arena_bytes =
+      static_cast<std::size_t>(p.ac_elems + ukr::kPackSlackElems +
+                               2 * p.bc_sliver) *
+      sizeof(T);
+  thread_pack_arena().reserve(p.arena_bytes);
+  return p;
+}
+
+template GemmPlan<float> plan_create<float>(Mode, index_t, index_t, index_t,
+                                            const Config&);
+template GemmPlan<double> plan_create<double>(Mode, index_t, index_t,
+                                              index_t, const Config&);
+
+template <typename T>
+void plan_execute(const GemmPlan<T>& plan, T alpha, const T* A, index_t lda,
+                  const T* B, index_t ldb, T beta, T* C, index_t ldc) {
+  detail::check_gemm_args(plan.mode, plan.m, plan.n, plan.k, A, lda, B, ldb,
+                          C, ldc);
+  detail::execute_plan(plan, alpha, A, lda, B, ldb, beta, C, ldc);
+}
+
+template void plan_execute<float>(const GemmPlan<float>&, float,
+                                  const float*, index_t, const float*,
+                                  index_t, float, float*, index_t);
+template void plan_execute<double>(const GemmPlan<double>&, double,
+                                   const double*, index_t, const double*,
+                                   index_t, double, double*, index_t);
+
+}  // namespace shalom

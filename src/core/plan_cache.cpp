@@ -1,0 +1,344 @@
+#include "core/plan_cache.h"
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.h"
+#include "core/gemm.h"
+#include "core/parallel.h"
+
+namespace shalom {
+
+namespace {
+
+inline std::uint64_t fnv1a_init() { return 0xCBF29CE484222325ull; }
+
+inline std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  // Mix 8 bytes at a time; good enough dispersion for a keyed hash map.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const {
+    std::uint64_t h = fnv1a_init();
+    h = fnv1a_mix(h, (static_cast<std::uint64_t>(k.trans_a) << 16) |
+                         (static_cast<std::uint64_t>(k.trans_b) << 8) |
+                         k.ld_class);
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(k.m));
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(k.n));
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(k.k));
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(k.threads));
+    h = fnv1a_mix(h, k.cfg_hash);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+LdClass classify_ld(Mode mode, index_t M, index_t N, index_t K, index_t lda,
+                    index_t ldb, index_t ldc) {
+  const index_t a_cols = (mode.a == Trans::N) ? K : M;
+  const index_t b_cols = (mode.b == Trans::N) ? N : K;
+  const bool tight = lda == a_cols && ldb == b_cols && ldc == N;
+  return tight ? LdClass::kContiguous : LdClass::kPadded;
+}
+
+namespace {
+
+// Hash the machine by its model-relevant parameters, not by pointer: a
+// caller-owned descriptor may die and another may reuse its address.
+std::uint64_t hash_machine(const arch::MachineDescriptor& m) {
+  std::uint64_t h = fnv1a_init();
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(m.vector_registers));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(m.vector_bits));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(m.cores));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(m.l1d.size_bytes));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(m.l2.size_bytes));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(m.l2.shared_by_cores));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(m.l3.size_bytes));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const Config& cfg) {
+  std::uint64_t h = fnv1a_init();
+  h = fnv1a_mix(h, (cfg.selective_packing ? 1u : 0u) |
+                       (cfg.fused_packing ? 2u : 0u) |
+                       (cfg.optimized_edges ? 4u : 0u));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(cfg.kc_override));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(cfg.mc_override));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(cfg.nc_override));
+  std::uint64_t machine_hash;
+  if (cfg.machine == nullptr) {
+    // This is every call on the default config, and the host descriptor
+    // is immutable once probed: hash it exactly once.
+    static const std::uint64_t host_hash =
+        hash_machine(Config{}.resolved_machine());
+    machine_hash = host_hash;
+  } else {
+    machine_hash = hash_machine(*cfg.machine);
+  }
+  h = fnv1a_mix(h, machine_hash);
+  return h;
+}
+
+PlanKey make_plan_key(Mode mode, index_t M, index_t N, index_t K,
+                      LdClass ld_class, int threads, const Config& cfg) {
+  PlanKey key;
+  key.trans_a = mode.a == Trans::T ? 1 : 0;
+  key.trans_b = mode.b == Trans::T ? 1 : 0;
+  key.ld_class = static_cast<std::uint8_t>(ld_class);
+  key.m = M;
+  key.n = N;
+  key.k = K;
+  key.threads = threads;
+  key.cfg_hash = config_fingerprint(cfg);
+  return key;
+}
+
+template <typename T>
+struct PlanCache<T>::Impl {
+  using PlanPtr = typename PlanCache<T>::PlanPtr;
+  using LruList = std::list<std::pair<PlanKey, PlanPtr>>;
+
+  mutable std::mutex mu;
+  LruList lru;  // front = most recently used
+  std::unordered_map<PlanKey, typename LruList::iterator, PlanKeyHash> map;
+  std::size_t capacity;
+  PlanCacheStats counters;
+  // Lock-free side channel for the per-thread memos in gemm_cached.
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<std::uint64_t> memo_hits{0};
+
+  explicit Impl(std::size_t cap) : capacity(cap) {}
+
+  /// Caller must hold mu. Moves the hit entry to the LRU front.
+  PlanPtr lookup_locked(const PlanKey& key) {
+    auto it = map.find(key);
+    if (it == map.end()) return nullptr;
+    lru.splice(lru.begin(), lru, it->second);
+    return it->second->second;
+  }
+
+  /// Caller must hold mu. Inserts (or replaces) and trims to capacity.
+  void insert_locked(const PlanKey& key, PlanPtr plan) {
+    auto it = map.find(key);
+    if (it != map.end()) {
+      it->second->second = std::move(plan);
+      lru.splice(lru.begin(), lru, it->second);
+      return;
+    }
+    if (capacity == 0) return;
+    lru.emplace_front(key, std::move(plan));
+    map.emplace(key, lru.begin());
+    while (map.size() > capacity) {
+      map.erase(lru.back().first);
+      lru.pop_back();
+      ++counters.evictions;
+    }
+  }
+};
+
+template <typename T>
+PlanCache<T>::PlanCache(std::size_t capacity)
+    : impl_(std::make_unique<Impl>(capacity)) {}
+
+template <typename T>
+PlanCache<T>::~PlanCache() = default;
+
+template <typename T>
+PlanCache<T>& PlanCache<T>::global() {
+  static PlanCache<T> cache;
+  return cache;
+}
+
+template <typename T>
+typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
+    const PlanKey& key, Mode mode, index_t M, index_t N, index_t K,
+    const Config& cfg) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (PlanPtr hit = impl_->lookup_locked(key)) {
+      ++impl_->counters.hits;
+      return hit;
+    }
+    ++impl_->counters.misses;
+  }
+  // Build outside the lock: plan creation may solve models, size arenas
+  // and fork the pool, none of which should serialize other shapes. A
+  // racing creator for the same key costs one duplicate build, not a
+  // wrong result - insert_locked keeps whichever lands last.
+  PlanPtr plan =
+      std::make_shared<const GemmPlan<T>>(plan_create<T>(mode, M, N, K, cfg));
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->insert_locked(key, plan);
+  return plan;
+}
+
+template <typename T>
+typename PlanCache<T>::PlanPtr PlanCache<T>::lookup(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  PlanPtr hit = impl_->lookup_locked(key);
+  if (hit) {
+    ++impl_->counters.hits;
+  } else {
+    ++impl_->counters.misses;
+  }
+  return hit;
+}
+
+template <typename T>
+void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
+  SHALOM_REQUIRE(plan != nullptr);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->insert_locked(key, std::move(plan));
+  // A key may now map to a different plan (tuner re-seed): memos must
+  // revalidate.
+  impl_->generation.fetch_add(1, std::memory_order_release);
+}
+
+template <typename T>
+void PlanCache<T>::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->capacity = capacity;
+  while (impl_->map.size() > capacity) {
+    impl_->map.erase(impl_->lru.back().first);
+    impl_->lru.pop_back();
+    ++impl_->counters.evictions;
+  }
+  impl_->generation.fetch_add(1, std::memory_order_release);
+}
+
+template <typename T>
+void PlanCache<T>::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->map.clear();
+  impl_->lru.clear();
+  impl_->counters = PlanCacheStats{};
+  impl_->memo_hits.store(0, std::memory_order_relaxed);
+  impl_->generation.fetch_add(1, std::memory_order_release);
+}
+
+template <typename T>
+PlanCacheStats PlanCache<T>::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  PlanCacheStats s = impl_->counters;
+  s.hits += impl_->memo_hits.load(std::memory_order_relaxed);
+  s.size = impl_->map.size();
+  s.capacity = impl_->capacity;
+  return s;
+}
+
+template <typename T>
+std::uint64_t PlanCache<T>::generation() const {
+  return impl_->generation.load(std::memory_order_acquire);
+}
+
+template <typename T>
+void PlanCache<T>::note_memo_hit() {
+  impl_->memo_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+template class PlanCache<float>;
+template class PlanCache<double>;
+
+template <typename T>
+void gemm_cached(Mode mode, index_t M, index_t N, index_t K, T alpha,
+                 const T* A, index_t lda, const T* B, index_t ldb, T beta,
+                 T* C, index_t ldc, const Config& cfg) {
+  detail::check_gemm_args(mode, M, N, K, A, lda, B, ldb, C, ldc);
+  if (M == 0 || N == 0) return;
+  if (K == 0 || alpha == T{0}) {
+    detail::scale_c(M, N, beta, C, ldc);
+    return;
+  }
+
+  if (!cfg.use_plan_cache) {
+    if (cfg.threads == 1) {
+      gemm_serial(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc, cfg);
+    } else {
+      gemm_parallel(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc,
+                    cfg);
+    }
+    return;
+  }
+
+  // Per-thread last-plan memo: repeated same-shape calls (the dominant
+  // pattern this layer targets) skip key hashing, the cache mutex and the
+  // LRU update entirely. The memo compares the raw call parameters - a
+  // handful of integer compares, strictly finer-grained than the cache
+  // key - and the generation check revalidates after clear/set_capacity/
+  // external insert. An LRU eviction does not invalidate the memo: the
+  // shared_ptr keeps the plan alive and it is still the right plan.
+  struct RawParams {
+    Trans ta{}, tb{};
+    index_t m = -1, n = -1, k = -1, lda = -1, ldb = -1, ldc = -1;
+    int threads = 0;
+    bool selective = false, fused = false, edges = false;
+    index_t kc = 0, mc = 0, nc = 0;
+    const arch::MachineDescriptor* machine = nullptr;
+
+    bool operator==(const RawParams&) const = default;
+  };
+  struct Memo {
+    RawParams params;
+    typename PlanCache<T>::PlanPtr plan;
+    std::uint64_t gen = 0;
+  };
+  thread_local Memo memo;
+
+  const RawParams params{mode.a,
+                         mode.b,
+                         M,
+                         N,
+                         K,
+                         lda,
+                         ldb,
+                         ldc,
+                         cfg.threads,
+                         cfg.selective_packing,
+                         cfg.fused_packing,
+                         cfg.optimized_edges,
+                         cfg.kc_override,
+                         cfg.mc_override,
+                         cfg.nc_override,
+                         cfg.machine};
+
+  auto& cache = PlanCache<T>::global();
+  const std::uint64_t gen = cache.generation();
+  if (memo.plan != nullptr && memo.gen == gen && memo.params == params) {
+    cache.note_memo_hit();
+    detail::execute_plan(*memo.plan, alpha, A, lda, B, ldb, beta, C, ldc);
+    return;
+  }
+
+  Config resolved = cfg;
+  resolved.threads = detail::resolve_threads(cfg.threads);
+  const PlanKey key =
+      make_plan_key(mode, M, N, K, classify_ld(mode, M, N, K, lda, ldb, ldc),
+                    resolved.threads, resolved);
+  auto plan = cache.get_or_create(key, mode, M, N, K, resolved);
+  memo.params = params;
+  memo.plan = plan;
+  memo.gen = gen;
+  detail::execute_plan(*plan, alpha, A, lda, B, ldb, beta, C, ldc);
+}
+
+template void gemm_cached<float>(Mode, index_t, index_t, index_t, float,
+                                 const float*, index_t, const float*,
+                                 index_t, float, float*, index_t,
+                                 const Config&);
+template void gemm_cached<double>(Mode, index_t, index_t, index_t, double,
+                                  const double*, index_t, const double*,
+                                  index_t, double, double*, index_t,
+                                  const Config&);
+
+}  // namespace shalom

@@ -1,6 +1,17 @@
 #include "core/shalom_c.h"
 
+#include <memory>
+#include <new>
+
+#include "core/plan.h"
 #include "core/shalom.h"
+
+/* Opaque plan handle: one GemmPlan per element type, selected by dtype. */
+struct shalom_plan {
+  char dtype = 0;  // 's' or 'd'
+  shalom::GemmPlan<float> fplan;
+  shalom::GemmPlan<double> dplan;
+};
 
 namespace {
 
@@ -54,3 +65,69 @@ extern "C" int shalom_dgemm(char trans_a, char trans_b, ptrdiff_t m,
   return gemm_c(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
                 ldc, threads);
 }
+
+extern "C" int shalom_plan_create(shalom_plan** out_plan, char dtype,
+                                  char trans_a, char trans_b, ptrdiff_t m,
+                                  ptrdiff_t n, ptrdiff_t k, int threads) {
+  if (out_plan == nullptr) return 3;
+  *out_plan = nullptr;
+  if (dtype != 's' && dtype != 'S' && dtype != 'd' && dtype != 'D') return 1;
+  shalom::Trans ta, tb;
+  if (!parse_trans(trans_a, ta) || !parse_trans(trans_b, tb)) return 1;
+
+  shalom::Config cfg;
+  cfg.threads = threads <= 0 ? 0 : threads;
+  const shalom::Mode mode{ta, tb};
+  try {
+    auto plan = std::make_unique<shalom_plan>();
+    if (dtype == 's' || dtype == 'S') {
+      plan->dtype = 's';
+      plan->fplan = shalom::plan_create<float>(mode, m, n, k, cfg);
+    } else {
+      plan->dtype = 'd';
+      plan->dplan = shalom::plan_create<double>(mode, m, n, k, cfg);
+    }
+    *out_plan = plan.release();
+  } catch (const shalom::invalid_argument&) {
+    return 2;
+  } catch (const std::bad_alloc&) {
+    return 5;
+  }
+  return 0;
+}
+
+namespace {
+
+template <typename T>
+int plan_execute_c(const shalom::GemmPlan<T>& plan, T alpha, const T* a,
+                   ptrdiff_t lda, const T* b, ptrdiff_t ldb, T beta, T* c,
+                   ptrdiff_t ldc) {
+  try {
+    shalom::plan_execute(plan, alpha, a, lda, b, ldb, beta, c, ldc);
+  } catch (const shalom::invalid_argument&) {
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+extern "C" int shalom_plan_execute_s(const shalom_plan* plan, float alpha,
+                                     const float* a, ptrdiff_t lda,
+                                     const float* b, ptrdiff_t ldb,
+                                     float beta, float* c, ptrdiff_t ldc) {
+  if (plan == nullptr) return 3;
+  if (plan->dtype != 's') return 4;
+  return plan_execute_c(plan->fplan, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+extern "C" int shalom_plan_execute_d(const shalom_plan* plan, double alpha,
+                                     const double* a, ptrdiff_t lda,
+                                     const double* b, ptrdiff_t ldb,
+                                     double beta, double* c, ptrdiff_t ldc) {
+  if (plan == nullptr) return 3;
+  if (plan->dtype != 'd') return 4;
+  return plan_execute_c(plan->dplan, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+extern "C" void shalom_plan_destroy(shalom_plan* plan) { delete plan; }

@@ -23,6 +23,40 @@ int shalom_dgemm(char trans_a, char trans_b, ptrdiff_t m, ptrdiff_t n,
                  const double* b, ptrdiff_t ldb, double beta, double* c,
                  ptrdiff_t ldc, int threads);
 
+/* ------------------------------------------------------------------------
+ * Execution-plan API: create a plan once for a (dtype, transposes, shape,
+ * threads) combination, execute it many times, destroy it when done. The
+ * plan snapshots every shape-dependent decision, so repeated executions
+ * skip the per-call analytic models entirely. Executing one plan from
+ * several threads at once is safe.
+ *
+ * Return codes: 0 success, 1 invalid dtype/transpose flag, 2 invalid
+ * dimensions or strides, 3 null handle or output pointer, 4 dtype
+ * mismatch between plan and execute entry point, 5 allocation failure.
+ * ---------------------------------------------------------------------- */
+
+typedef struct shalom_plan shalom_plan;
+
+/* dtype is 's' (float) or 'd' (double); threads <= 0 selects all cores.
+ * On success *out_plan owns the plan; free it with shalom_plan_destroy. */
+int shalom_plan_create(shalom_plan** out_plan, char dtype, char trans_a,
+                       char trans_b, ptrdiff_t m, ptrdiff_t n, ptrdiff_t k,
+                       int threads);
+
+/* C = alpha * op(A) . op(B) + beta * C with the plan's shape; strides are
+ * validated against the plan on every call. */
+int shalom_plan_execute_s(const shalom_plan* plan, float alpha,
+                          const float* a, ptrdiff_t lda, const float* b,
+                          ptrdiff_t ldb, float beta, float* c,
+                          ptrdiff_t ldc);
+int shalom_plan_execute_d(const shalom_plan* plan, double alpha,
+                          const double* a, ptrdiff_t lda, const double* b,
+                          ptrdiff_t ldb, double beta, double* c,
+                          ptrdiff_t ldc);
+
+/* Safe on NULL. */
+void shalom_plan_destroy(shalom_plan* plan);
+
 #ifdef __cplusplus
 }
 #endif

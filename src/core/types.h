@@ -34,6 +34,13 @@ struct Config {
   /// Machine the analytic models should target; nullptr = running host.
   const arch::MachineDescriptor* machine = nullptr;
 
+  /// Consult the global shape-keyed execution-plan cache (core/plan_cache.h)
+  /// from the public gemm/gemm_parallel/gemm_batch entry points, so
+  /// repeated calls on the same shape skip the analytic decision chain.
+  /// Plan execution runs the identical loop nest, so results are bitwise
+  /// equal either way; disable for the per-call ablation baseline.
+  bool use_plan_cache = true;
+
   /// Cache-blocking overrides for the auto-tuner (paper Section 10 future
   /// work): 0 keeps the analytic model's value. Values are rounded to the
   /// register-tile multiples the driver requires.

@@ -1,5 +1,7 @@
 // Tests for the C API: happy path against the oracle, transpose-flag
-// parsing, error codes and thread handling.
+// parsing, error codes and thread handling, plus the opaque plan handle
+// (shalom_plan_create / _execute_s / _execute_d / _destroy) including
+// every documented error code.
 #include <gtest/gtest.h>
 
 #include "core/shalom_c.h"
@@ -52,6 +54,97 @@ TEST(CApi, MultiThreaded) {
   p.run_reference(1.f, 0.f);
   p.expect_matches("shalom_sgemm threads=4");
 }
+
+TEST(CApi, PlanSingleMatchesOracle) {
+  testing::Problem<float> p({Trans::N, Trans::T}, 14, 19, 11);
+  shalom_plan* plan = nullptr;
+  ASSERT_EQ(shalom_plan_create(&plan, 's', 'N', 'T', 14, 19, 11, 1), 0);
+  ASSERT_NE(plan, nullptr);
+
+  // Execute twice: a plan is a reusable handle, and the second run must
+  // accumulate into the first's output through beta.
+  EXPECT_EQ(shalom_plan_execute_s(plan, 1.25f, p.a.data(), p.a.ld(),
+                                  p.b.data(), p.b.ld(), 0.0f, p.c.data(),
+                                  p.c.ld()),
+            0);
+  EXPECT_EQ(shalom_plan_execute_s(plan, 1.25f, p.a.data(), p.a.ld(),
+                                  p.b.data(), p.b.ld(), 1.0f, p.c.data(),
+                                  p.c.ld()),
+            0);
+  shalom_plan_destroy(plan);
+
+  p.run_reference(1.25f, 0.0f);   // first pass
+  p.run_reference(1.25f, 1.0f);   // accumulate
+  p.expect_matches("plan execute_s twice");
+}
+
+TEST(CApi, PlanDoubleMatchesOracle) {
+  testing::Problem<double> p({Trans::T, Trans::N}, 21, 8, 33);
+  shalom_plan* plan = nullptr;
+  ASSERT_EQ(shalom_plan_create(&plan, 'd', 't', 'n', 21, 8, 33, 2), 0);
+  EXPECT_EQ(shalom_plan_execute_d(plan, -1.0, p.a.data(), p.a.ld(),
+                                  p.b.data(), p.b.ld(), 0.5, p.c.data(),
+                                  p.c.ld()),
+            0);
+  shalom_plan_destroy(plan);
+  p.run_reference(-1.0, 0.5);
+  p.expect_matches("plan execute_d");
+}
+
+TEST(CApi, PlanCreateErrorPaths) {
+  shalom_plan* plan = nullptr;
+  // Null out pointer.
+  EXPECT_EQ(shalom_plan_create(nullptr, 's', 'N', 'N', 4, 4, 4, 1), 3);
+  // Unknown dtype and transpose flags.
+  EXPECT_EQ(shalom_plan_create(&plan, 'x', 'N', 'N', 4, 4, 4, 1), 1);
+  EXPECT_EQ(plan, nullptr);
+  EXPECT_EQ(shalom_plan_create(&plan, 's', 'Q', 'N', 4, 4, 4, 1), 1);
+  EXPECT_EQ(shalom_plan_create(&plan, 's', 'N', '?', 4, 4, 4, 1), 1);
+  // Negative dimensions.
+  EXPECT_EQ(shalom_plan_create(&plan, 's', 'N', 'N', -1, 4, 4, 1), 2);
+  EXPECT_EQ(shalom_plan_create(&plan, 'd', 'N', 'N', 4, -2, 4, 1), 2);
+  EXPECT_EQ(plan, nullptr);
+}
+
+TEST(CApi, PlanExecuteErrorPaths) {
+  testing::Problem<float> p({Trans::N, Trans::N}, 6, 6, 6);
+  // Null handle.
+  EXPECT_EQ(shalom_plan_execute_s(nullptr, 1.f, p.a.data(), p.a.ld(),
+                                  p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                                  p.c.ld()),
+            3);
+
+  shalom_plan* plan = nullptr;
+  ASSERT_EQ(shalom_plan_create(&plan, 's', 'N', 'N', 6, 6, 6, 1), 0);
+
+  // Dtype mismatch: 's' plan driven through the double entry point.
+  testing::Problem<double> pd({Trans::N, Trans::N}, 6, 6, 6);
+  EXPECT_EQ(shalom_plan_execute_d(plan, 1.0, pd.a.data(), pd.a.ld(),
+                                  pd.b.data(), pd.b.ld(), 0.0, pd.c.data(),
+                                  pd.c.ld()),
+            4);
+
+  // Strides too small for the planned shape.
+  EXPECT_EQ(shalom_plan_execute_s(plan, 1.f, p.a.data(), /*lda=*/3,
+                                  p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                                  p.c.ld()),
+            2);
+  EXPECT_EQ(shalom_plan_execute_s(plan, 1.f, p.a.data(), p.a.ld(),
+                                  p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                                  /*ldc=*/2),
+            2);
+
+  // The plan must survive failed executes and still work.
+  EXPECT_EQ(shalom_plan_execute_s(plan, 1.f, p.a.data(), p.a.ld(),
+                                  p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                                  p.c.ld()),
+            0);
+  shalom_plan_destroy(plan);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("plan after failed executes");
+}
+
+TEST(CApi, PlanDestroyNullIsSafe) { shalom_plan_destroy(nullptr); }
 
 }  // namespace
 }  // namespace shalom

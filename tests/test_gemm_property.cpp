@@ -1,6 +1,9 @@
 // Randomized property tests: several hundred GEMM problems with random
-// shapes, modes, scalars, paddings, thread counts and feature flags, all
-// checked against the naive oracle. Complements the structured sweeps in
+// shapes, modes, scalars (including zero, +/-1 and NaN-free denormals),
+// paddings (including non-contiguous ldc > N), thread counts and feature
+// flags, all checked against the naive oracle. Every case runs through
+// BOTH the per-call direct driver and the shape-keyed plan-cache path and
+// the two must agree bitwise. Complements the structured sweeps in
 // test_gemm_correctness.cpp by exploring the parameter space jointly.
 #include <gtest/gtest.h>
 
@@ -15,9 +18,15 @@ struct RandomCase {
   Mode mode;
   index_t m, n, k;
   float alpha, beta;
-  index_t pad;
+  index_t pad, pad_c;
   Config cfg;
 };
+
+// Positive/negative single-precision denormals (smallest normal float is
+// ~1.18e-38): exercises the scaling paths' behaviour on subnormal inputs
+// without introducing NaNs or infinities.
+constexpr float kDenormPos = 6.0e-39f;
+constexpr float kDenormNeg = -4.0e-40f;
 
 RandomCase draw(SplitMix64& rng, bool irregular) {
   RandomCase c;
@@ -33,11 +42,15 @@ RandomCase draw(SplitMix64& rng, bool irregular) {
     c.n = 1 + rng.next_u64() % 40;
     c.k = 1 + rng.next_u64() % 40;
   }
-  const float alphas[] = {0.f, 1.f, -1.f, 0.75f};
-  const float betas[] = {0.f, 1.f, -0.5f, 2.f};
-  c.alpha = alphas[rng.next_u64() % 4];
-  c.beta = betas[rng.next_u64() % 4];
+  const float alphas[] = {0.f, 1.f, -1.f, 0.75f, kDenormPos, kDenormNeg};
+  const float betas[] = {0.f, 1.f, -1.f, -0.5f, 2.f, kDenormPos};
+  c.alpha = alphas[rng.next_u64() % 6];
+  c.beta = betas[rng.next_u64() % 6];
   c.pad = rng.next_u64() % 9;
+  // Every fourth case gets a strongly non-contiguous C (ldc >> N), the
+  // sliced-output layout im2col/batch windows produce.
+  c.pad_c = rng.next_u64() % 4 == 0 ? 17 + rng.next_u64() % 32
+                                    : rng.next_u64() % 9;
   c.cfg.selective_packing = rng.next_u64() % 4 != 0;
   c.cfg.fused_packing = rng.next_u64() % 4 != 0;
   c.cfg.optimized_edges = rng.next_u64() % 4 != 0;
@@ -46,17 +59,42 @@ RandomCase draw(SplitMix64& rng, bool irregular) {
 }
 
 void run_case(const RandomCase& c, int iteration) {
-  testing::Problem<float> p(c.mode, c.m, c.n, c.k, c.pad, c.pad, c.pad);
-  gemm(c.mode.a, c.mode.b, p.m, p.n, p.k, c.alpha, p.a.data(), p.a.ld(),
-       p.b.data(), p.b.ld(), c.beta, p.c.data(), p.c.ld(), c.cfg);
-  p.run_reference(c.alpha, c.beta);
   SCOPED_TRACE(::testing::Message()
                << "iteration " << iteration << " m=" << c.m << " n=" << c.n
                << " k=" << c.k << " alpha=" << c.alpha << " beta=" << c.beta
-               << " pad=" << c.pad << " threads=" << c.cfg.threads
+               << " pad=" << c.pad << " pad_c=" << c.pad_c
+               << " threads=" << c.cfg.threads
                << " flags=" << c.cfg.selective_packing
                << c.cfg.fused_packing << c.cfg.optimized_edges);
-  p.expect_matches("property");
+
+  // Identically seeded problems: one through the per-call direct driver,
+  // one through the plan-cache path.
+  testing::Problem<float> direct(c.mode, c.m, c.n, c.k, c.pad, c.pad,
+                                 c.pad_c);
+  testing::Problem<float> planned(c.mode, c.m, c.n, c.k, c.pad, c.pad,
+                                  c.pad_c);
+
+  Config direct_cfg = c.cfg;
+  direct_cfg.use_plan_cache = false;
+  gemm(c.mode.a, c.mode.b, direct.m, direct.n, direct.k, c.alpha,
+       direct.a.data(), direct.a.ld(), direct.b.data(), direct.b.ld(),
+       c.beta, direct.c.data(), direct.c.ld(), direct_cfg);
+
+  Config plan_cfg = c.cfg;
+  plan_cfg.use_plan_cache = true;
+  gemm(c.mode.a, c.mode.b, planned.m, planned.n, planned.k, c.alpha,
+       planned.a.data(), planned.a.ld(), planned.b.data(), planned.b.ld(),
+       c.beta, planned.c.data(), planned.c.ld(), plan_cfg);
+
+  direct.run_reference(c.alpha, c.beta);
+  direct.expect_matches("property (direct path)");
+
+  // The plan path snapshots the same decisions and runs the same loops:
+  // bitwise agreement, not just tolerance agreement.
+  for (index_t i = 0; i < c.m; ++i)
+    for (index_t j = 0; j < c.n; ++j)
+      ASSERT_EQ(direct.c(i, j), planned.c(i, j))
+          << "plan path diverged at (" << i << "," << j << ")";
 }
 
 TEST(GemmProperty, RandomSmallProblems) {
@@ -67,6 +105,30 @@ TEST(GemmProperty, RandomSmallProblems) {
 TEST(GemmProperty, RandomIrregularProblems) {
   SplitMix64 rng(424242);
   for (int i = 0; i < 60; ++i) run_case(draw(rng, true), i);
+}
+
+TEST(GemmProperty, DenormalScalarsWithWideLdc) {
+  // Structured companion to the random sweep: every mode, denormal
+  // alpha/beta combinations, C strongly non-contiguous (ldc = N + 21).
+  const float scalars[] = {0.f, 1.f, -1.f, kDenormPos, kDenormNeg};
+  int iteration = 0;
+  for (const Mode mode : testing::kAllModes) {
+    for (float alpha : scalars) {
+      for (float beta : scalars) {
+        RandomCase c;
+        c.mode = mode;
+        c.m = 9;
+        c.n = 14;
+        c.k = 11;
+        c.alpha = alpha;
+        c.beta = beta;
+        c.pad = 0;
+        c.pad_c = 21;
+        c.cfg = Config{};
+        run_case(c, iteration++);
+      }
+    }
+  }
 }
 
 TEST(GemmProperty, RepeatedCallsAreDeterministic) {

@@ -1,0 +1,162 @@
+// Concurrency stress for the global plan cache: many threads hammer
+// overlapping shape sets through the cached gemm entry point while the
+// main thread drives gemm_batch (whose pool workers also consult the
+// cache), with a deliberately tiny cache capacity so insertion, hit and
+// eviction paths all race. Asserts numerically correct results on every
+// thread and a bounded cache; run under `ctest -L stress`, and build with
+// -DSHALOM_SANITIZE=thread to have ThreadSanitizer check the same run.
+//
+// Only the main thread touches the fork-join ThreadPool: concurrent
+// parallel_for calls on the shared pool are outside its contract (as for
+// the per-call drivers). The plan cache itself has no such restriction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/plan_cache.h"
+#include "core/shalom.h"
+#include "tests/test_util.h"
+
+namespace shalom {
+namespace {
+
+struct StressShape {
+  Mode mode;
+  index_t m, n, k;
+};
+
+// Overlapping working set: more distinct keys than cache capacity, with
+// every thread cycling through all of them so the same keys are
+// simultaneously hit by some threads and (re)created by others.
+std::vector<StressShape> stress_shapes() {
+  std::vector<StressShape> shapes;
+  for (const Mode mode : testing::kAllModes) {
+    shapes.push_back({mode, 7, 12, 8});
+    shapes.push_back({mode, 13, 9, 21});
+    shapes.push_back({mode, 24, 24, 24});
+    shapes.push_back({mode, 5, 37, 16});
+    shapes.push_back({mode, 31, 6, 30});
+  }
+  return shapes;
+}
+
+/// Worker body: runs `iters` cached serial GEMMs over the shape set and
+/// reports the worst deviation from the naive oracle. GTest assertions
+/// are not thread-safe, so failures are accumulated and checked by the
+/// main thread after the join.
+void hammer(const std::vector<StressShape>& shapes, int thread_id,
+            int iters, std::atomic<int>* mismatches) {
+  Config cfg;
+  cfg.threads = 1;  // serial products; the cache is the shared resource
+  for (int it = 0; it < iters; ++it) {
+    const StressShape& s = shapes[(thread_id + it) % shapes.size()];
+    testing::Problem<float> p(s.mode, s.m, s.n, s.k);
+    const float alpha = (it % 3 == 0) ? -1.0f : 1.0f;
+    const float beta = (it % 2 == 0) ? 0.0f : 0.5f;
+    gemm(s.mode.a, s.mode.b, s.m, s.n, s.k, alpha, p.a.data(), p.a.ld(),
+         p.b.data(), p.b.ld(), beta, p.c.data(), p.c.ld(), cfg);
+    p.run_reference(alpha, beta);
+    const double tol = testing::gemm_tolerance<float>(s.k);
+    for (index_t i = 0; i < s.m; ++i) {
+      for (index_t j = 0; j < s.n; ++j) {
+        if (!(std::fabs(static_cast<double>(p.c(i, j)) -
+                        static_cast<double>(p.c_ref(i, j))) <= tol)) {
+          mismatches->fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanCacheStress, ConcurrentHammerWithBatch) {
+  auto& cache = PlanCache<float>::global();
+  cache.clear();
+  cache.set_capacity(8);  // far below the ~20 distinct keys in flight
+
+  const std::vector<StressShape> shapes = stress_shapes();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 60;
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back(hammer, std::cref(shapes), t, kIters, &mismatches);
+
+  // Meanwhile: batched traffic through the fork-join pool, whose workers
+  // consult the same cache for every entry.
+  const Mode batch_mode{Trans::N, Trans::T};
+  Config batch_cfg;
+  batch_cfg.threads = 4;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<testing::Problem<float>> problems;
+    problems.reserve(12);
+    for (int e = 0; e < 12; ++e) {
+      const StressShape& s = shapes[(e + round) % shapes.size()];
+      problems.emplace_back(batch_mode, s.m, s.n, s.k);
+    }
+    std::vector<BatchEntry<float>> batch;
+    for (auto& p : problems) {
+      batch.push_back({p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(),
+                       p.b.data(), p.b.ld(), 0.0f, p.c.data(), p.c.ld()});
+    }
+    gemm_batch(batch_mode, batch, batch_cfg);
+    for (auto& p : problems) {
+      p.run_reference(1.0f, 0.0f);
+      p.expect_matches("stress batch");
+    }
+  }
+
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "some hammer thread produced a wrong product";
+
+  const PlanCacheStats st = cache.stats();
+  EXPECT_LE(st.size, 8u) << "cache exceeded its capacity bound";
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_GT(st.evictions, 0u);
+
+  cache.set_capacity(PlanCache<float>::kDefaultCapacity);
+  cache.clear();
+}
+
+TEST(PlanCacheStress, RacingCreatorsOnOneKeyAgree) {
+  // All threads miss the same fresh key at once: every call must still
+  // return a correct product regardless of which creator's plan lands.
+  auto& cache = PlanCache<float>::global();
+  cache.clear();
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mismatches] {
+      const Mode mode{Trans::T, Trans::T};
+      Config cfg;
+      cfg.threads = 1;
+      testing::Problem<float> p(mode, 17, 23, 29);
+      gemm(mode.a, mode.b, 17, 23, 29, 1.0f, p.a.data(), p.a.ld(),
+           p.b.data(), p.b.ld(), 0.0f, p.c.data(), p.c.ld(), cfg);
+      p.run_reference(1.0f, 0.0f);
+      const double tol = testing::gemm_tolerance<float>(29);
+      for (index_t i = 0; i < 17; ++i)
+        for (index_t j = 0; j < 23; ++j)
+          if (!(std::fabs(static_cast<double>(p.c(i, j)) -
+                          static_cast<double>(p.c_ref(i, j))) <= tol))
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(cache.stats().size, 1u);
+  cache.clear();
+}
+
+}  // namespace
+}  // namespace shalom
