@@ -13,7 +13,10 @@
 // plan_execute runs the exact same loop nest as the per-call driver, so
 // results are bitwise identical to a direct gemm() with the same Config.
 // Plans are immutable after creation and safe to execute concurrently from
-// multiple threads (each execution uses the calling thread's pack arena).
+// multiple threads: serial (threads == 1) executions are fully independent
+// (each uses the calling thread's pack arena), while parallel plans
+// serialize their fork-join rounds on the shared ThreadPool, which admits
+// one round at a time.
 #pragma once
 
 #include <vector>

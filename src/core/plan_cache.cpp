@@ -278,13 +278,20 @@ void gemm_cached(Mode mode, index_t M, index_t N, index_t K, T alpha,
   // key - and the generation check revalidates after clear/set_capacity/
   // external insert. An LRU eviction does not invalidate the memo: the
   // shared_ptr keeps the plan alive and it is still the right plan.
+  //
+  // Calls with a caller-provided machine descriptor bypass the memo: it
+  // could only recognize cfg.machine by address, and a descriptor freed
+  // and reallocated at the same address would silently replay the dead
+  // descriptor's plan - exactly the ABA hazard the cache key avoids by
+  // hashing the descriptor by value. Such calls take the normal keyed
+  // path below, which stays correct (and is still far cheaper than a
+  // replan).
   struct RawParams {
     Trans ta{}, tb{};
     index_t m = -1, n = -1, k = -1, lda = -1, ldb = -1, ldc = -1;
     int threads = 0;
     bool selective = false, fused = false, edges = false;
     index_t kc = 0, mc = 0, nc = 0;
-    const arch::MachineDescriptor* machine = nullptr;
 
     bool operator==(const RawParams&) const = default;
   };
@@ -295,6 +302,7 @@ void gemm_cached(Mode mode, index_t M, index_t N, index_t K, T alpha,
   };
   thread_local Memo memo;
 
+  const bool memoizable = cfg.machine == nullptr;
   const RawParams params{mode.a,
                          mode.b,
                          M,
@@ -309,12 +317,12 @@ void gemm_cached(Mode mode, index_t M, index_t N, index_t K, T alpha,
                          cfg.optimized_edges,
                          cfg.kc_override,
                          cfg.mc_override,
-                         cfg.nc_override,
-                         cfg.machine};
+                         cfg.nc_override};
 
   auto& cache = PlanCache<T>::global();
   const std::uint64_t gen = cache.generation();
-  if (memo.plan != nullptr && memo.gen == gen && memo.params == params) {
+  if (memoizable && memo.plan != nullptr && memo.gen == gen &&
+      memo.params == params) {
     cache.note_memo_hit();
     detail::execute_plan(*memo.plan, alpha, A, lda, B, ldb, beta, C, ldc);
     return;
@@ -326,9 +334,11 @@ void gemm_cached(Mode mode, index_t M, index_t N, index_t K, T alpha,
       make_plan_key(mode, M, N, K, classify_ld(mode, M, N, K, lda, ldb, ldc),
                     resolved.threads, resolved);
   auto plan = cache.get_or_create(key, mode, M, N, K, resolved);
-  memo.params = params;
-  memo.plan = plan;
-  memo.gen = gen;
+  if (memoizable) {
+    memo.params = params;
+    memo.plan = plan;
+    memo.gen = gen;
+  }
   detail::execute_plan(*plan, alpha, A, lda, B, ldb, beta, C, ldc);
 }
 

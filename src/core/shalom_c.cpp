@@ -42,6 +42,12 @@ int gemm_c(char trans_a, char trans_b, ptrdiff_t m, ptrdiff_t n, ptrdiff_t k,
     shalom::gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg);
   } catch (const shalom::invalid_argument&) {
     return 2;
+  } catch (const std::bad_alloc&) {
+    return 5;
+  } catch (...) {
+    // E.g. std::system_error from worker-thread spawn: never let an
+    // exception cross the extern "C" boundary.
+    return 6;
   }
   return 0;
 }
@@ -92,6 +98,8 @@ extern "C" int shalom_plan_create(shalom_plan** out_plan, char dtype,
     return 2;
   } catch (const std::bad_alloc&) {
     return 5;
+  } catch (...) {
+    return 6;  // e.g. std::system_error spawning pool workers
   }
   return 0;
 }
@@ -106,6 +114,10 @@ int plan_execute_c(const shalom::GemmPlan<T>& plan, T alpha, const T* a,
     shalom::plan_execute(plan, alpha, a, lda, b, ldb, beta, c, ldc);
   } catch (const shalom::invalid_argument&) {
     return 2;
+  } catch (const std::bad_alloc&) {
+    return 5;
+  } catch (...) {
+    return 6;
   }
   return 0;
 }

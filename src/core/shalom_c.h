@@ -28,11 +28,13 @@ int shalom_dgemm(char trans_a, char trans_b, ptrdiff_t m, ptrdiff_t n,
  * threads) combination, execute it many times, destroy it when done. The
  * plan snapshots every shape-dependent decision, so repeated executions
  * skip the per-call analytic models entirely. Executing one plan from
- * several threads at once is safe.
+ * several threads at once is safe; parallel (threads > 1) plans serialize
+ * their fork-join rounds on the library's shared worker pool.
  *
  * Return codes: 0 success, 1 invalid dtype/transpose flag, 2 invalid
  * dimensions or strides, 3 null handle or output pointer, 4 dtype
- * mismatch between plan and execute entry point, 5 allocation failure.
+ * mismatch between plan and execute entry point, 5 allocation failure,
+ * 6 unexpected internal error (no exception ever escapes the C API).
  * ---------------------------------------------------------------------- */
 
 typedef struct shalom_plan shalom_plan;

@@ -30,6 +30,10 @@ void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
+  // One fork-join round at a time: concurrent callers (threads executing
+  // parallel plans, racing plan creations pre-sizing worker arenas) queue
+  // here instead of clobbering the shared job slot and join barrier.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
@@ -75,11 +79,16 @@ void ThreadPool::worker_loop(int worker_id) {
 
 ThreadPool& ThreadPool::global(int threads) {
   static std::mutex mu;
-  static std::unique_ptr<ThreadPool> pool;
+  // Outgrown pools are retired to this list, never destroyed mid-run: a
+  // reference handed out by an earlier call may still be inside
+  // parallel_for on another thread, and ~ThreadPool under it would free
+  // the mutex/condvars it is blocked on. The list stays tiny - it grows
+  // only when a strictly larger thread count is first requested.
+  static std::vector<std::unique_ptr<ThreadPool>> pools;
   std::lock_guard<std::mutex> lock(mu);
-  if (!pool || pool->max_threads() < threads)
-    pool = std::make_unique<ThreadPool>(threads);
-  return *pool;
+  if (pools.empty() || pools.back()->max_threads() < threads)
+    pools.push_back(std::make_unique<ThreadPool>(threads));
+  return *pools.back();
 }
 
 }  // namespace shalom

@@ -6,6 +6,11 @@
 // them, runs task 0 on the calling thread, and joins at a generation
 // barrier. There is no work stealing by design - the partition solver is
 // responsible for balance, and the benches measure exactly that.
+//
+// Concurrency contract: parallel_for may be called from several threads at
+// once - rounds serialize on an internal run mutex, so concurrent callers
+// queue rather than corrupt the single job slot. Calling parallel_for from
+// inside a pool task (nesting) is forbidden and would deadlock.
 #pragma once
 
 #include <condition_variable>
@@ -28,12 +33,17 @@ class ThreadPool {
 
   /// Runs fn(0) .. fn(tasks-1) across the pool, blocking until every task
   /// has finished. `tasks` may not exceed max_threads: the paper's scheme
-  /// assigns exactly one C sub-block per thread.
+  /// assigns exactly one C sub-block per thread. Safe to call from several
+  /// threads concurrently (rounds serialize); must not be re-entered from
+  /// inside a task.
   void parallel_for(int tasks, const std::function<void(int)>& fn);
 
   int max_threads() const { return max_threads_; }
 
-  /// Process-wide pool, grown on demand to at least `threads`.
+  /// Process-wide pool, grown on demand to at least `threads`. Growing
+  /// retires the smaller pool instead of destroying it, so a reference
+  /// returned earlier (possibly mid-parallel_for on another thread) stays
+  /// valid for the lifetime of the process.
   static ThreadPool& global(int threads);
 
  private:
@@ -42,6 +52,9 @@ class ThreadPool {
   const int max_threads_;
   std::vector<std::thread> workers_;
 
+  /// Held for the whole fork-join round: admits one parallel_for at a
+  /// time, making concurrent plan executions / creations safe.
+  std::mutex run_mu_;
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

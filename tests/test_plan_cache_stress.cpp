@@ -6,9 +6,11 @@
 // thread and a bounded cache; run under `ctest -L stress`, and build with
 // -DSHALOM_SANITIZE=thread to have ThreadSanitizer check the same run.
 //
-// Only the main thread touches the fork-join ThreadPool: concurrent
-// parallel_for calls on the shared pool are outside its contract (as for
-// the per-call drivers). The plan cache itself has no such restriction.
+// The fork-join ThreadPool admits one parallel_for round at a time and is
+// safe to drive from several threads concurrently (the documented plan
+// contract); the tests below exercise exactly that - shared parallel
+// plans executed from many threads at once, and racing parallel plan
+// creations whose arena pre-reservation rounds contend for the pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "core/plan.h"
 #include "core/plan_cache.h"
 #include "core/shalom.h"
 #include "tests/test_util.h"
@@ -155,6 +158,86 @@ TEST(PlanCacheStress, RacingCreatorsOnOneKeyAgree) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_LE(cache.stats().size, 1u);
+  cache.clear();
+}
+
+/// Counts elements of p.c that deviate from p.c_ref beyond tolerance
+/// (GTest assertions are not thread-safe; workers tally, main asserts).
+int count_mismatches(const testing::Problem<float>& p) {
+  const double tol = testing::gemm_tolerance<float>(p.k);
+  int bad = 0;
+  for (index_t i = 0; i < p.m; ++i)
+    for (index_t j = 0; j < p.n; ++j)
+      if (!(std::fabs(static_cast<double>(p.c(i, j)) -
+                      static_cast<double>(p.c_ref(i, j))) <= tol))
+        ++bad;
+  return bad;
+}
+
+TEST(PlanCacheStress, ConcurrentParallelPlanExecution) {
+  // Many threads execute one shared threads>1 plan simultaneously: the
+  // pool admits one fork-join round at a time, so every execution must
+  // still produce the exact product (the documented plan contract).
+  const Mode mode{Trans::N, Trans::N};
+  const index_t m = 96, n = 192, k = 64;
+  Config cfg;
+  cfg.threads = 4;
+  const GemmPlan<float> plan = plan_create<float>(mode, m, n, k, cfg);
+  if (plan.threads <= 1)
+    GTEST_SKIP() << "partition collapsed to serial on this machine";
+
+  constexpr int kCallers = 6;
+  constexpr int kIters = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      testing::Problem<float> p(mode, m, n, k);
+      p.run_reference(1.0f, 0.0f);
+      for (int it = 0; it < kIters; ++it) {
+        plan_execute(plan, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+                     p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+        mismatches.fetch_add(count_mismatches(p),
+                             std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent executions of a shared parallel plan diverged";
+}
+
+TEST(PlanCacheStress, RacingParallelPlanCreators) {
+  // Concurrent cache misses on threads>1 keys: each creator runs the
+  // creation-time arena pre-reservation parallel_for, contending for the
+  // pool with the other creators and with the executions that follow.
+  auto& cache = PlanCache<float>::global();
+  cache.clear();
+
+  constexpr int kCreators = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> creators;
+  creators.reserve(kCreators);
+  for (int t = 0; t < kCreators; ++t) {
+    creators.emplace_back([&mismatches, t] {
+      const Mode mode{Trans::N, Trans::N};
+      // Distinct shapes per thread: every call is a fresh parallel plan.
+      const index_t m = 64 + 16 * (t % 4);
+      const index_t n = 96 + 12 * (t % 3);
+      const index_t k = 48;
+      Config cfg;
+      cfg.threads = 2 + t % 3;
+      testing::Problem<float> p(mode, m, n, k);
+      gemm(mode.a, mode.b, m, n, k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+           p.b.ld(), 0.5f, p.c.data(), p.c.ld(), cfg);
+      p.run_reference(1.0f, 0.5f);
+      mismatches.fetch_add(count_mismatches(p), std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : creators) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "racing parallel plan creation/execution produced wrong products";
   cache.clear();
 }
 
