@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard Release build + full test suite, then
+# an AddressSanitizer configuration running the fault-injection and stress
+# labels (the degradation paths exercise allocator edge cases and
+# cross-thread teardown, exactly where ASan earns its keep).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "=== tier1: standard build + full ctest ==="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "=== tier1: ASan build, fault + stress labels ==="
+cmake -B build-asan -S . \
+      -DSHALOM_SANITIZE=address \
+      -DSHALOM_FAULT_INJECTION=ON \
+      -DSHALOM_BUILD_BENCH=OFF \
+      -DSHALOM_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L 'fault|stress'
+
+echo "tier1: OK"

@@ -34,7 +34,7 @@ void parallel_columns(Mode mode, index_t M, index_t N, index_t K, T alpha,
     return;
   }
   const auto cols = split_range(N, t, 1);
-  ThreadPool::global(t).parallel_for(t, [&](int id) {
+  pool_run(t, [&](int id) {
     const index_t j0 = cols[id];
     const index_t n = cols[id + 1] - j0;
     if (n == 0) return;
@@ -69,7 +69,7 @@ void parallel_square(Mode mode, index_t M, index_t N, index_t K, T alpha,
 
   const auto rows = split_range(M, tm, 1);
   const auto cols = split_range(N, tn, 1);
-  ThreadPool::global(total).parallel_for(total, [&](int id) {
+  pool_run(total, [&](int id) {
     const int pm = id / tn;
     const int pn = id % tn;
     const index_t i0 = rows[pm];

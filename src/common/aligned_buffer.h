@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <utility>
@@ -45,6 +46,9 @@ class AlignedBuffer {
   /// growth: packing buffers are write-before-read by construction.
   void reserve(std::size_t bytes) {
     if (bytes <= capacity_) return;
+    // Cache-line rounding must not wrap around SIZE_MAX; a request that
+    // large is unsatisfiable anyway, so report it as the same failure.
+    if (bytes > SIZE_MAX - (kCacheLineBytes - 1)) throw std::bad_alloc();
     release();
     const std::size_t rounded =
         (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
@@ -57,6 +61,9 @@ class AlignedBuffer {
   template <typename T>
   T* as(std::size_t count = 0) {
     (void)count;
+    SHALOM_REQUIRE(count <= SIZE_MAX / sizeof(T),
+                   ": element count overflows size_t (count=", count,
+                   ", elem=", sizeof(T), " bytes)");
     SHALOM_ASSERT(count * sizeof(T) <= capacity_);
     return static_cast<T*>(data_);
   }

@@ -1,0 +1,55 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace shalom {
+
+const char* status_string(int code) noexcept {
+  switch (code) {
+    case SHALOM_OK:
+      return "success";
+    case SHALOM_ERR_BAD_FLAG:
+      return "unknown dtype or transpose flag";
+    case SHALOM_ERR_INVALID_ARGUMENT:
+      return "invalid argument (bad dimensions, strides, or size overflow)";
+    case SHALOM_ERR_NULL_POINTER:
+      return "null handle or pointer";
+    case SHALOM_ERR_DTYPE_MISMATCH:
+      return "plan dtype does not match execute entry point";
+    case SHALOM_ERR_ALLOC:
+      return "allocation failure";
+    case SHALOM_ERR_INTERNAL:
+      return "unexpected internal error";
+    default:
+      return "unknown status code";
+  }
+}
+
+namespace detail {
+
+namespace {
+// Fixed-size slot: recording an error must never allocate (the error being
+// recorded may itself be an allocation failure).
+constexpr std::size_t kLastErrorCapacity = 512;
+thread_local char t_last_error_message[kLastErrorCapacity] = {0};
+thread_local int t_last_error_code = SHALOM_OK;
+}  // namespace
+
+void set_last_error(int code, const char* message) noexcept {
+  t_last_error_code = code;
+  if (message == nullptr) message = status_string(code);
+  std::snprintf(t_last_error_message, kLastErrorCapacity, "%s", message);
+}
+
+void clear_last_error() noexcept {
+  t_last_error_code = SHALOM_OK;
+  t_last_error_message[0] = '\0';
+}
+
+const char* last_error_message() noexcept { return t_last_error_message; }
+
+int last_error_code() noexcept { return t_last_error_code; }
+
+}  // namespace detail
+}  // namespace shalom

@@ -1,10 +1,36 @@
-// Error handling utilities shared by every module.
-//
-// The library follows a contract-checking convention: programming errors
-// (bad dimensions, null pointers, invalid enum values) raise
-// shalom::invalid_argument with a formatted message; they are never silently
-// clamped. Hot paths use SHALOM_ASSERT, which compiles away in release builds.
+/* Error handling shared by every module - the single source of truth for
+ * the library's status codes.
+ *
+ * The first section is plain C so the public C header (core/shalom_c.h)
+ * can include it: the shalom_status enum IS the C API's return-code
+ * contract, and the C++ core maps its exceptions onto the same values at
+ * the ABI boundary (no exception ever crosses it).
+ *
+ * The C++ section keeps the contract-checking convention: programming
+ * errors (bad dimensions, null pointers, invalid enum values) raise
+ * shalom::invalid_argument with a formatted message; they are never
+ * silently clamped. Hot paths use SHALOM_ASSERT, which compiles away in
+ * release builds.
+ */
 #pragma once
+
+/* ------------------------------------------------------------------------
+ * C-compatible status codes (returned by every shalom_* C entry point).
+ * shalom_strerror(code) gives the static description;
+ * shalom_last_error_message() the call-specific detail (both declared in
+ * core/shalom_c.h).
+ * ---------------------------------------------------------------------- */
+typedef enum shalom_status {
+  SHALOM_OK = 0,                   /* success */
+  SHALOM_ERR_BAD_FLAG = 1,         /* unknown dtype or transpose flag */
+  SHALOM_ERR_INVALID_ARGUMENT = 2, /* bad dimensions, strides, overflow */
+  SHALOM_ERR_NULL_POINTER = 3,     /* null handle or output pointer */
+  SHALOM_ERR_DTYPE_MISMATCH = 4,   /* plan dtype != execute entry point */
+  SHALOM_ERR_ALLOC = 5,            /* allocation failure (not degradable) */
+  SHALOM_ERR_INTERNAL = 6,         /* unexpected internal error */
+} shalom_status;
+
+#ifdef __cplusplus
 
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +44,10 @@ class invalid_argument : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Static description of a shalom_status value ("invalid argument", ...).
+/// Never returns NULL; unknown codes map to a fixed sentinel string.
+const char* status_string(int code) noexcept;
+
 namespace detail {
 template <typename... Args>
 [[noreturn]] void throw_invalid(const char* expr, Args&&... context) {
@@ -26,6 +56,15 @@ template <typename... Args>
   ((os << context), ...);
   throw invalid_argument(os.str());
 }
+
+/// Thread-local last-error slot backing shalom_last_error_message().
+/// Fixed-size storage: recording an error must never allocate (the error
+/// being recorded may BE an allocation failure). Messages are truncated
+/// to the slot size.
+void set_last_error(int code, const char* message) noexcept;
+void clear_last_error() noexcept;
+const char* last_error_message() noexcept;  // "" when no error recorded
+int last_error_code() noexcept;             // SHALOM_OK when none
 }  // namespace detail
 
 /// Validates an API precondition; throws shalom::invalid_argument on failure.
@@ -41,3 +80,5 @@ template <typename... Args>
 #endif
 
 }  // namespace shalom
+
+#endif /* __cplusplus */

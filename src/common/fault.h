@@ -1,0 +1,150 @@
+// Deterministic fault injection and degradation telemetry.
+//
+// Production resilience work needs two things the normal test suite cannot
+// provide: a way to *cause* rare resource failures on demand (allocation
+// failure, worker-spawn failure, cache insertion failure) and a way to
+// *observe* that the library degraded gracefully instead of falling over.
+//
+// Fault sites are named checkpoints compiled into the resource-acquisition
+// paths. Each site costs exactly one relaxed atomic load when disarmed
+// (and nothing at all when SHALOM_FAULT_INJECTION is compiled out, see the
+// SHALOM_FAULT_POINT macro below). A site fires according to a trigger
+// armed either programmatically (the C++ test API here) or through the
+// SHALOM_FAULT environment variable:
+//
+//   SHALOM_FAULT=<site>:<spec>[,<site>:<spec>...]
+//   spec := once | every-<N> | fail-after-<N>
+//
+//   once          the next check fails, then the site disarms itself
+//   every-N       every Nth check fails (every-1 = always fail)
+//   fail-after-N  the first N checks succeed, every later one fails
+//
+// Sites (the degradation each one exercises is listed in DESIGN.md):
+//   alloc.pack_arena   pack-arena reservation at execution time
+//   alloc.plan         materializing a cacheable plan (PlanCache build)
+//   threadpool.spawn   spawning one pool worker thread
+//   plan_cache.insert  inserting a plan into the LRU cache
+//
+// The telemetry half (RobustnessStats) is always compiled: the degradation
+// paths are real production behaviour - injection is only one way to reach
+// them - so the counters must exist even in injection-free builds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#ifndef SHALOM_FAULT_INJECTION
+#define SHALOM_FAULT_INJECTION 0
+#endif
+
+namespace shalom {
+
+// ---------------------------------------------------------------------------
+// Degradation telemetry (always compiled)
+// ---------------------------------------------------------------------------
+
+/// Process-wide counters of graceful-degradation events. Monotonic since
+/// process start (or the last robustness_stats_reset()); reads are relaxed
+/// snapshots, safe from any thread.
+struct RobustnessStats {
+  /// Executions that ran the no-pack fallback loop because the pack arena
+  /// could not be reserved.
+  std::uint64_t fallback_nopack = 0;
+  /// Fork-join rounds that ran with fewer workers than the plan wanted
+  /// (down to fully serial) because the pool could not grow.
+  std::uint64_t threads_degraded = 0;
+  /// GEMM calls that executed without plan-cache backing because building
+  /// or inserting the cacheable plan failed.
+  std::uint64_t plan_cache_bypassed = 0;
+  /// Faults fired by the injection framework (0 in production builds).
+  std::uint64_t faults_injected = 0;
+};
+
+RobustnessStats robustness_stats() noexcept;
+void robustness_stats_reset() noexcept;
+
+namespace telemetry {
+void note_fallback_nopack() noexcept;
+void note_threads_degraded() noexcept;
+void note_plan_cache_bypassed() noexcept;
+}  // namespace telemetry
+
+// ---------------------------------------------------------------------------
+// Fault-injection framework
+// ---------------------------------------------------------------------------
+
+namespace fault {
+
+/// Named fault sites. Order is the wire format of the site table; append
+/// only.
+enum class Site : int {
+  kAllocPackArena = 0,
+  kAllocPlan = 1,
+  kThreadpoolSpawn = 2,
+  kPlanCacheInsert = 3,
+};
+inline constexpr int kSiteCount = 4;
+
+/// Trigger modes (see the header comment for semantics).
+enum class Mode : std::uint32_t {
+  kDisarmed = 0,
+  kOnce = 1,
+  kEveryN = 2,
+  kFailAfter = 3,
+};
+
+namespace detail {
+
+/// One armed trigger. All fields are atomics so arm/disarm/check need no
+/// lock; `armed` doubles as the fast-path gate (0 = disarmed).
+struct SiteState {
+  std::atomic<std::uint32_t> armed{0};  // Mode as integer
+  std::atomic<std::uint64_t> param{0};  // N of every-N / fail-after-N
+  std::atomic<std::uint64_t> calls{0};  // checks since arming
+  std::atomic<std::uint64_t> injected{0};
+};
+
+extern SiteState g_sites[kSiteCount];
+
+/// Full trigger evaluation; only reached when the site is armed.
+bool should_fail_slow(SiteState& st) noexcept;
+
+}  // namespace detail
+
+const char* site_name(Site site) noexcept;
+
+/// Arms `site`: the next checks fail per `mode`/`n`. Resets the site's
+/// call counter; the injected counter keeps accumulating.
+void arm(Site site, Mode mode, std::uint64_t n = 0) noexcept;
+void disarm(Site site) noexcept;
+void disarm_all() noexcept;
+bool armed(Site site) noexcept;
+
+/// Faults fired at `site` since process start.
+std::uint64_t injected(Site site) noexcept;
+
+/// Parses one SHALOM_FAULT-style spec ("site:mode[,site:mode...]") and
+/// arms the named sites. Returns false if any entry is malformed (valid
+/// entries before it are still armed).
+bool arm_from_spec(const char* spec) noexcept;
+
+/// The per-site check. Call through SHALOM_FAULT_POINT so disabled builds
+/// compile the site away entirely.
+inline bool should_fail(Site site) noexcept {
+  detail::SiteState& st = detail::g_sites[static_cast<int>(site)];
+  if (st.armed.load(std::memory_order_relaxed) == 0) return false;
+  return detail::should_fail_slow(st);
+}
+
+}  // namespace fault
+}  // namespace shalom
+
+/// Fault checkpoint: true when the armed trigger says this acquisition
+/// must fail. Compiles to `false` (zero overhead, dead-code eliminated)
+/// when SHALOM_FAULT_INJECTION is off; one relaxed atomic load per check
+/// when on but disarmed.
+#if SHALOM_FAULT_INJECTION
+#define SHALOM_FAULT_POINT(site) (::shalom::fault::should_fail(site))
+#else
+#define SHALOM_FAULT_POINT(site) false
+#endif

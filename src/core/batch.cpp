@@ -40,7 +40,7 @@ void gemm_batch(Mode mode, const std::vector<BatchEntry<T>>& batch,
   // affinity between neighbouring blocks the caller arranged.
   const std::size_t per_thread =
       (batch.size() + threads - 1) / threads;
-  ThreadPool::global(threads).parallel_for(threads, [&](int id) {
+  pool_run(threads, [&](int id) {
     const std::size_t begin = id * per_thread;
     const std::size_t end =
         std::min(batch.size(), begin + per_thread);

@@ -1,10 +1,13 @@
 #include "core/plan.h"
 
 #include <algorithm>
+#include <limits>
+#include <new>
 #include <thread>
 
 #include "common/aligned_buffer.h"
 #include "common/error.h"
+#include "common/fault.h"
 #include "core/dispatch.h"
 #include "core/pack.h"
 #include "core/parallel.h"
@@ -30,11 +33,31 @@ void scale_c(index_t M, index_t N, T beta, T* C, index_t ldc) {
 template void scale_c<float>(index_t, index_t, float, float*, index_t);
 template void scale_c<double>(index_t, index_t, double, double*, index_t);
 
+/// Rejects shapes whose operand element counts (M*K, K*N, M*N) or byte
+/// sizes would overflow index_t: every later sizing expression (lda math,
+/// arena_bytes, partition solving) assumes these products are representable,
+/// so overflow here would be UB, not just a failed allocation.
+template <typename T>
+void check_shape_bounds(index_t M, index_t N, index_t K) {
+  constexpr index_t kMaxElems =
+      std::numeric_limits<index_t>::max() / static_cast<index_t>(sizeof(T));
+  if (K > 0)
+    SHALOM_REQUIRE(M <= kMaxElems / K, ": M*K overflows; M=", M, " K=", K);
+  if (N > 0) {
+    SHALOM_REQUIRE(K <= kMaxElems / N, ": K*N overflows; K=", K, " N=", N);
+    SHALOM_REQUIRE(M <= kMaxElems / N, ": M*N overflows; M=", M, " N=", N);
+  }
+}
+
+template void check_shape_bounds<float>(index_t, index_t, index_t);
+template void check_shape_bounds<double>(index_t, index_t, index_t);
+
 template <typename T>
 void check_gemm_args(Mode mode, index_t M, index_t N, index_t K, const T* A,
                      index_t lda, const T* B, index_t ldb, const T* C,
                      index_t ldc) {
   SHALOM_REQUIRE(M >= 0 && N >= 0 && K >= 0, " M=", M, " N=", N, " K=", K);
+  check_shape_bounds<T>(M, N, K);
   const index_t a_cols = (mode.a == Trans::N) ? K : M;
   const index_t b_cols = (mode.b == Trans::N) ? N : K;
   SHALOM_REQUIRE(lda >= std::max<index_t>(1, a_cols), " lda=", lda);
@@ -131,6 +154,99 @@ void run_row_tiles(const BlockCtx<T>& ctx, const model::Tile& tile,
   }
 }
 
+/// Degraded-mode executor: the plan wanted packed operands but the pack
+/// arena could not be reserved, so run the same blocked loop nest reading
+/// A and B in place (the paper's selective-packing "no-pack" path applied
+/// unconditionally). Keeps the plan's exact blocking and tile traversal so
+/// each accumulator sees the identical FMA sequence - for N/T-A with
+/// direct-N B the results are bitwise-identical to the packed execution.
+/// Transposed B has no direct-access kernel (the NT path needs either a
+/// packed sliver or the horizontal-reduction fused kernel, both
+/// arena-backed), so those blocks fall back to the scalar kernel-order
+/// loop: still correct, just slow - this path only runs under memory
+/// pressure.
+template <typename T>
+void execute_serial_nopack(const GemmPlan<T>& plan, T alpha, const T* A,
+                           index_t lda, const T* B, index_t ldb, T beta,
+                           T* C, index_t ldc) {
+  using ukr::AAccess;
+  using ukr::BAccess;
+  const index_t M = plan.m, N = plan.n, K = plan.k;
+  const Mode mode = plan.mode;
+  const model::Blocking& blk = plan.blk;
+  const model::Tile& tile = plan.tile;
+
+  for (index_t jj = 0; jj < N; jj += blk.nc) {
+    const index_t ncur = std::min<index_t>(blk.nc, N - jj);
+    for (index_t ii = 0; ii < M; ii += blk.mc) {
+      const index_t mcur = std::min<index_t>(blk.mc, M - ii);
+      for (index_t kk = 0; kk < K; kk += blk.kc) {
+        const index_t kcur = std::min<index_t>(blk.kc, K - kk);
+        const T beta_eff = (kk == 0) ? beta : T{1};
+
+        if (mode.b == Trans::T) {
+          for (index_t i = 0; i < mcur; ++i) {
+            const T* a_row = (mode.a == Trans::N)
+                                 ? A + (ii + i) * lda + kk
+                                 : A + kk * lda + ii + i;
+            const index_t a_step = (mode.a == Trans::N) ? 1 : lda;
+            T* c_row = C + (ii + i) * ldc + jj;
+            for (index_t j = 0; j < ncur; ++j) {
+              const T* b_col = B + (jj + j) * ldb + kk;
+              T sum{};
+              for (index_t k = 0; k < kcur; ++k)
+                sum += a_row[k * a_step] * b_col[k];
+              c_row[j] = (beta_eff == T{0}) ? alpha * sum
+                                            : beta_eff * c_row[j] + alpha * sum;
+            }
+          }
+          continue;
+        }
+
+        for (index_t j0 = 0; j0 < ncur; j0 += tile.nr) {
+          const int n_eff =
+              static_cast<int>(std::min<index_t>(tile.nr, ncur - j0));
+          const T* const b_src = B + kk * ldb + jj + j0;
+          T* const c_col = C + ii * ldc + jj + j0;
+          for (index_t i0 = 0; i0 < mcur; i0 += tile.mr) {
+            const int m_eff =
+                static_cast<int>(std::min<index_t>(tile.mr, mcur - i0));
+            T* const c_tile = c_col + i0 * ldc;
+            const bool edge = m_eff < tile.mr || n_eff < tile.nr;
+            if (mode.a == Trans::N) {
+              const T* a_tile = A + (ii + i0) * lda + kk;
+              if (edge && !plan.optimized_edges) {
+                ukr::kern_scalar<T, AAccess::kDirect, BAccess::kDirect>(
+                    m_eff, n_eff, kcur, a_tile, lda, b_src, ldb, c_tile,
+                    ldc, alpha, beta_eff);
+              } else {
+                ukr::run_main_tile<T, AAccess::kDirect, BAccess::kDirect>(
+                    m_eff, n_eff, kcur, a_tile, lda, b_src, ldb, c_tile,
+                    ldc, alpha, beta_eff);
+              }
+            } else {
+              // op(A) column k is the contiguous run a[k*lda + i]: the
+              // kPacked scalar indexing doubles as in-place transposed
+              // access with lda as the sliver stride.
+              const T* a_tile = A + kk * lda + ii + i0;
+              if (edge && !plan.optimized_edges) {
+                ukr::kern_scalar<T, AAccess::kPacked, BAccess::kDirect>(
+                    m_eff, n_eff, kcur, a_tile, lda, b_src, ldb, c_tile,
+                    ldc, alpha, beta_eff);
+              } else {
+                ukr::run_main_tile<T, AAccess::kDirectTrans,
+                                   BAccess::kDirect>(
+                    m_eff, n_eff, kcur, a_tile, lda, b_src, ldb, c_tile,
+                    ldc, alpha, beta_eff);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -175,11 +291,26 @@ void execute_serial(const GemmPlan<T>& plan, T alpha, const T* A,
   const index_t bc_sliver = plan.bc_sliver;
 
   // Grow-only: a no-op after the plan's creation-time reservation unless
-  // this thread's arena has never served a problem this large.
-  AlignedBuffer& arena = thread_pack_arena();
-  arena.reserve(plan.arena_bytes);
-  T* const ac = arena.as<T>();
-  T* const bc_base = ac + ac_elems + ukr::kPackSlackElems;
+  // this thread's arena has never served a problem this large. If the
+  // reservation fails here (the creation-time attempt is best-effort),
+  // degrade to the no-pack executor instead of throwing out of the hot
+  // path.
+  T* ac = nullptr;
+  if (a_packed || b_packed) {
+    AlignedBuffer& arena = thread_pack_arena();
+    try {
+      if (SHALOM_FAULT_POINT(fault::Site::kAllocPackArena))
+        throw std::bad_alloc();
+      arena.reserve(plan.arena_bytes);
+    } catch (const std::bad_alloc&) {
+      telemetry::note_fallback_nopack();
+      execute_serial_nopack(plan, alpha, A, lda, B, ldb, beta, C, ldc);
+      return;
+    }
+    ac = arena.as<T>();
+  }
+  T* const bc_base =
+      ac != nullptr ? ac + ac_elems + ukr::kPackSlackElems : nullptr;
 
   for (index_t jj = 0; jj < N; jj += blk.nc) {
     const index_t ncur = std::min<index_t>(blk.nc, N - jj);
@@ -348,7 +479,7 @@ void execute_plan(const GemmPlan<T>& plan, T alpha, const T* A, index_t lda,
 
   const Mode mode = plan.mode;
   const int t = plan.threads;
-  ThreadPool::global(t).parallel_for(t, [&](int id) {
+  pool_run(t, [&](int id) {
     const GemmPlan<T>& s = plan.sub[id];
     if (s.m == 0 || s.n == 0) return;
     const int pm = id / plan.part.tn;
@@ -377,6 +508,8 @@ template <typename T>
 GemmPlan<T> plan_create(Mode mode, index_t M, index_t N, index_t K,
                         const Config& cfg) {
   SHALOM_REQUIRE(M >= 0 && N >= 0 && K >= 0, " M=", M, " N=", N, " K=", K);
+
+  detail::check_shape_bounds<T>(M, N, K);
 
   GemmPlan<T> p;
   p.mode = mode;
@@ -423,10 +556,16 @@ GemmPlan<T> plan_create(Mode mode, index_t M, index_t N, index_t K,
       p.arena_bytes = max_arena;
       // Pre-size every pool worker's arena now (persistent-pool
       // reservation): executions then never touch the allocator. The
-      // fork-join cost is paid once per plan, not per call.
+      // fork-join cost is paid once per plan, not per call. Best-effort:
+      // a failed reservation must not escape a worker thread (that would
+      // terminate the process); execution retries and degrades to the
+      // no-pack path if memory is still short.
       if (max_arena > 0) {
-        ThreadPool::global(t).parallel_for(t, [&](int) {
-          thread_pack_arena().reserve(max_arena);
+        pool_run(t, [&](int) {
+          try {
+            thread_pack_arena().reserve(max_arena);
+          } catch (const std::bad_alloc&) {
+          }
         });
       }
       return p;
@@ -477,7 +616,12 @@ GemmPlan<T> plan_create(Mode mode, index_t M, index_t N, index_t K,
       static_cast<std::size_t>(p.ac_elems + ukr::kPackSlackElems +
                                2 * p.bc_sliver) *
       sizeof(T);
-  thread_pack_arena().reserve(p.arena_bytes);
+  // Best-effort warm-up only; execution re-reserves and degrades to the
+  // no-pack path if this thread's arena still cannot grow.
+  try {
+    thread_pack_arena().reserve(p.arena_bytes);
+  } catch (const std::bad_alloc&) {
+  }
   return p;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "core/gemm.h"
 #include "core/parallel.h"
 
@@ -138,7 +139,13 @@ struct PlanCache<T>::Impl {
     }
     if (capacity == 0) return;
     lru.emplace_front(key, std::move(plan));
-    map.emplace(key, lru.begin());
+    try {
+      map.emplace(key, lru.begin());
+    } catch (...) {
+      // Keep the list and map consistent if the node allocation fails.
+      lru.pop_front();
+      throw;
+    }
     while (map.size() > capacity) {
       map.erase(lru.back().first);
       lru.pop_back();
@@ -176,10 +183,29 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
   // and fork the pool, none of which should serialize other shapes. A
   // racing creator for the same key costs one duplicate build, not a
   // wrong result - insert_locked keeps whichever lands last.
-  PlanPtr plan =
-      std::make_shared<const GemmPlan<T>>(plan_create<T>(mode, M, N, K, cfg));
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->insert_locked(key, plan);
+  PlanPtr plan;
+  if (!SHALOM_FAULT_POINT(fault::Site::kAllocPlan)) {
+    try {
+      plan = std::make_shared<const GemmPlan<T>>(
+          plan_create<T>(mode, M, N, K, cfg));
+    } catch (const std::bad_alloc&) {
+      // Degrade: the caller runs uncached. Argument errors propagate.
+    }
+  }
+  if (plan == nullptr) {
+    telemetry::note_plan_cache_bypassed();
+    return nullptr;
+  }
+  bool inserted = !SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert);
+  if (inserted) {
+    try {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->insert_locked(key, plan);
+    } catch (const std::bad_alloc&) {
+      inserted = false;
+    }
+  }
+  if (!inserted) telemetry::note_plan_cache_bypassed();
   return plan;
 }
 
@@ -198,8 +224,19 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::lookup(const PlanKey& key) {
 template <typename T>
 void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
   SHALOM_REQUIRE(plan != nullptr);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->insert_locked(key, std::move(plan));
+  bool inserted = !SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert);
+  if (inserted) {
+    try {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->insert_locked(key, std::move(plan));
+    } catch (const std::bad_alloc&) {
+      inserted = false;
+    }
+  }
+  if (!inserted) {
+    telemetry::note_plan_cache_bypassed();
+    return;
+  }
   // A key may now map to a different plan (tuner re-seed): memos must
   // revalidate.
   impl_->generation.fetch_add(1, std::memory_order_release);
@@ -334,6 +371,21 @@ void gemm_cached(Mode mode, index_t M, index_t N, index_t K, T alpha,
       make_plan_key(mode, M, N, K, classify_ld(mode, M, N, K, lda, ldb, ldc),
                     resolved.threads, resolved);
   auto plan = cache.get_or_create(key, mode, M, N, K, resolved);
+  if (plan == nullptr) {
+    // Degraded mode: the cacheable plan could not be materialized. Run
+    // this call through the per-call drivers (which plan on the stack and
+    // degrade further on their own if memory stays short).
+    Config uncached = resolved;
+    uncached.use_plan_cache = false;
+    if (resolved.threads <= 1) {
+      gemm_serial(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc,
+                  uncached);
+    } else {
+      gemm_parallel(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc,
+                    uncached);
+    }
+    return;
+  }
   if (memoizable) {
     memo.params = params;
     memo.plan = plan;

@@ -78,6 +78,13 @@ class PlanCache {
   /// (mode, M, N, K, cfg) on a miss. Plan construction runs outside the
   /// cache lock; when two threads race on the same fresh key, one plan
   /// wins the insert and both calls return a valid plan.
+  ///
+  /// Degradation contract: returns nullptr when the plan itself could not
+  /// be materialized (allocation failure building the GemmPlan). A failed
+  /// *insert* of a successfully built plan still returns the plan - the
+  /// caller executes it, the cache just won't remember it. Both outcomes
+  /// bump the plan_cache_bypassed telemetry counter; argument errors
+  /// (shalom::invalid_argument) propagate as before.
   PlanPtr get_or_create(const PlanKey& key, Mode mode, index_t M, index_t N,
                         index_t K, const Config& cfg);
 
@@ -85,7 +92,9 @@ class PlanCache {
   PlanPtr lookup(const PlanKey& key);
 
   /// Installs `plan` under `key` (used by the auto-tuner to seed tuned
-  /// blockings). Replaces any existing entry for the key.
+  /// blockings). Replaces any existing entry for the key. Best-effort
+  /// under memory pressure: a failed insertion is dropped (and counted as
+  /// plan_cache_bypassed) rather than thrown.
   void insert(const PlanKey& key, PlanPtr plan);
 
   /// Shrinks/grows the LRU bound; evicts immediately when shrinking.

@@ -3,6 +3,7 @@
 #include <memory>
 #include <new>
 
+#include "common/fault.h"
 #include "core/plan.h"
 #include "core/shalom.h"
 
@@ -14,6 +15,34 @@ struct shalom_plan {
 };
 
 namespace {
+
+using shalom::detail::clear_last_error;
+using shalom::detail::set_last_error;
+
+/// Records the thread-local error context and returns the code, so every
+/// error path reads `return fail(CODE, ...)`.
+int fail(int code, const char* message = nullptr) {
+  set_last_error(code, message);
+  return code;
+}
+
+/// Maps an in-flight exception (from a catch(...) context) to its status
+/// code, recording the exception message as the last-error detail.
+int fail_current_exception() {
+  try {
+    throw;
+  } catch (const shalom::invalid_argument& e) {
+    return fail(SHALOM_ERR_INVALID_ARGUMENT, e.what());
+  } catch (const std::bad_alloc& e) {
+    return fail(SHALOM_ERR_ALLOC, e.what());
+  } catch (const std::exception& e) {
+    // E.g. std::system_error from worker-thread spawn: never let an
+    // exception cross the extern "C" boundary.
+    return fail(SHALOM_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(SHALOM_ERR_INTERNAL);
+  }
+}
 
 bool parse_trans(char c, shalom::Trans& out) {
   switch (c) {
@@ -34,22 +63,18 @@ template <typename T>
 int gemm_c(char trans_a, char trans_b, ptrdiff_t m, ptrdiff_t n, ptrdiff_t k,
            T alpha, const T* a, ptrdiff_t lda, const T* b, ptrdiff_t ldb,
            T beta, T* c, ptrdiff_t ldc, int threads) {
+  clear_last_error();
   shalom::Trans ta, tb;
-  if (!parse_trans(trans_a, ta) || !parse_trans(trans_b, tb)) return 1;
+  if (!parse_trans(trans_a, ta) || !parse_trans(trans_b, tb))
+    return fail(SHALOM_ERR_BAD_FLAG, "transpose flag must be 'N' or 'T'");
   shalom::Config cfg;
   cfg.threads = threads <= 0 ? 0 : threads;
   try {
     shalom::gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg);
-  } catch (const shalom::invalid_argument&) {
-    return 2;
-  } catch (const std::bad_alloc&) {
-    return 5;
   } catch (...) {
-    // E.g. std::system_error from worker-thread spawn: never let an
-    // exception cross the extern "C" boundary.
-    return 6;
+    return fail_current_exception();
   }
-  return 0;
+  return SHALOM_OK;
 }
 
 }  // namespace
@@ -72,14 +97,37 @@ extern "C" int shalom_dgemm(char trans_a, char trans_b, ptrdiff_t m,
                 ldc, threads);
 }
 
+extern "C" const char* shalom_strerror(int code) {
+  return shalom::status_string(code);
+}
+
+extern "C" const char* shalom_last_error_message(void) {
+  return shalom::detail::last_error_message();
+}
+
+extern "C" void shalom_get_stats(shalom_stats* out) {
+  if (out == nullptr) return;
+  const shalom::RobustnessStats s = shalom::robustness_stats();
+  out->fallback_nopack = s.fallback_nopack;
+  out->threads_degraded = s.threads_degraded;
+  out->plan_cache_bypassed = s.plan_cache_bypassed;
+  out->faults_injected = s.faults_injected;
+}
+
+extern "C" void shalom_reset_stats(void) { shalom::robustness_stats_reset(); }
+
 extern "C" int shalom_plan_create(shalom_plan** out_plan, char dtype,
                                   char trans_a, char trans_b, ptrdiff_t m,
                                   ptrdiff_t n, ptrdiff_t k, int threads) {
-  if (out_plan == nullptr) return 3;
+  clear_last_error();
+  if (out_plan == nullptr)
+    return fail(SHALOM_ERR_NULL_POINTER, "out_plan is NULL");
   *out_plan = nullptr;
-  if (dtype != 's' && dtype != 'S' && dtype != 'd' && dtype != 'D') return 1;
+  if (dtype != 's' && dtype != 'S' && dtype != 'd' && dtype != 'D')
+    return fail(SHALOM_ERR_BAD_FLAG, "dtype must be 's' or 'd'");
   shalom::Trans ta, tb;
-  if (!parse_trans(trans_a, ta) || !parse_trans(trans_b, tb)) return 1;
+  if (!parse_trans(trans_a, ta) || !parse_trans(trans_b, tb))
+    return fail(SHALOM_ERR_BAD_FLAG, "transpose flag must be 'N' or 'T'");
 
   shalom::Config cfg;
   cfg.threads = threads <= 0 ? 0 : threads;
@@ -94,14 +142,10 @@ extern "C" int shalom_plan_create(shalom_plan** out_plan, char dtype,
       plan->dplan = shalom::plan_create<double>(mode, m, n, k, cfg);
     }
     *out_plan = plan.release();
-  } catch (const shalom::invalid_argument&) {
-    return 2;
-  } catch (const std::bad_alloc&) {
-    return 5;
   } catch (...) {
-    return 6;  // e.g. std::system_error spawning pool workers
+    return fail_current_exception();
   }
-  return 0;
+  return SHALOM_OK;
 }
 
 namespace {
@@ -112,14 +156,10 @@ int plan_execute_c(const shalom::GemmPlan<T>& plan, T alpha, const T* a,
                    ptrdiff_t ldc) {
   try {
     shalom::plan_execute(plan, alpha, a, lda, b, ldb, beta, c, ldc);
-  } catch (const shalom::invalid_argument&) {
-    return 2;
-  } catch (const std::bad_alloc&) {
-    return 5;
   } catch (...) {
-    return 6;
+    return fail_current_exception();
   }
-  return 0;
+  return SHALOM_OK;
 }
 
 }  // namespace
@@ -128,8 +168,11 @@ extern "C" int shalom_plan_execute_s(const shalom_plan* plan, float alpha,
                                      const float* a, ptrdiff_t lda,
                                      const float* b, ptrdiff_t ldb,
                                      float beta, float* c, ptrdiff_t ldc) {
-  if (plan == nullptr) return 3;
-  if (plan->dtype != 's') return 4;
+  clear_last_error();
+  if (plan == nullptr) return fail(SHALOM_ERR_NULL_POINTER, "plan is NULL");
+  if (plan->dtype != 's')
+    return fail(SHALOM_ERR_DTYPE_MISMATCH,
+                "plan was created for double, executed as float");
   return plan_execute_c(plan->fplan, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
@@ -137,8 +180,11 @@ extern "C" int shalom_plan_execute_d(const shalom_plan* plan, double alpha,
                                      const double* a, ptrdiff_t lda,
                                      const double* b, ptrdiff_t ldb,
                                      double beta, double* c, ptrdiff_t ldc) {
-  if (plan == nullptr) return 3;
-  if (plan->dtype != 'd') return 4;
+  clear_last_error();
+  if (plan == nullptr) return fail(SHALOM_ERR_NULL_POINTER, "plan is NULL");
+  if (plan->dtype != 'd')
+    return fail(SHALOM_ERR_DTYPE_MISMATCH,
+                "plan was created for float, executed as double");
   return plan_execute_c(plan->dplan, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 

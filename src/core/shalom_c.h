@@ -2,12 +2,34 @@
  *
  * BLAS-style entry points over the C++ core. Matrices are ROW-MAJOR
  * (unlike Fortran BLAS); transpose flags are 'N'/'n' or 'T'/'t'.
- * `threads` <= 0 selects all cores, 1 is serial. Returns 0 on success,
- * nonzero on invalid arguments.
+ * `threads` <= 0 selects all cores, 1 is serial.
+ *
+ * Every entry point returns a shalom_status code (common/error.h is the
+ * single source of truth shared with the C++ core):
+ *   0  SHALOM_OK                    success
+ *   1  SHALOM_ERR_BAD_FLAG         unknown dtype or transpose flag
+ *   2  SHALOM_ERR_INVALID_ARGUMENT bad dimensions/strides or size overflow
+ *   3  SHALOM_ERR_NULL_POINTER     null handle or output pointer
+ *   4  SHALOM_ERR_DTYPE_MISMATCH   plan dtype != execute entry point
+ *   5  SHALOM_ERR_ALLOC            allocation failure (not degradable)
+ *   6  SHALOM_ERR_INTERNAL         unexpected internal error
+ * No exception ever crosses this boundary. shalom_strerror() names a
+ * code; shalom_last_error_message() returns the calling thread's detail
+ * message for its most recent failed call.
+ *
+ * Degradation guarantees (see DESIGN.md for the full matrix): recoverable
+ * resource exhaustion inside a GEMM - pack-buffer allocation failure,
+ * worker-thread spawn failure, plan-cache memory pressure - never fails
+ * the call. The library falls back to unpacked kernels, fewer threads
+ * (down to serial), or uncached planning, returns SHALOM_OK with the
+ * exact same numerical result, and counts the event in shalom_stats.
  */
 #pragma once
 
 #include <stddef.h>
+#include <stdint.h>
+
+#include "common/error.h" /* shalom_status codes */
 
 #ifdef __cplusplus
 extern "C" {
@@ -24,17 +46,42 @@ int shalom_dgemm(char trans_a, char trans_b, ptrdiff_t m, ptrdiff_t n,
                  ptrdiff_t ldc, int threads);
 
 /* ------------------------------------------------------------------------
+ * Error reporting.
+ * ---------------------------------------------------------------------- */
+
+/* Static description of a shalom_status code; never NULL. */
+const char* shalom_strerror(int code);
+
+/* Detail message for the calling thread's most recent failed shalom_*
+ * call ("" if none since the last successful call). The buffer is
+ * thread-local and overwritten by the next failure; copy it if needed. */
+const char* shalom_last_error_message(void);
+
+/* ------------------------------------------------------------------------
+ * Degradation telemetry: process-wide counters of graceful-degradation
+ * events (see the header comment). All zero in a healthy process.
+ * ---------------------------------------------------------------------- */
+
+typedef struct shalom_stats {
+  uint64_t fallback_nopack;    /* executions using the no-pack fallback */
+  uint64_t threads_degraded;   /* fork-join rounds below requested width */
+  uint64_t plan_cache_bypassed;/* calls that ran without plan-cache backing */
+  uint64_t faults_injected;    /* injected faults (testing builds only) */
+} shalom_stats;
+
+/* Snapshot of the counters; `out` may not be NULL. */
+void shalom_get_stats(shalom_stats* out);
+
+/* Resets all counters to zero (testing/monitoring epochs). */
+void shalom_reset_stats(void);
+
+/* ------------------------------------------------------------------------
  * Execution-plan API: create a plan once for a (dtype, transposes, shape,
  * threads) combination, execute it many times, destroy it when done. The
  * plan snapshots every shape-dependent decision, so repeated executions
  * skip the per-call analytic models entirely. Executing one plan from
  * several threads at once is safe; parallel (threads > 1) plans serialize
  * their fork-join rounds on the library's shared worker pool.
- *
- * Return codes: 0 success, 1 invalid dtype/transpose flag, 2 invalid
- * dimensions or strides, 3 null handle or output pointer, 4 dtype
- * mismatch between plan and execute entry point, 5 allocation failure,
- * 6 unexpected internal error (no exception ever escapes the C API).
  * ---------------------------------------------------------------------- */
 
 typedef struct shalom_plan shalom_plan;

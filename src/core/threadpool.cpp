@@ -2,16 +2,32 @@
 
 #include <memory>
 #include <mutex>
+#include <new>
+#include <system_error>
 
 #include "common/error.h"
+#include "common/fault.h"
 
 namespace shalom {
 
 ThreadPool::ThreadPool(int max_threads) : max_threads_(max_threads) {
   SHALOM_REQUIRE(max_threads >= 1, " max_threads=", max_threads);
-  workers_.reserve(max_threads_ - 1);
-  for (int w = 1; w < max_threads_; ++w)
-    workers_.emplace_back([this, w] { worker_loop(w); });
+  workers_.reserve(static_cast<std::size_t>(max_threads_ - 1));
+  for (int w = 1; w < max_threads_; ++w) {
+    try {
+      if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolSpawn))
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again));
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    } catch (const std::system_error&) {
+      // Workers 1..w-1 already exist and support w-way rounds; keep them.
+      max_threads_ = w;
+      break;
+    } catch (const std::bad_alloc&) {
+      max_threads_ = w;
+      break;
+    }
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -24,8 +40,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn) {
-  SHALOM_REQUIRE(tasks >= 1 && tasks <= max_threads_, " tasks=", tasks,
-                 " max_threads=", max_threads_);
+  SHALOM_REQUIRE(tasks >= 1 && tasks <= max_threads_,
+                 ": tasks must be in [1, max_threads]; tasks=", tasks,
+                 " max_threads=", max_threads_,
+                 " (use pool_run for width-tolerant execution)");
   if (tasks == 1) {
     fn(0);
     return;
@@ -86,9 +104,39 @@ ThreadPool& ThreadPool::global(int threads) {
   // only when a strictly larger thread count is first requested.
   static std::vector<std::unique_ptr<ThreadPool>> pools;
   std::lock_guard<std::mutex> lock(mu);
-  if (pools.empty() || pools.back()->max_threads() < threads)
-    pools.push_back(std::make_unique<ThreadPool>(threads));
+  if (pools.empty() || pools.back()->max_threads() < threads) {
+    auto pool = std::make_unique<ThreadPool>(threads);
+    // Under spawn failure the new pool may come back no wider than the one
+    // we already have; keep the old one rather than churning out a retired
+    // pool per call while the OS stays resource-starved.
+    if (pools.empty() || pool->max_threads() > pools.back()->max_threads())
+      pools.push_back(std::move(pool));
+  }
   return *pools.back();
+}
+
+void pool_run(int tasks, const std::function<void(int)>& fn) {
+  SHALOM_REQUIRE(tasks >= 1, " tasks=", tasks);
+  if (tasks == 1) {
+    fn(0);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global(tasks);
+  const int avail = pool.max_threads();
+  if (avail >= tasks) {
+    pool.parallel_for(tasks, fn);
+    return;
+  }
+  // Degraded round: fewer workers than tasks. Chunk tasks over the width
+  // we have; with a single-thread pool that collapses to a serial loop.
+  telemetry::note_threads_degraded();
+  if (avail <= 1) {
+    for (int id = 0; id < tasks; ++id) fn(id);
+    return;
+  }
+  pool.parallel_for(avail, [&](int w) {
+    for (int id = w; id < tasks; id += avail) fn(id);
+  });
 }
 
 }  // namespace shalom

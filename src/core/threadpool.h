@@ -24,7 +24,11 @@ namespace shalom {
 class ThreadPool {
  public:
   /// Creates a pool usable for up to `max_threads`-way parallel_for calls
-  /// (spawns max_threads - 1 workers).
+  /// (spawns max_threads - 1 workers). Spawning is best-effort: if the OS
+  /// refuses a worker thread (std::system_error / bad_alloc), the pool
+  /// keeps the workers it got and max_threads() reports the reduced
+  /// width - construction never throws for resource exhaustion, only for
+  /// the max_threads < 1 contract violation.
   explicit ThreadPool(int max_threads);
   ~ThreadPool();
 
@@ -32,10 +36,13 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Runs fn(0) .. fn(tasks-1) across the pool, blocking until every task
-  /// has finished. `tasks` may not exceed max_threads: the paper's scheme
-  /// assigns exactly one C sub-block per thread. Safe to call from several
-  /// threads concurrently (rounds serialize); must not be re-entered from
-  /// inside a task.
+  /// has finished. `tasks` must lie in [1, max_threads()]: the paper's
+  /// scheme assigns exactly one C sub-block per thread, so oversubscribing
+  /// a round is a contract violation (shalom::invalid_argument), not a
+  /// queueing request - callers that may face a degraded pool should go
+  /// through pool_run() instead. Safe to call from several threads
+  /// concurrently (rounds serialize); must not be re-entered from inside a
+  /// task.
   void parallel_for(int tasks, const std::function<void(int)>& fn);
 
   int max_threads() const { return max_threads_; }
@@ -43,13 +50,15 @@ class ThreadPool {
   /// Process-wide pool, grown on demand to at least `threads`. Growing
   /// retires the smaller pool instead of destroying it, so a reference
   /// returned earlier (possibly mid-parallel_for on another thread) stays
-  /// valid for the lifetime of the process.
+  /// valid for the lifetime of the process. Best-effort like the
+  /// constructor: under spawn failure the returned pool may be narrower
+  /// than `threads` (check max_threads()).
   static ThreadPool& global(int threads);
 
  private:
   void worker_loop(int worker_id);
 
-  const int max_threads_;
+  int max_threads_;  // may be reduced by the ctor under spawn failure
   std::vector<std::thread> workers_;
 
   /// Held for the whole fork-join round: admits one parallel_for at a
@@ -64,5 +73,13 @@ class ThreadPool {
   int outstanding_ = 0;
   bool shutdown_ = false;
 };
+
+/// Degradation-tolerant fork-join: runs fn(0) .. fn(tasks-1) on the global
+/// pool sized for `tasks`, chunking tasks over fewer workers (down to a
+/// serial loop) when the pool could not grow that wide. This is the entry
+/// point every GEMM driver uses - parallel_for's strict contract is for
+/// callers that own an exactly-sized pool. Records threads_degraded
+/// telemetry whenever a round runs below its requested width.
+void pool_run(int tasks, const std::function<void(int)>& fn);
 
 }  // namespace shalom

@@ -63,7 +63,7 @@ void spmm(T alpha, const BsrMatrix<T>& a, const T* b, index_t ldb, T beta,
 
   const index_t rows = a.block_rows();
   const index_t per_thread = (rows + threads - 1) / threads;
-  ThreadPool::global(threads).parallel_for(threads, [&](int id) {
+  pool_run(threads, [&](int id) {
     const index_t begin = id * per_thread;
     const index_t end = std::min(rows, begin + per_thread);
     for (index_t brow = begin; brow < end; ++brow)

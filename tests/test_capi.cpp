@@ -1,8 +1,12 @@
 // Tests for the C API: happy path against the oracle, transpose-flag
-// parsing, error codes and thread handling, plus the opaque plan handle
+// parsing, error codes and thread handling, the opaque plan handle
 // (shalom_plan_create / _execute_s / _execute_d / _destroy) including
-// every documented error code.
+// every documented error code, plus the diagnostics surface
+// (shalom_strerror, shalom_last_error_message) and overflow rejection.
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
 
 #include "core/shalom_c.h"
 #include "tests/test_util.h"
@@ -145,6 +149,65 @@ TEST(CApi, PlanExecuteErrorPaths) {
 }
 
 TEST(CApi, PlanDestroyNullIsSafe) { shalom_plan_destroy(nullptr); }
+
+TEST(CApi, StrerrorCoversEveryCode) {
+  EXPECT_STREQ(shalom_strerror(SHALOM_OK), "success");
+  for (int code = SHALOM_OK; code <= SHALOM_ERR_INTERNAL; ++code) {
+    const char* msg = shalom_strerror(code);
+    ASSERT_NE(msg, nullptr);
+    EXPECT_GT(std::strlen(msg), 0u) << "code " << code;
+  }
+  // Out-of-range codes get the sentinel, never NULL or a crash.
+  EXPECT_STREQ(shalom_strerror(-1), "unknown status code");
+  EXPECT_STREQ(shalom_strerror(999), "unknown status code");
+}
+
+TEST(CApi, LastErrorMessageTracksFailures) {
+  float x[4] = {};
+  // A failing call records a nonempty, code-consistent detail message.
+  ASSERT_EQ(shalom_sgemm('X', 'N', 2, 2, 2, 1.f, x, 2, x, 2, 0.f, x, 2, 1),
+            SHALOM_ERR_BAD_FLAG);
+  EXPECT_GT(std::strlen(shalom_last_error_message()), 0u);
+
+  // An argument error carries the validator's formatted context.
+  ASSERT_EQ(shalom_sgemm('N', 'N', 2, 2, 2, 1.f, x, /*lda=*/1, x, 2, 0.f, x,
+                         2, 1),
+            SHALOM_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::strstr(shalom_last_error_message(), "lda"), nullptr)
+      << "got: " << shalom_last_error_message();
+
+  // A successful call clears the slot.
+  testing::Problem<float> p({Trans::N, Trans::N}, 4, 4, 4);
+  ASSERT_EQ(shalom_sgemm('N', 'N', 4, 4, 4, 1.f, p.a.data(), p.a.ld(),
+                         p.b.data(), p.b.ld(), 0.f, p.c.data(), p.c.ld(), 1),
+            SHALOM_OK);
+  EXPECT_STREQ(shalom_last_error_message(), "");
+}
+
+TEST(CApi, OverflowingShapesRejected) {
+  // M*K, K*N and M*N products past PTRDIFF_MAX elements must come back as
+  // SHALOM_ERR_INVALID_ARGUMENT from validation - never reach allocation
+  // sizing where they would wrap. Pointers are non-null but never
+  // dereferenced: validation fails first.
+  float x[4] = {};
+  const ptrdiff_t huge = std::numeric_limits<ptrdiff_t>::max() / 4;
+  EXPECT_EQ(shalom_sgemm('N', 'N', huge, 2, huge, 1.f, x, huge, x, 2, 0.f,
+                         x, 2, 1),
+            SHALOM_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(shalom_sgemm('N', 'N', 2, huge, huge, 1.f, x, huge, x, huge,
+                         0.f, x, huge, 1),
+            SHALOM_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(shalom_sgemm('N', 'N', huge, huge, 2, 1.f, x, 2, x, huge, 0.f,
+                         x, huge, 1),
+            SHALOM_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::strstr(shalom_last_error_message(), "overflow"), nullptr)
+      << "got: " << shalom_last_error_message();
+
+  shalom_plan* plan = nullptr;
+  EXPECT_EQ(shalom_plan_create(&plan, 'd', 'N', 'N', huge, huge, 2, 1),
+            SHALOM_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(plan, nullptr);
+}
 
 }  // namespace
 }  // namespace shalom

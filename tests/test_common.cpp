@@ -36,6 +36,22 @@ TEST(AlignedBuffer, MoveTransfersOwnership) {
   EXPECT_EQ(c.data(), p);
 }
 
+TEST(AlignedBuffer, ReserveRejectsRoundingOverflow) {
+  AlignedBuffer buf;
+  // A request so large that cache-line rounding would wrap size_t must
+  // fail cleanly as bad_alloc, not wrap to a tiny allocation.
+  EXPECT_THROW(buf.reserve(SIZE_MAX - 1), std::bad_alloc);
+  EXPECT_EQ(buf.capacity(), 0u);
+}
+
+TEST(AlignedBuffer, AsRejectsCountOverflow) {
+  AlignedBuffer buf(64);
+  // count * sizeof(T) would overflow size_t: must throw, not pass the
+  // capacity assert via a wrapped product.
+  EXPECT_THROW(buf.as<double>(SIZE_MAX / 2), invalid_argument);
+  EXPECT_NE(buf.as<double>(8), nullptr);  // in-range count still works
+}
+
 TEST(AlignedBuffer, ThreadArenaPersists) {
   AlignedBuffer& arena = thread_pack_arena();
   arena.reserve(1024);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -97,9 +98,47 @@ TEST(ThreadPool, GlobalGrowsOnDemand) {
   EXPECT_GE(b.max_threads(), 4);
 }
 
+// Regression for the documented contract: tasks must lie in
+// [1, max_threads]. Oversubscription is a hard error with an actionable
+// message, never silent queueing.
 TEST(ThreadPool, RejectsTooManyTasks) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(3, [](int) {}), invalid_argument);
+  try {
+    pool.parallel_for(3, [](int) {});
+    FAIL() << "expected invalid_argument";
+  } catch (const invalid_argument& e) {
+    EXPECT_NE(std::strstr(e.what(), "max_threads"), nullptr)
+        << "got: " << e.what();
+    EXPECT_NE(std::strstr(e.what(), "tasks=3"), nullptr)
+        << "got: " << e.what();
+  }
+  EXPECT_THROW(pool.parallel_for(0, [](int) {}), invalid_argument);
+  EXPECT_THROW(pool.parallel_for(-1, [](int) {}), invalid_argument);
+  // The pool survives rejected calls.
+  std::atomic<int> ran{0};
+  pool.parallel_for(2, [&](int) { ran++; });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+// pool_run is the width-tolerant wrapper: any task count is legal and the
+// global pool grows (or chunks) to cover it.
+TEST(PoolRun, RunsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> counts(6);
+  pool_run(6, [&](int id) { counts[id]++; });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(PoolRun, SingleTaskRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool_run(1, [&](int) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(PoolRun, RejectsNonPositiveTasks) {
+  EXPECT_THROW(pool_run(0, [](int) {}), invalid_argument);
+  EXPECT_THROW(pool_run(-2, [](int) {}), invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
