@@ -1,25 +1,40 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard Release build + full test suite, then
-# an AddressSanitizer configuration running the fault-injection and stress
-# labels (the degradation paths exercise allocator edge cases and
-# cross-thread teardown, exactly where ASan earns its keep).
+# Tier-1 verification: the standard Release build + full test suite (with
+# the eager kernel selftest forced on, so every dispatchable variant is
+# probed against the scalar reference), then AddressSanitizer and
+# UndefinedBehaviorSanitizer configurations running the fault-injection,
+# stress and differential-fuzz labels (the degradation and quarantine
+# paths exercise allocator edge cases, cross-thread teardown and
+# kernel-boundary arithmetic, exactly where the sanitizers earn their
+# keep).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
-echo "=== tier1: standard build + full ctest ==="
+echo "=== tier1: standard build + full ctest (SHALOM_SELFTEST=1) ==="
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
-ctest --test-dir build --output-on-failure -j "${JOBS}"
+SHALOM_SELFTEST=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "=== tier1: ASan build, fault + stress labels ==="
+echo "=== tier1: ASan build, fault + stress + fuzz labels ==="
 cmake -B build-asan -S . \
       -DSHALOM_SANITIZE=address \
       -DSHALOM_FAULT_INJECTION=ON \
       -DSHALOM_BUILD_BENCH=OFF \
       -DSHALOM_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L 'fault|stress'
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+      -L 'fault|stress|fuzz'
+
+echo "=== tier1: UBSan build, fault + stress + fuzz labels ==="
+cmake -B build-ubsan -S . \
+      -DSHALOM_SANITIZE=undefined \
+      -DSHALOM_FAULT_INJECTION=ON \
+      -DSHALOM_BUILD_BENCH=OFF \
+      -DSHALOM_BUILD_EXAMPLES=OFF
+cmake --build build-ubsan -j "${JOBS}"
+ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
+      -L 'fault|stress|fuzz'
 
 echo "tier1: OK"

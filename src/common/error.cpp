@@ -1,7 +1,10 @@
 #include "common/error.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace shalom {
 
@@ -21,6 +24,8 @@ const char* status_string(int code) noexcept {
       return "allocation failure";
     case SHALOM_ERR_INTERNAL:
       return "unexpected internal error";
+    case SHALOM_ERR_NUMERIC:
+      return "non-finite value (NaN/Inf) caught by the numerical guard";
     default:
       return "unknown status code";
   }
@@ -52,4 +57,61 @@ const char* last_error_message() noexcept { return t_last_error_message; }
 int last_error_code() noexcept { return t_last_error_code; }
 
 }  // namespace detail
+
+namespace env {
+
+namespace {
+
+// One-time-warning registry. Names are expected to be string literals
+// (the call sites all pass "SHALOM_..."), so pointer + strcmp dedup over
+// a small fixed table is enough and keeps this path allocation-free.
+constexpr int kMaxWarnedNames = 16;
+const char* g_warned_names[kMaxWarnedNames] = {};
+int g_warned_count = 0;
+std::mutex g_warned_mutex;
+
+/// Returns true exactly once per distinct name (and unconditionally if
+/// the table overflows - warning twice beats suppressing a new name).
+bool first_warning_for(const char* name) noexcept {
+  try {
+    std::lock_guard<std::mutex> lock(g_warned_mutex);
+    for (int i = 0; i < g_warned_count; ++i)
+      if (std::strcmp(g_warned_names[i], name) == 0) return false;
+    if (g_warned_count < kMaxWarnedNames)
+      g_warned_names[g_warned_count++] = name;
+    return true;
+  } catch (...) {
+    return true;
+  }
+}
+
+}  // namespace
+
+void warn_malformed(const char* name, const char* value,
+                    const char* expected) noexcept {
+  if (!first_warning_for(name)) return;
+  std::fprintf(stderr,
+               "shalom: ignoring malformed %s=\"%s\" (expected %s); "
+               "using the documented default\n",
+               name, value != nullptr ? value : "", expected);
+}
+
+long get_long(const char* name, long fallback, long lo, long hi) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < lo ||
+      parsed > hi) {
+    char expected[96];
+    std::snprintf(expected, sizeof expected, "an integer in [%ld, %ld]", lo,
+                  hi);
+    warn_malformed(name, value, expected);
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace env
 }  // namespace shalom

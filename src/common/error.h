@@ -28,6 +28,8 @@ typedef enum shalom_status {
   SHALOM_ERR_DTYPE_MISMATCH = 4,   /* plan dtype != execute entry point */
   SHALOM_ERR_ALLOC = 5,            /* allocation failure (not degradable) */
   SHALOM_ERR_INTERNAL = 6,         /* unexpected internal error */
+  SHALOM_ERR_NUMERIC = 7,          /* NaN/Inf caught by the numerical guard
+                                      (Config::check_numerics = kFail) */
 } shalom_status;
 
 #ifdef __cplusplus
@@ -42,6 +44,14 @@ namespace shalom {
 class invalid_argument : public std::invalid_argument {
  public:
   using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when the opt-in numerical guard (Config::check_numerics with
+/// policy kFail) finds a NaN or Inf in an operand or in the result. Maps
+/// to SHALOM_ERR_NUMERIC at the C boundary.
+class numeric_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Static description of a shalom_status value ("invalid argument", ...).
@@ -66,6 +76,27 @@ void clear_last_error() noexcept;
 const char* last_error_message() noexcept;  // "" when no error recorded
 int last_error_code() noexcept;             // SHALOM_OK when none
 }  // namespace detail
+
+/// Hardened SHALOM_* environment-variable parsing. Configuration read
+/// from the environment must never turn a typo into silent behaviour
+/// changes: every malformed value produces a one-time stderr diagnostic
+/// naming the variable and the documented default that applies instead.
+namespace env {
+
+/// Reads `name` as a decimal integer in [lo, hi]. Unset or empty returns
+/// `fallback` silently (unset is the normal state, not an error);
+/// malformed, non-numeric, or out-of-range values warn once via
+/// warn_malformed() and return `fallback`.
+long get_long(const char* name, long fallback, long lo, long hi) noexcept;
+
+/// One-time (per variable name) stderr diagnostic for a malformed value.
+/// `name` must outlive the process (pass a string literal); repeated
+/// calls for the same name are dropped so parse-on-every-call helpers
+/// cannot spam the log.
+void warn_malformed(const char* name, const char* value,
+                    const char* expected) noexcept;
+
+}  // namespace env
 
 /// Validates an API precondition; throws shalom::invalid_argument on failure.
 #define SHALOM_REQUIRE(cond, ...)                               \

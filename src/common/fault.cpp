@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/error.h"
+
 namespace shalom {
 
 namespace {
@@ -10,6 +12,9 @@ namespace {
 std::atomic<std::uint64_t> g_fallback_nopack{0};
 std::atomic<std::uint64_t> g_threads_degraded{0};
 std::atomic<std::uint64_t> g_plan_cache_bypassed{0};
+std::atomic<std::uint64_t> g_kernels_quarantined{0};
+std::atomic<std::uint64_t> g_selfchecks_run{0};
+std::atomic<std::uint64_t> g_numeric_anomalies{0};
 // Reset offset for the injected counters: the per-site counters are
 // monotonic (tests rely on fault::injected), so reset only rebases the
 // aggregate view.
@@ -31,6 +36,10 @@ RobustnessStats robustness_stats() noexcept {
   s.threads_degraded = g_threads_degraded.load(std::memory_order_relaxed);
   s.plan_cache_bypassed =
       g_plan_cache_bypassed.load(std::memory_order_relaxed);
+  s.kernels_quarantined =
+      g_kernels_quarantined.load(std::memory_order_relaxed);
+  s.selfchecks_run = g_selfchecks_run.load(std::memory_order_relaxed);
+  s.numeric_anomalies = g_numeric_anomalies.load(std::memory_order_relaxed);
   const std::uint64_t rebase =
       g_injected_rebase.load(std::memory_order_relaxed);
   const std::uint64_t total = injected_sum();
@@ -42,6 +51,9 @@ void robustness_stats_reset() noexcept {
   g_fallback_nopack.store(0, std::memory_order_relaxed);
   g_threads_degraded.store(0, std::memory_order_relaxed);
   g_plan_cache_bypassed.store(0, std::memory_order_relaxed);
+  g_kernels_quarantined.store(0, std::memory_order_relaxed);
+  g_selfchecks_run.store(0, std::memory_order_relaxed);
+  g_numeric_anomalies.store(0, std::memory_order_relaxed);
   g_injected_rebase.store(injected_sum(), std::memory_order_relaxed);
 }
 
@@ -54,6 +66,15 @@ void note_threads_degraded() noexcept {
 }
 void note_plan_cache_bypassed() noexcept {
   g_plan_cache_bypassed.fetch_add(1, std::memory_order_relaxed);
+}
+void note_kernel_quarantined() noexcept {
+  g_kernels_quarantined.fetch_add(1, std::memory_order_relaxed);
+}
+void note_selfcheck_run() noexcept {
+  g_selfchecks_run.fetch_add(1, std::memory_order_relaxed);
+}
+void note_numeric_anomaly() noexcept {
+  g_numeric_anomalies.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace telemetry
 
@@ -105,6 +126,8 @@ const char* site_name(Site site) noexcept {
       return "threadpool.spawn";
     case Site::kPlanCacheInsert:
       return "plan_cache.insert";
+    case Site::kSelfcheckProbe:
+      return "selfcheck.probe";
   }
   return "unknown";
 }
@@ -206,7 +229,12 @@ bool arm_one_entry(const char* entry, std::size_t len) noexcept {
 /// point can reach a fault site.
 struct EnvInit {
   EnvInit() noexcept {
-    if (const char* env = std::getenv("SHALOM_FAULT")) arm_from_spec(env);
+    if (const char* env = std::getenv("SHALOM_FAULT")) {
+      if (!arm_from_spec(env))
+        shalom::env::warn_malformed(
+            "SHALOM_FAULT", env,
+            "<site>:once|every-<N>|fail-after-<N>[,<entry>...]");
+    }
   }
 } g_env_init;
 

@@ -24,6 +24,8 @@
 //   alloc.plan         materializing a cacheable plan (PlanCache build)
 //   threadpool.spawn   spawning one pool worker thread
 //   plan_cache.insert  inserting a plan into the LRU cache
+//   selfcheck.probe    one micro-kernel selfcheck probe (common/selfcheck.h);
+//                      an injected failure quarantines the probed variant
 //
 // The telemetry half (RobustnessStats) is always compiled: the degradation
 // paths are real production behaviour - injection is only one way to reach
@@ -58,6 +60,16 @@ struct RobustnessStats {
   std::uint64_t plan_cache_bypassed = 0;
   /// Faults fired by the injection framework (0 in production builds).
   std::uint64_t faults_injected = 0;
+  /// Micro-kernel variants quarantined after failing their selfcheck
+  /// probe: dispatch routes around them permanently (common/selfcheck.h).
+  std::uint64_t kernels_quarantined = 0;
+  /// Selfcheck probes executed (lazy first-dispatch probes plus eager
+  /// shalom_selftest() / SHALOM_SELFTEST=1 sweeps).
+  std::uint64_t selfchecks_run = 0;
+  /// NaN/Inf anomalies observed by the opt-in numerical guard
+  /// (Config::check_numerics with policy kCount or kFail); one count per
+  /// scan that found a non-finite value.
+  std::uint64_t numeric_anomalies = 0;
 };
 
 RobustnessStats robustness_stats() noexcept;
@@ -67,6 +79,9 @@ namespace telemetry {
 void note_fallback_nopack() noexcept;
 void note_threads_degraded() noexcept;
 void note_plan_cache_bypassed() noexcept;
+void note_kernel_quarantined() noexcept;
+void note_selfcheck_run() noexcept;
+void note_numeric_anomaly() noexcept;
 }  // namespace telemetry
 
 // ---------------------------------------------------------------------------
@@ -82,8 +97,9 @@ enum class Site : int {
   kAllocPlan = 1,
   kThreadpoolSpawn = 2,
   kPlanCacheInsert = 3,
+  kSelfcheckProbe = 4,
 };
-inline constexpr int kSiteCount = 4;
+inline constexpr int kSiteCount = 5;
 
 /// Trigger modes (see the header comment for semantics).
 enum class Mode : std::uint32_t {

@@ -8,6 +8,9 @@
 // function-pointer tables that route a runtime tile to the right one.
 #pragma once
 
+#include <type_traits>
+
+#include "common/selfcheck.h"
 #include "core/microkernel.h"
 
 namespace shalom::ukr {
@@ -227,6 +230,56 @@ SHALOM_INLINE void run_fused_pack_nt(int jb, index_t kc, const T* a,
   SHALOM_ASSERT(jb >= 1 && jb <= 3);
   table[jb - 1](kc, a, lda, b, ldb, bc, jofs, nr_full, store_full, c, ldc,
                 alpha, beta);
+}
+
+// ---------------------------------------------------------------------------
+// Selfcheck variant mapping: which quarantine unit covers each statically
+// instantiated family. Plan building and the degraded executors consult
+// selfcheck::variant_ok() with these ids before routing a tile to a
+// vectorized kernel (common/selfcheck.h).
+// ---------------------------------------------------------------------------
+
+/// Variant id of the full-tile kern_main family for one access pair. The
+/// trans-A probe covers both B accesses under a single id (the load path
+/// difference is B-side only).
+template <typename T>
+constexpr selfcheck::Variant main_variant(AAccess aa, BAccess ba) {
+  constexpr int base = std::is_same_v<T, double> ? 5 : 0;
+  int off;
+  if (aa == AAccess::kDirectTrans)
+    off = 4;
+  else if (aa == AAccess::kDirect)
+    off = (ba == BAccess::kDirect) ? 0 : 1;
+  else
+    off = (ba == BAccess::kDirect) ? 2 : 3;
+  return static_cast<selfcheck::Variant>(base + off);
+}
+
+/// Variant id of the remainder-tile (edge) instantiations of the same
+/// family.
+template <typename T>
+constexpr selfcheck::Variant edge_variant(AAccess aa, BAccess ba) {
+  return static_cast<selfcheck::Variant>(
+      static_cast<int>(main_variant<T>(aa, ba)) +
+      selfcheck::kMainFamilyCount);
+}
+
+template <typename T>
+constexpr selfcheck::Variant fused_nn_variant() {
+  return std::is_same_v<T, double> ? selfcheck::Variant::kFusedNnF64
+                                   : selfcheck::Variant::kFusedNnF32;
+}
+
+template <typename T>
+constexpr selfcheck::Variant fused_nt_variant() {
+  return std::is_same_v<T, double> ? selfcheck::Variant::kFusedNtF64
+                                   : selfcheck::Variant::kFusedNtF32;
+}
+
+template <typename T>
+constexpr selfcheck::Variant fused_tn_variant() {
+  return std::is_same_v<T, double> ? selfcheck::Variant::kFusedTnF64
+                                   : selfcheck::Variant::kFusedTnF32;
 }
 
 }  // namespace shalom::ukr

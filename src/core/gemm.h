@@ -20,4 +20,26 @@ void gemm_serial(Mode mode, index_t M, index_t N, index_t K, T alpha,
                  const T* A, index_t lda, const T* B, index_t ldb, T beta,
                  T* C, index_t ldc, const Config& cfg = {});
 
+namespace detail {
+
+/// Numerical guard (Config::check_numerics): samples A, B and - when beta
+/// reads it - C for NaN/Inf before dispatch. Validates the argument
+/// contract first so the scan itself never reads out of bounds. Counts
+/// each anomalous operand in robustness_stats().numeric_anomalies; under
+/// Policy::kFail throws numeric_error naming the offending operand.
+/// No-op under Policy::kIgnore.
+template <typename T>
+void numeric_guard_operands(Mode mode, index_t M, index_t N, index_t K,
+                            const T* A, index_t lda, const T* B, index_t ldb,
+                            T beta, const T* C, index_t ldc,
+                            numerics::Policy policy);
+
+/// Post-dispatch half of the guard: samples the written C tile for
+/// NaN/Inf that the multiply itself produced (e.g. Inf - Inf overflow).
+template <typename T>
+void numeric_guard_result(index_t M, index_t N, const T* C, index_t ldc,
+                          numerics::Policy policy);
+
+}  // namespace detail
+
 }  // namespace shalom

@@ -29,7 +29,9 @@ void gemm_parallel(Mode mode, index_t M, index_t N, index_t K, T alpha,
   }
 
   const int threads = detail::resolve_threads(cfg.threads);
-  if (threads <= 1 || M == 0 || N == 0) {
+  // Degenerate shapes (and alpha == 0) never touch the partition solver or
+  // the packing path: gemm_serial resolves them with at most a beta scale.
+  if (threads <= 1 || M == 0 || N == 0 || K == 0 || alpha == T{0}) {
     gemm_serial(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc, cfg);
     return;
   }

@@ -77,6 +77,10 @@ template void check_gemm_args<double>(Mode, index_t, index_t, index_t,
 
 int resolve_threads(int threads) {
   if (threads != 0) return threads;
+  // SHALOM_THREADS caps the "all cores" resolution (parsed once; malformed
+  // values warn and are ignored).
+  static const long env_threads = env::get_long("SHALOM_THREADS", 0, 1, 4096);
+  if (env_threads > 0) return static_cast<int>(env_threads);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
@@ -100,9 +104,9 @@ struct BlockCtx {
 /// Runs the i0 row-tile loop for one B sliver.
 template <typename T>
 void run_row_tiles(const BlockCtx<T>& ctx, const model::Tile& tile,
-                   bool optimized_edges, index_t i_start, index_t mcur,
-                   int n_eff, index_t kcur, T* c_col, index_t ldc, T alpha,
-                   T beta_eff) {
+                   bool optimized_edges, bool force_scalar, index_t i_start,
+                   index_t mcur, int n_eff, index_t kcur, T* c_col,
+                   index_t ldc, T alpha, T beta_eff) {
   using ukr::AAccess;
   using ukr::BAccess;
   for (index_t i0 = i_start; i0 < mcur; i0 += tile.mr) {
@@ -115,7 +119,7 @@ void run_row_tiles(const BlockCtx<T>& ctx, const model::Tile& tile,
     T* c_tile = c_col + i0 * ldc;
     const bool edge = m_eff < tile.mr || n_eff < tile.nr;
 
-    if (edge && !optimized_edges) {
+    if (force_scalar || (edge && !optimized_edges)) {
       // Ablation: remainder tiles processed by the unscheduled scalar
       // routine (the cost model of existing libraries' edge handling).
       if (ctx.a_packed) {
@@ -176,6 +180,18 @@ void execute_serial_nopack(const GemmPlan<T>& plan, T alpha, const T* A,
   const model::Blocking& blk = plan.blk;
   const model::Tile& tile = plan.tile;
 
+  // This degraded path dispatches in-place kernel families the plan's
+  // packed execution never consulted, so re-check quarantine state here
+  // (cold path; one atomic load per family after the first probe).
+  const AAccess aa_np =
+      (mode.a == Trans::N) ? AAccess::kDirect : AAccess::kDirectTrans;
+  const bool main_ok =
+      !plan.force_scalar_kernels &&
+      selfcheck::variant_ok(ukr::main_variant<T>(aa_np, BAccess::kDirect));
+  const bool edges_ok =
+      plan.optimized_edges && main_ok &&
+      selfcheck::variant_ok(ukr::edge_variant<T>(aa_np, BAccess::kDirect));
+
   for (index_t jj = 0; jj < N; jj += blk.nc) {
     const index_t ncur = std::min<index_t>(blk.nc, N - jj);
     for (index_t ii = 0; ii < M; ii += blk.mc) {
@@ -215,7 +231,7 @@ void execute_serial_nopack(const GemmPlan<T>& plan, T alpha, const T* A,
             const bool edge = m_eff < tile.mr || n_eff < tile.nr;
             if (mode.a == Trans::N) {
               const T* a_tile = A + (ii + i0) * lda + kk;
-              if (edge && !plan.optimized_edges) {
+              if (!main_ok || (edge && !edges_ok)) {
                 ukr::kern_scalar<T, AAccess::kDirect, BAccess::kDirect>(
                     m_eff, n_eff, kcur, a_tile, lda, b_src, ldb, c_tile,
                     ldc, alpha, beta_eff);
@@ -229,7 +245,7 @@ void execute_serial_nopack(const GemmPlan<T>& plan, T alpha, const T* A,
               // kPacked scalar indexing doubles as in-place transposed
               // access with lda as the sliver stride.
               const T* a_tile = A + kk * lda + ii + i0;
-              if (edge && !plan.optimized_edges) {
+              if (!main_ok || (edge && !edges_ok)) {
                 ukr::kern_scalar<T, AAccess::kPacked, BAccess::kDirect>(
                     m_eff, n_eff, kcur, a_tile, lda, b_src, ldb, c_tile,
                     ldc, alpha, beta_eff);
@@ -247,6 +263,46 @@ void execute_serial_nopack(const GemmPlan<T>& plan, T alpha, const T* A,
   }
 }
 
+/// Quarantine executor: every main-kernel family this plan would dispatch
+/// failed its selfcheck probe, so trust nothing downstream of the scalar
+/// reference - no packing, no fused kernels, no register tiles. Runs the
+/// plan's cache blocking (so beta_eff semantics match the optimized
+/// executor) with the same in-place triple loop as baselines::naive_gemm;
+/// within one k-block the accumulation order is identical to naive's.
+template <typename T>
+void execute_serial_scalar(const GemmPlan<T>& plan, T alpha, const T* A,
+                           index_t lda, const T* B, index_t ldb, T beta,
+                           T* C, index_t ldc) {
+  const index_t M = plan.m, N = plan.n, K = plan.k;
+  const Mode mode = plan.mode;
+  const model::Blocking& blk = plan.blk;
+  for (index_t jj = 0; jj < N; jj += blk.nc) {
+    const index_t ncur = std::min<index_t>(blk.nc, N - jj);
+    for (index_t ii = 0; ii < M; ii += blk.mc) {
+      const index_t mcur = std::min<index_t>(blk.mc, M - ii);
+      for (index_t kk = 0; kk < K; kk += blk.kc) {
+        const index_t kcur = std::min<index_t>(blk.kc, K - kk);
+        const T beta_eff = (kk == 0) ? beta : T{1};
+        for (index_t i = ii; i < ii + mcur; ++i) {
+          for (index_t j = jj; j < jj + ncur; ++j) {
+            T sum{};
+            for (index_t k = kk; k < kk + kcur; ++k) {
+              const T av =
+                  (mode.a == Trans::N) ? A[i * lda + k] : A[k * lda + i];
+              const T bv =
+                  (mode.b == Trans::N) ? B[k * ldb + j] : B[j * ldb + k];
+              sum += av * bv;
+            }
+            T& cv = C[i * ldc + j];
+            cv = (beta_eff == T{0}) ? alpha * sum
+                                    : beta_eff * cv + alpha * sum;
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -257,6 +313,11 @@ void execute_serial(const GemmPlan<T>& plan, T alpha, const T* A,
   if (M == 0 || N == 0) return;
   if (K == 0 || alpha == T{0}) {
     scale_c(M, N, beta, C, ldc);
+    return;
+  }
+
+  if (plan.force_scalar_kernels) {
+    execute_serial_scalar(plan, alpha, A, lda, B, ldb, beta, C, ldc);
     return;
   }
 
@@ -449,8 +510,9 @@ void execute_serial(const GemmPlan<T>& plan, T alpha, const T* A,
             }
             continue;
           }
-          run_row_tiles(ctx, tile, plan.optimized_edges, i_start, mcur,
-                        n_eff, kcur, c_col, ldc, alpha, beta_eff);
+          run_row_tiles(ctx, tile, plan.optimized_edges,
+                        plan.force_scalar_kernels, i_start, mcur, n_eff,
+                        kcur, c_col, ldc, alpha, beta_eff);
         }
       }
     }
@@ -573,9 +635,15 @@ GemmPlan<T> plan_create(Mode mode, index_t M, index_t N, index_t K,
   }
 
   // Serial plan: resolve the per-call decision chain once.
+  using ukr::AAccess;
+  using ukr::BAccess;
   if (cfg.selective_packing && cfg.optimized_edges && mode.a == Trans::N &&
       mode.b == Trans::N &&
-      static_cast<std::size_t>(K) * N * sizeof(T) <= mach.l1d.size_bytes) {
+      static_cast<std::size_t>(K) * N * sizeof(T) <= mach.l1d.size_bytes &&
+      selfcheck::variant_ok(
+          ukr::main_variant<T>(AAccess::kDirect, BAccess::kDirect)) &&
+      selfcheck::variant_ok(
+          ukr::edge_variant<T>(AAccess::kDirect, BAccess::kDirect))) {
     p.small_fast_path = true;
     return p;
   }
@@ -592,19 +660,46 @@ GemmPlan<T> plan_create(Mode mode, index_t M, index_t N, index_t K,
 
   p.a_packed = p.pack.a != model::PackPlan::kNone;
   p.b_packed = p.pack.b != model::PackPlan::kNone;
+
+  // Quarantine gate (common/selfcheck.h): the first plan that would
+  // dispatch a kernel family probes it lazily here; a failed probe routes
+  // this plan - and every later one - around the family. A quarantined
+  // main family forces the scalar reference kernel on every tile; a
+  // quarantined edge family only disables the vectorized remainder tiles.
+  {
+    // The in-place transposed-A main path has no packed-B variant, so a
+    // trans-A no-pack plan maps to the trans-direct quarantine unit.
+    const AAccess aa = p.a_packed ? AAccess::kPacked
+                       : (mode.a == Trans::N) ? AAccess::kDirect
+                                              : AAccess::kDirectTrans;
+    const BAccess ba = p.b_packed ? BAccess::kPacked : BAccess::kDirect;
+    p.force_scalar_kernels =
+        !selfcheck::variant_ok(ukr::main_variant<T>(aa, ba));
+    if (p.optimized_edges)
+      p.optimized_edges =
+          !p.force_scalar_kernels &&
+          selfcheck::variant_ok(ukr::edge_variant<T>(aa, ba));
+  }
+
   // Fused (overlapped) A packing for the transposed-A modes (Section
   // 4.3): the first column sliver's stripes compute while streaming op(A)
-  // into Ac; later slivers reuse the packed block.
+  // into Ac; later slivers reuse the packed block. Gated on the
+  // post-quarantine edge state (its edge stripes run packed-A main tiles)
+  // and the fused-TN kernel's own verdict.
   p.a_fused = p.a_packed && p.pack.a == model::PackPlan::kPackFused &&
               mode.a == Trans::T && p.tile.mr == ukr::kMaxMr &&
-              cfg.optimized_edges;
+              p.optimized_edges &&
+              selfcheck::variant_ok(ukr::fused_tn_variant<T>());
   // Fused (overlapped) B packing needs in-place A reads and a full-height
   // first stripe (the NN/NT kernels). For TN/TT it is A that gets the
   // fused treatment (a_fused above); fusing both at once would double the
   // pack stores inside one kernel for no benefit.
   p.b_fusable = p.b_packed && p.pack.b == model::PackPlan::kPackFused &&
                 !p.a_packed && p.tile.mr == ukr::kMaxMr &&
-                p.tile.nr == ukr::kNrFull<T>;
+                p.tile.nr == ukr::kNrFull<T> && !p.force_scalar_kernels &&
+                selfcheck::variant_ok(mode.b == Trans::N
+                                          ? ukr::fused_nn_variant<T>()
+                                          : ukr::fused_nt_variant<T>());
 
   // Arena: [Ac panel][Bc sliver 0][Bc sliver 1], each with vector slack.
   p.ac_elems =

@@ -48,6 +48,10 @@ struct GemmPlan {
   /// Fused-pack eligibility (paper Sections 4.3 / 5.3), resolved once.
   bool a_fused = false, b_fusable = false;
   bool optimized_edges = true;
+  /// Quarantine routing (common/selfcheck.h): the main kernel family this
+  /// plan would dispatch failed its selfcheck probe, so every tile runs
+  /// the scalar reference kernel instead.
+  bool force_scalar_kernels = false;
 
   /// Pack-arena layout: [Ac panel][slack][Bc sliver 0][Bc sliver 1].
   index_t ac_elems = 0, bc_sliver = 0;

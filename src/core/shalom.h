@@ -37,6 +37,10 @@ void gemm(Trans trans_a, Trans trans_b, index_t M, index_t N, index_t K,
           T alpha, const T* A, index_t lda, const T* B, index_t ldb, T beta,
           T* C, index_t ldc, const Config& cfg = {}) {
   const Mode mode{trans_a, trans_b};
+  const numerics::Policy guard = cfg.check_numerics;
+  if (guard != numerics::Policy::kIgnore)
+    detail::numeric_guard_operands(mode, M, N, K, A, lda, B, ldb, beta, C,
+                                   ldc, guard);
   if (cfg.use_plan_cache) {
     // Transparent shape-keyed plan cache: repeated calls on one shape skip
     // the per-call analytic decisions (see core/plan_cache.h). Results are
@@ -47,6 +51,8 @@ void gemm(Trans trans_a, Trans trans_b, index_t M, index_t N, index_t K,
   } else {
     gemm_parallel(mode, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc, cfg);
   }
+  if (guard != numerics::Policy::kIgnore)
+    detail::numeric_guard_result(M, N, C, ldc, guard);
 }
 
 /// View-based convenience overload; dimensions are taken from the views.

@@ -4,6 +4,7 @@
 #include <new>
 
 #include "common/fault.h"
+#include "common/selfcheck.h"
 #include "core/plan.h"
 #include "core/shalom.h"
 
@@ -33,6 +34,8 @@ int fail_current_exception() {
     throw;
   } catch (const shalom::invalid_argument& e) {
     return fail(SHALOM_ERR_INVALID_ARGUMENT, e.what());
+  } catch (const shalom::numeric_error& e) {
+    return fail(SHALOM_ERR_NUMERIC, e.what());
   } catch (const std::bad_alloc& e) {
     return fail(SHALOM_ERR_ALLOC, e.what());
   } catch (const std::exception& e) {
@@ -112,9 +115,14 @@ extern "C" void shalom_get_stats(shalom_stats* out) {
   out->threads_degraded = s.threads_degraded;
   out->plan_cache_bypassed = s.plan_cache_bypassed;
   out->faults_injected = s.faults_injected;
+  out->kernels_quarantined = s.kernels_quarantined;
+  out->selfchecks_run = s.selfchecks_run;
+  out->numeric_anomalies = s.numeric_anomalies;
 }
 
 extern "C" void shalom_reset_stats(void) { shalom::robustness_stats_reset(); }
+
+extern "C" int shalom_selftest(void) { return shalom::selfcheck::run_all(); }
 
 extern "C" int shalom_plan_create(shalom_plan** out_plan, char dtype,
                                   char trans_a, char trans_b, ptrdiff_t m,

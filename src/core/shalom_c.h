@@ -13,6 +13,8 @@
  *   4  SHALOM_ERR_DTYPE_MISMATCH   plan dtype != execute entry point
  *   5  SHALOM_ERR_ALLOC            allocation failure (not degradable)
  *   6  SHALOM_ERR_INTERNAL         unexpected internal error
+ *   7  SHALOM_ERR_NUMERIC          NaN/Inf caught by the numerical guard
+ *                                  (only with SHALOM_CHECK_NUMERICS=fail)
  * No exception ever crosses this boundary. shalom_strerror() names a
  * code; shalom_last_error_message() returns the calling thread's detail
  * message for its most recent failed call.
@@ -67,6 +69,9 @@ typedef struct shalom_stats {
   uint64_t threads_degraded;   /* fork-join rounds below requested width */
   uint64_t plan_cache_bypassed;/* calls that ran without plan-cache backing */
   uint64_t faults_injected;    /* injected faults (testing builds only) */
+  uint64_t kernels_quarantined;/* kernel variants failing their selfcheck */
+  uint64_t selfchecks_run;     /* selfcheck probes executed */
+  uint64_t numeric_anomalies;  /* NaN/Inf hits seen by the numerical guard */
 } shalom_stats;
 
 /* Snapshot of the counters; `out` may not be NULL. */
@@ -74,6 +79,21 @@ void shalom_get_stats(shalom_stats* out);
 
 /* Resets all counters to zero (testing/monitoring epochs). */
 void shalom_reset_stats(void);
+
+/* ------------------------------------------------------------------------
+ * Kernel self-verification. Every micro-kernel variant the dispatcher can
+ * select is also probed lazily the first time it would run; this entry
+ * point forces the whole sweep eagerly (e.g. at process start, or set
+ * SHALOM_SELFTEST=1 to run it during library initialization). A variant
+ * whose probe output diverges from the scalar reference is permanently
+ * quarantined: dispatch reroutes to the next-best verified kernel
+ * (ultimately the scalar reference), results stay correct, and the event
+ * is counted in shalom_stats.kernels_quarantined.
+ * ---------------------------------------------------------------------- */
+
+/* Probes every registered kernel variant against the scalar reference.
+ * Returns the number of quarantined variants (0 = all verified). */
+int shalom_selftest(void);
 
 /* ------------------------------------------------------------------------
  * Execution-plan API: create a plan once for a (dtype, transposes, shape,

@@ -3,6 +3,7 @@
 
 #include "arch/machine.h"
 #include "common/matrix.h"
+#include "common/selfcheck.h"
 
 namespace shalom {
 
@@ -40,6 +41,13 @@ struct Config {
   /// Plan execution runs the identical loop nest, so results are bitwise
   /// equal either way; disable for the per-call ablation baseline.
   bool use_plan_cache = true;
+
+  /// Numerical guard rail: sample operands (and the result) for NaN/Inf
+  /// around each public gemm() call. kIgnore (default) skips the scan
+  /// entirely; kCount records anomalies in robustness_stats(); kFail
+  /// additionally throws numeric_error (SHALOM_ERR_NUMERIC over the C
+  /// API). The default follows SHALOM_CHECK_NUMERICS=ignore|count|fail.
+  numerics::Policy check_numerics = numerics::env_policy();
 
   /// Cache-blocking overrides for the auto-tuner (paper Section 10 future
   /// work): 0 keeps the analytic model's value. Values are rounded to the

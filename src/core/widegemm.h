@@ -23,6 +23,7 @@
 #include <algorithm>
 
 #include "common/aligned_buffer.h"
+#include "common/selfcheck.h"
 #include "core/microkernel.h"
 #include "core/model.h"
 #include "core/pack.h"
@@ -117,6 +118,20 @@ void gemm_wide(index_t M, index_t N, index_t K, float alpha, const float* A,
         float& cv = C[i * ldc + j];
         cv = beta == 0.f ? 0.f : beta * cv;
       }
+    return;
+  }
+
+  // Quarantine gate: a wide_tile variant that failed its selfcheck probe
+  // (common/selfcheck.h) is routed to the scalar reference loop instead.
+  if (!selfcheck::variant_ok(selfcheck::wide_variant(Bits))) {
+    for (index_t i = 0; i < M; ++i) {
+      float* crow = C + i * ldc;
+      for (index_t j = 0; j < N; ++j) {
+        float sum = 0.f;
+        for (index_t k = 0; k < K; ++k) sum += A[i * lda + k] * B[k * ldb + j];
+        crow[j] = beta == 0.f ? alpha * sum : beta * crow[j] + alpha * sum;
+      }
+    }
     return;
   }
 

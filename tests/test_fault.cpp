@@ -13,9 +13,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <thread>
 #include <vector>
 
 #include "common/fault.h"
+#include "common/selfcheck.h"
 #include "core/shalom.h"
 #include "core/shalom_c.h"
 #include "core/threadpool.h"
@@ -107,6 +110,7 @@ TEST_F(FaultTest, SiteNames) {
   EXPECT_STREQ(fault::site_name(Site::kAllocPlan), "alloc.plan");
   EXPECT_STREQ(fault::site_name(Site::kThreadpoolSpawn), "threadpool.spawn");
   EXPECT_STREQ(fault::site_name(Site::kPlanCacheInsert), "plan_cache.insert");
+  EXPECT_STREQ(fault::site_name(Site::kSelfcheckProbe), "selfcheck.probe");
 }
 
 // ---------------------------------------------------------------------------
@@ -333,6 +337,141 @@ TEST_F(FaultTest, CStatsMirrorCppCounters) {
   EXPECT_EQ(after.fallback_nopack, 0u);
   EXPECT_EQ(after.faults_injected, 0u);
   shalom_get_stats(nullptr);  // must be a safe no-op
+}
+
+// Every shalom_stats counter is reachable through the C ABI: drive each
+// degradation class once, snapshot, then reset back to all-zero.
+TEST_F(FaultTest, CStatsEveryCounterReachable) {
+  selfcheck::reset_for_testing();
+  PlanCache<float>::global().clear();
+  shalom_reset_stats();
+
+  // numeric_anomalies: NaN operand under the count policy.
+  {
+    testing::Problem<float> p({Trans::N, Trans::N}, 8, 8, 8);
+    p.a.data()[0] = std::numeric_limits<float>::quiet_NaN();
+    Config cfg;
+    cfg.check_numerics = numerics::Policy::kCount;
+    gemm(Trans::N, Trans::N, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(),
+         p.b.data(), p.b.ld(), 0.0f, p.c.data(), p.c.ld(), cfg);
+  }
+  // kernels_quarantined + selfchecks_run: one injected probe failure.
+  fault::arm(fault::Site::kSelfcheckProbe, fault::Mode::kOnce);
+  EXPECT_FALSE(selfcheck::variant_ok(selfcheck::Variant::kMainF32PackedPacked));
+  fault::disarm_all();
+  // fallback_nopack (+ faults_injected): pack-arena OOM.
+  {
+    testing::Problem<float> p({Trans::N, Trans::N}, 32, 256, 256);
+    fault::arm(fault::Site::kAllocPackArena, fault::Mode::kOnce);
+    ASSERT_EQ(shalom_sgemm('N', 'N', p.m, p.n, p.k, 1.0f, p.a.data(),
+                           p.a.ld(), p.b.data(), p.b.ld(), 0.0f, p.c.data(),
+                           p.c.ld(), 1),
+              SHALOM_OK);
+    fault::disarm_all();
+  }
+  // threads_degraded: every worker spawn fails.
+  fault::arm(fault::Site::kThreadpoolSpawn, fault::Mode::kEveryN, 1);
+  pool_run(4, [](int) {});
+  fault::disarm_all();
+  // plan_cache_bypassed: cache insert failure on a fresh shape.
+  {
+    testing::Problem<float> p({Trans::N, Trans::N}, 48, 64, 72);
+    PlanCache<float>::global().clear();
+    fault::arm(fault::Site::kPlanCacheInsert, fault::Mode::kEveryN, 1);
+    Config cfg;
+    cfg.threads = 1;
+    gemm(Trans::N, Trans::N, p.m, p.n, p.k, 2.0f, p.a.data(), p.a.ld(),
+         p.b.data(), p.b.ld(), 1.0f, p.c.data(), p.c.ld(), cfg);
+    fault::disarm_all();
+  }
+
+  shalom_stats s;
+  shalom_get_stats(&s);
+  EXPECT_GT(s.fallback_nopack, 0u);
+  EXPECT_GT(s.threads_degraded, 0u);
+  EXPECT_GT(s.plan_cache_bypassed, 0u);
+  EXPECT_GT(s.faults_injected, 0u);
+  EXPECT_GT(s.kernels_quarantined, 0u);
+  EXPECT_GT(s.selfchecks_run, 0u);
+  EXPECT_GT(s.numeric_anomalies, 0u);
+
+  shalom_reset_stats();
+  shalom_get_stats(&s);
+  EXPECT_EQ(s.fallback_nopack, 0u);
+  EXPECT_EQ(s.threads_degraded, 0u);
+  EXPECT_EQ(s.plan_cache_bypassed, 0u);
+  EXPECT_EQ(s.faults_injected, 0u);
+  EXPECT_EQ(s.kernels_quarantined, 0u);
+  EXPECT_EQ(s.selfchecks_run, 0u);
+  EXPECT_EQ(s.numeric_anomalies, 0u);
+
+  selfcheck::reset_for_testing();
+  PlanCache<float>::global().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry snapshot consistency under concurrency (run under TSan via
+// SHALOM_SANITIZE=thread): writers bumping every counter race readers and
+// resetters; no torn reads, no crashes, and after the dust settles one
+// final reset leaves everything at zero.
+// ---------------------------------------------------------------------------
+
+TEST(StatsRace, ConcurrentNotesSnapshotsAndResets) {
+  robustness_stats_reset();
+  constexpr int kWriters = 4;
+  constexpr int kItersPerWriter = 2000;
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&go] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kItersPerWriter; ++i) {
+        telemetry::note_fallback_nopack();
+        telemetry::note_threads_degraded();
+        telemetry::note_plan_cache_bypassed();
+        telemetry::note_kernel_quarantined();
+        telemetry::note_selfcheck_run();
+        telemetry::note_numeric_anomaly();
+      }
+    });
+  }
+  // Reader: snapshots must never be torn (counters only grow between
+  // resets, and a snapshot taken mid-reset sees each counter as either
+  // pre- or post-reset, never garbage).
+  threads.emplace_back([&go, &stop] {
+    while (!go.load()) {
+    }
+    const std::uint64_t cap =
+        static_cast<std::uint64_t>(kWriters) * kItersPerWriter;
+    while (!stop.load()) {
+      const RobustnessStats s = robustness_stats();
+      EXPECT_LE(s.fallback_nopack, cap);
+      EXPECT_LE(s.numeric_anomalies, cap);
+    }
+  });
+  // Resetter races the writers through the public C entry point.
+  threads.emplace_back([&go, &stop] {
+    while (!go.load()) {
+    }
+    while (!stop.load()) shalom_reset_stats();
+  });
+
+  go.store(true);
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  robustness_stats_reset();
+  const RobustnessStats s = robustness_stats();
+  EXPECT_EQ(s.fallback_nopack, 0u);
+  EXPECT_EQ(s.threads_degraded, 0u);
+  EXPECT_EQ(s.plan_cache_bypassed, 0u);
+  EXPECT_EQ(s.kernels_quarantined, 0u);
+  EXPECT_EQ(s.selfchecks_run, 0u);
+  EXPECT_EQ(s.numeric_anomalies, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,8 +7,14 @@
 // test_gemm_correctness.cpp by exploring the parameter space jointly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/fault.h"
 #include "common/rng.h"
 #include "core/shalom.h"
+#include "core/shalom_c.h"
 #include "tests/test_util.h"
 
 namespace shalom {
@@ -129,6 +135,96 @@ TEST(GemmProperty, DenormalScalarsWithWideLdc) {
       }
     }
   }
+}
+
+TEST(GemmProperty, DegenerateShapesShortCircuit) {
+  // M==0 / N==0: success, C untouched. K==0: success, C = beta*C exactly
+  // (beta==1 leaves C bitwise untouched; beta==0 writes zeros even over
+  // NaN garbage). None of these may reach the packing/plan machinery -
+  // verified indirectly: the plan cache gains no entries and no fallback
+  // telemetry fires.
+  struct Shape {
+    index_t m, n, k;
+  };
+  const Shape shapes[] = {{0, 5, 3}, {5, 0, 3}, {5, 4, 0}, {0, 0, 0},
+                          {3, 3, 0}, {0, 0, 7}};
+  const float betas[] = {0.f, 1.f, -0.5f, 2.f};
+  robustness_stats_reset();
+  const std::size_t cache_before = PlanCache<float>::global().stats().size;
+
+  for (const Mode mode : testing::kAllModes) {
+    for (const Shape& s : shapes) {
+      for (float beta : betas) {
+        for (int threads : {1, 3}) {
+          SCOPED_TRACE(::testing::Message()
+                       << "m=" << s.m << " n=" << s.n << " k=" << s.k
+                       << " beta=" << beta << " threads=" << threads
+                       << " mode=" << (mode.a == Trans::N ? "N" : "T")
+                       << (mode.b == Trans::N ? "N" : "T"));
+          // Matrices sized max(dim, 1) so pointers stay valid; the NaN
+          // prefill proves K==0/beta==0 never *reads* C and M==0/N==0
+          // never *writes* it. A/B storage shapes follow the mode.
+          const index_t mr = std::max<index_t>(s.m, 1);
+          const index_t nr = std::max<index_t>(s.n, 1);
+          const index_t kr = std::max<index_t>(s.k, 1);
+          const index_t a_rows = (mode.a == Trans::N) ? mr : kr;
+          const index_t a_cols = (mode.a == Trans::N) ? kr : mr;
+          const index_t b_rows = (mode.b == Trans::N) ? kr : nr;
+          const index_t b_cols = (mode.b == Trans::N) ? nr : kr;
+          Matrix<float> a(a_rows, a_cols, a_cols), b(b_rows, b_cols, b_cols),
+              c(mr, nr, nr);
+          fill_random(a, 1);
+          fill_random(b, 2);
+          fill_random(c, 3);
+          Matrix<float> c_before = c;
+          if (s.k == 0 && beta == 0.f)
+            for (index_t i = 0; i < s.m; ++i)
+              for (index_t j = 0; j < s.n; ++j)
+                c(i, j) = std::numeric_limits<float>::quiet_NaN();
+
+          Config cfg;
+          cfg.threads = threads;
+          ASSERT_NO_THROW(gemm(mode.a, mode.b, s.m, s.n, s.k, 1.5f,
+                               a.data(), a.ld(), b.data(), b.ld(), beta,
+                               c.data(), c.ld(), cfg));
+
+          for (index_t i = 0; i < s.m; ++i) {
+            for (index_t j = 0; j < s.n; ++j) {
+              if (s.k != 0) {
+                FAIL() << "only K==0 shapes reach the write check";
+              } else if (beta == 0.f) {
+                ASSERT_EQ(c(i, j), 0.f);
+              } else {
+                ASSERT_EQ(c(i, j), beta * c_before(i, j));
+              }
+            }
+          }
+          // M==0/N==0: nothing at all was written (probe the full alloc).
+          if (s.m == 0 || s.n == 0) {
+            for (index_t i = 0; i < mr; ++i)
+              for (index_t j = 0; j < nr; ++j)
+                ASSERT_EQ(std::memcmp(&c(i, j), &c_before(i, j),
+                                      sizeof(float)),
+                          0);
+          }
+
+          // The C ABI agrees: SHALOM_OK, same semantics.
+          Matrix<float> cc = c_before;
+          ASSERT_EQ(shalom_sgemm(mode.a == Trans::N ? 'N' : 'T',
+                                 mode.b == Trans::N ? 'N' : 'T', s.m, s.n,
+                                 s.k, 1.5f, a.data(), a.ld(), b.data(),
+                                 b.ld(), beta, cc.data(), cc.ld(), threads),
+                    SHALOM_OK);
+        }
+      }
+    }
+  }
+
+  // No degenerate call may have built/cached a plan or degraded anything.
+  EXPECT_EQ(PlanCache<float>::global().stats().size, cache_before);
+  const RobustnessStats after = robustness_stats();
+  EXPECT_EQ(after.fallback_nopack, 0u);
+  EXPECT_EQ(after.threads_degraded, 0u);
 }
 
 TEST(GemmProperty, RepeatedCallsAreDeterministic) {
