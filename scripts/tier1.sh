@@ -17,6 +17,30 @@ cmake -B build -S .
 cmake --build build -j "${JOBS}"
 SHALOM_SELFTEST=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "=== tier1: static verification (shalom_lint + clang-tidy + TSA) ==="
+# shalom_lint is self-contained C++17 and gates tier-1 unconditionally:
+# zero findings allowed over the library and benchmark sources.
+./build/tools/shalom_lint --design=DESIGN.md src bench
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L lint
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --build build --target lint
+else
+  echo "WARNING: clang-tidy not found - clang-tidy stage SKIPPED" >&2
+fi
+# Clang thread-safety analysis needs the Clang frontend; with GCC-only
+# toolchains the annotations compile as no-ops, so skip visibly.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DSHALOM_THREAD_SAFETY=ON \
+        -DSHALOM_BUILD_BENCH=OFF \
+        -DSHALOM_BUILD_EXAMPLES=OFF \
+        -DSHALOM_BUILD_TESTS=OFF
+  cmake --build build-tsa -j "${JOBS}"
+else
+  echo "WARNING: clang++ not found - thread-safety analysis build SKIPPED" >&2
+fi
+
 echo "=== tier1: ASan build, fault + stress + fuzz labels ==="
 cmake -B build-asan -S . \
       -DSHALOM_SANITIZE=address \

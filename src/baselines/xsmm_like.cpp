@@ -12,11 +12,11 @@
 // path, reproducing the poor out-of-scope behaviour the paper reports.
 #include <cmath>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "baselines/goto_common.h"
 #include "baselines/registry.h"
+#include "common/thread_annotations.h"
 
 namespace shalom::baselines {
 
@@ -74,13 +74,16 @@ Plan make_plan(index_t M, index_t N) {
 
 template <typename T>
 const Plan& cached_plan(Mode mode, index_t M, index_t N, index_t K) {
+  // Function-local statics cannot carry SHALOM_GUARDED_BY (the cache and
+  // its mutex are born together here), but the capability wrapper keeps
+  // the acquire/release visible to the thread-safety analysis.
   static std::unordered_map<ShapeKey, Plan, ShapeKeyHash> cache;
-  static std::mutex mu;
+  static Mutex mu;
   const ShapeKey key{M, N, K,
                      (mode.a == Trans::T ? 1 : 0) |
                          (mode.b == Trans::T ? 2 : 0) |
                          (std::is_same_v<T, double> ? 4 : 0)};
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   auto [it, inserted] = cache.try_emplace(key, Plan{});
   if (inserted) it->second = make_plan<T>(M, N);
   return it->second;

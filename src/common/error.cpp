@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace shalom {
 
@@ -66,15 +67,16 @@ namespace {
 // (the call sites all pass "SHALOM_..."), so pointer + strcmp dedup over
 // a small fixed table is enough and keeps this path allocation-free.
 constexpr int kMaxWarnedNames = 16;
-const char* g_warned_names[kMaxWarnedNames] = {};
-int g_warned_count = 0;
-std::mutex g_warned_mutex;
+Mutex g_warned_mutex;
+const char* g_warned_names[kMaxWarnedNames] SHALOM_GUARDED_BY(
+    g_warned_mutex) = {};
+int g_warned_count SHALOM_GUARDED_BY(g_warned_mutex) = 0;
 
 /// Returns true exactly once per distinct name (and unconditionally if
 /// the table overflows - warning twice beats suppressing a new name).
 bool first_warning_for(const char* name) noexcept {
   try {
-    std::lock_guard<std::mutex> lock(g_warned_mutex);
+    MutexLock lock(g_warned_mutex);
     for (int i = 0; i < g_warned_count; ++i)
       if (std::strcmp(g_warned_names[i], name) == 0) return false;
     if (g_warned_count < kMaxWarnedNames)
@@ -96,8 +98,10 @@ void warn_malformed(const char* name, const char* value,
                name, value != nullptr ? value : "", expected);
 }
 
+const char* raw(const char* name) noexcept { return std::getenv(name); }
+
 long get_long(const char* name, long fallback, long lo, long hi) noexcept {
-  const char* value = std::getenv(name);
+  const char* value = raw(name);
   if (value == nullptr || *value == '\0') return fallback;
   errno = 0;
   char* end = nullptr;

@@ -89,6 +89,13 @@ namespace env {
 /// warn_malformed() and return `fallback`.
 long get_long(const char* name, long fallback, long lo, long hi) noexcept;
 
+/// Raw environment lookup (nullptr when unset). The single point every
+/// SHALOM_* read funnels through (enforced by tools/shalom_lint's
+/// env-access rule): callers with keyword or grammar semantics parse the
+/// returned string themselves but still report malformed values through
+/// warn_malformed(), keeping the one-diagnostic-per-variable guarantee.
+const char* raw(const char* name) noexcept;
+
 /// One-time (per variable name) stderr diagnostic for a malformed value.
 /// `name` must outlive the process (pass a string literal); repeated
 /// calls for the same name are dropped so parse-on-every-call helpers

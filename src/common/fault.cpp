@@ -9,6 +9,11 @@ namespace shalom {
 
 namespace {
 
+// Robustness-stats counters: monotonic event tallies with no ordering
+// relationship to the degraded work they count, so every operation is an
+// explicit relaxed op (lock-free, hence outside the capability
+// annotations of common/thread_annotations.h; shalom_lint enforces the
+// explicit orders).
 std::atomic<std::uint64_t> g_fallback_nopack{0};
 std::atomic<std::uint64_t> g_threads_degraded{0};
 std::atomic<std::uint64_t> g_plan_cache_bypassed{0};
@@ -229,7 +234,7 @@ bool arm_one_entry(const char* entry, std::size_t len) noexcept {
 /// point can reach a fault site.
 struct EnvInit {
   EnvInit() noexcept {
-    if (const char* env = std::getenv("SHALOM_FAULT")) {
+    if (const char* env = shalom::env::raw("SHALOM_FAULT")) {
       if (!arm_from_spec(env))
         shalom::env::warn_malformed(
             "SHALOM_FAULT", env,

@@ -112,7 +112,13 @@ enum class Mode : std::uint32_t {
 namespace detail {
 
 /// One armed trigger. All fields are atomics so arm/disarm/check need no
-/// lock; `armed` doubles as the fast-path gate (0 = disarmed).
+/// lock; `armed` doubles as the fast-path gate (0 = disarmed). Being
+/// lock-free, this state sits outside the thread-safety-analysis
+/// capabilities (common/thread_annotations.h); its discipline is the
+/// explicit-memory-order rule tools/shalom_lint enforces: relaxed
+/// everywhere (the counters are statistics and the trigger decision
+/// tolerates races by design), with the kOnce CAS in should_fail_slow the
+/// single ordering-sensitive exception.
 struct SiteState {
   std::atomic<std::uint32_t> armed{0};  // Mode as integer
   std::atomic<std::uint64_t> param{0};  // N of every-N / fail-after-N

@@ -558,6 +558,10 @@ bool probe_wide() {
 // Per-variant state and probe dispatch
 // ---------------------------------------------------------------------------
 
+// Verdict publication is CAS-based (no lock), so this state lives
+// outside the thread-safety-analysis capabilities; the explicit
+// memory-order discipline below (acq_rel publish / acquire read) is what
+// shalom_lint's atomic-memory-order rule pins down.
 std::atomic<int> g_state[kVariantCount];
 
 using ukr::AAccess;
@@ -741,7 +745,7 @@ namespace {
 /// GEMM can dispatch an unverified kernel.
 struct SelftestEnvInit {
   SelftestEnvInit() noexcept {
-    const char* v = std::getenv("SHALOM_SELFTEST");
+    const char* v = env::raw("SHALOM_SELFTEST");
     if (v == nullptr || *v == '\0') return;
     const bool truthy = env_ieq(v, "1") || env_ieq(v, "on") ||
                         env_ieq(v, "yes") || env_ieq(v, "true");
@@ -751,7 +755,7 @@ struct SelftestEnvInit {
       // Cross-TU static-init order is unspecified: fault.cpp's own
       // SHALOM_FAULT parser may not have run yet, so re-arm here to keep
       // eager selftests deterministic under injection (idempotent).
-      if (const char* f = std::getenv("SHALOM_FAULT"))
+      if (const char* f = env::raw("SHALOM_FAULT"))
         fault::arm_from_spec(f);
       run_all();
     } else if (!falsy) {
@@ -769,7 +773,7 @@ namespace numerics {
 
 Policy env_policy() noexcept {
   static const Policy policy = [] {
-    const char* v = std::getenv("SHALOM_CHECK_NUMERICS");
+    const char* v = env::raw("SHALOM_CHECK_NUMERICS");
     if (v == nullptr || *v == '\0') return Policy::kIgnore;
     if (env_ieq(v, "ignore") || env_ieq(v, "off") || env_ieq(v, "0") ||
         env_ieq(v, "no") || env_ieq(v, "false"))

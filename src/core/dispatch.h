@@ -11,15 +11,27 @@
 #include <type_traits>
 
 #include "common/selfcheck.h"
+#include "core/kernel_contracts.h"
 #include "core/microkernel.h"
 
 namespace shalom::ukr {
 
-/// Upper bounds of the instantiated kernel family. The analytic tile on
-/// every 32-register/128-bit machine is mr=7 and nr <= 3 vectors; the
-/// driver clamps the model's tile to these caps.
-inline constexpr int kMaxMr = 7;
-inline constexpr int kMaxNrv = 3;
+/// Upper bounds of the instantiated kernel family: the analytic tile the
+/// contract header derives for every 32-register/128-bit machine (mr=7,
+/// nr <= 3 vectors); the driver clamps the model's tile to these caps.
+inline constexpr int kMaxMr = contracts::kMaxMr;
+inline constexpr int kMaxNrv = contracts::kMaxNrv;
+
+static_assert(contracts::cmr_optimal(kMaxMr, kMaxNrv * 4,
+                                     contracts::kVectorRegisters, 4),
+              "CMR optimality violated: the instantiated FP32 family cap "
+              "must match the cmr(mr,nr) = 2*mr*nr/(mr+nr) maximum over "
+              "all budget-feasible tiles (paper Eq. 2)");
+static_assert(contracts::cmr_optimal(kMaxMr, kMaxNrv * 2,
+                                     contracts::kVectorRegisters, 2),
+              "CMR optimality violated: the instantiated FP64 family cap "
+              "must match the cmr(mr,nr) = 2*mr*nr/(mr+nr) maximum over "
+              "all budget-feasible tiles (paper Eq. 2)");
 
 template <typename T>
 using MainKernelFn = void (*)(index_t kc, const T* a, index_t lda,
@@ -63,6 +75,43 @@ struct MainTable {
 template <typename T, AAccess AA, BAccess BA, int MaxMr = kMaxMr,
           int MaxNrv = kMaxNrv>
 inline constexpr MainTable<T, AA, BA, MaxMr, MaxNrv> kMainTable{};
+
+/// Edge-coverage contract: every remainder tile (m_eff, n_eff) in
+/// 1..MaxMr x 1..MaxNrv*lanes must route to a non-null variant.
+template <typename T, AAccess AA, BAccess BA, int MaxMr = kMaxMr,
+          int MaxNrv = kMaxNrv>
+constexpr bool main_table_covers_edges() {
+  constexpr int L = simd::vec_of_t<T>::kLanes;
+  return contracts::covers_all_edges(MaxMr, MaxNrv * L, [](int m, int n) {
+    constexpr int Lanes = simd::vec_of_t<T>::kLanes;
+    return kMainTable<T, AA, BA, MaxMr, MaxNrv>
+               .fn[m - 1][n / Lanes][(n % Lanes) != 0] != nullptr;
+  });
+}
+
+/// Registration-site checks for every access pair the drivers dispatch
+/// through. A table gap would otherwise only surface as a runtime
+/// SHALOM_ASSERT on the first GEMM that hits the missing remainder.
+#define SHALOM_CHECK_MAIN_TABLE(T)                                        \
+  static_assert(                                                          \
+      main_table_covers_edges<T, AAccess::kDirect, BAccess::kDirect>() && \
+          main_table_covers_edges<T, AAccess::kDirect,                    \
+                                  BAccess::kPacked>() &&                  \
+          main_table_covers_edges<T, AAccess::kPacked,                    \
+                                  BAccess::kDirect>() &&                  \
+          main_table_covers_edges<T, AAccess::kPacked,                    \
+                                  BAccess::kPacked>() &&                  \
+          main_table_covers_edges<T, AAccess::kDirectTrans,               \
+                                  BAccess::kDirect>() &&                  \
+          main_table_covers_edges<T, AAccess::kDirectTrans,               \
+                                  BAccess::kPacked>(),                    \
+      "edge-tile coverage violated: every remainder tile (m_eff, n_eff) " \
+      "in 1..mr x 1..nr must dispatch to a non-null " #T                  \
+      " kernel variant (paper S 5.4)")
+
+SHALOM_CHECK_MAIN_TABLE(float);
+SHALOM_CHECK_MAIN_TABLE(double);
+#undef SHALOM_CHECK_MAIN_TABLE
 
 /// Runs one C tile of size m_eff x n_eff (1 <= m_eff <= MaxMr,
 /// 1 <= n_eff <= MaxNrv * lanes) against the selected kernel variant.

@@ -29,6 +29,7 @@
 #include <utility>
 
 #include "common/matrix.h"
+#include "core/kernel_contracts.h"
 #include "simd/vec128.h"
 
 #define SHALOM_RESTRICT __restrict__
@@ -61,8 +62,9 @@ SHALOM_INLINE void unroll(F&& f) {
 }
 
 /// Extra elements allocated at the tail of every packed buffer so packed-A
-/// column loads may read one full vector past the last column.
-inline constexpr index_t kPackSlackElems = 8;
+/// column loads may read one full vector past the last column. Defined by
+/// the kernel-contract header; aliased here for the kernel code.
+inline constexpr index_t kPackSlackElems = contracts::kPackSlackElems;
 
 // ---------------------------------------------------------------------------
 // Main micro-kernel (Algorithm 2)
@@ -80,6 +82,11 @@ void kern_main(index_t kc, const T* SHALOM_RESTRICT a, index_t lda,
   constexpr int L = V::kLanes;
   constexpr int NV = NRV + (NTail ? 1 : 0);
   static_assert(MR >= 1 && NV >= 1);
+  static_assert(contracts::fits_register_budget(MR, NV),
+                "register budget violated: mr + nr/j + mr*nr/j <= 31 "
+                "(paper Eq. 1: MR*NV accumulators + NV B loads + MR A "
+                "broadcasts must fit 32 vector registers minus one "
+                "reserved for prefetch)");
   (void)ntail;
 
   V acc[MR][NV];
@@ -231,6 +238,13 @@ void kern_fused_pack_nn(index_t kc, const T* SHALOM_RESTRICT a, index_t lda,
   constexpr int NV = NRV + (NTail ? 1 : 0);
   constexpr int NVFull = NRFull / L;
   static_assert(NV * L <= NRFull);
+  static_assert(contracts::fits_register_budget(MR, NV),
+                "register budget violated: mr + nr/j + mr*nr/j <= 31 "
+                "(paper Eq. 1; the fused NN pack reuses the B-load "
+                "registers as the pack source, so the same budget holds)");
+  static_assert(contracts::divides_pack_stride(NRFull, L),
+                "pack-stride divisibility violated: nr % j == 0 (packed B "
+                "row slivers are read as whole vectors)");
   (void)ntail;
   (void)bc;
   (void)b_next;
@@ -345,6 +359,10 @@ void kern_fused_pack_nt(index_t kc, const T* SHALOM_RESTRICT a, index_t lda,
                         T alpha, T beta) {
   using V = simd::vec_of_t<T>;
   constexpr int L = V::kLanes;
+  static_assert(contracts::fits_register_budget(MR, JB),
+                "register budget violated: mr + nr/j + mr*nr/j <= 31 "
+                "(paper Eq. 1; the NT inner-product kernel holds MR*JB "
+                "accumulators, JB B loads and MR A loads per k)");
 
   V acc[MR][JB];
   unroll<MR>([&](auto i) {
@@ -437,6 +455,10 @@ void kern_fused_pack_tn(index_t kc, const T* SHALOM_RESTRICT a, index_t lda,
   constexpr int L = V::kLanes;
   constexpr int NV = NRV + (NTail ? 1 : 0);
   static_assert(MR >= L, "fused TN pack requires a full-height stripe");
+  static_assert(contracts::fits_register_budget(MR, NV),
+                "register budget violated: mr + nr/j + mr*nr/j <= 31 "
+                "(paper Eq. 1; the overlapping packed-A column loads "
+                "reuse the A broadcast registers)");
   constexpr int AV = (MR + L - 1) / L;
   (void)ntail;
 

@@ -4,12 +4,11 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "core/kernel_contracts.h"
 
 namespace shalom::model {
 
-double tile_cmr(int mr, int nr) {
-  return 2.0 * mr * nr / static_cast<double>(mr + nr);
-}
+double tile_cmr(int mr, int nr) { return contracts::tile_cmr(mr, nr); }
 
 Tile solve_tile(int vector_registers, int lanes_per_vector) {
   SHALOM_REQUIRE(vector_registers >= 4, " registers=", vector_registers);
@@ -29,28 +28,14 @@ Tile solve_tile(int vector_registers, int lanes_per_vector) {
     return cache[slot].tile;
   }
 
-  const int budget = vector_registers - 1;  // one register reserved for
-                                            // prefetch (paper Section 5.2.1)
-  const int j = lanes_per_vector;
-
-  Tile best;
-  double best_cmr = -1.0;
-  for (int mr = 1; mr <= budget; ++mr) {
-    for (int nr = j; nr <= budget * j; nr += j) {
-      const int used = mr + nr / j + mr * (nr / j);
-      if (used > budget) break;
-      const double cmr = tile_cmr(mr, nr);
-      // Tie-break towards the larger C tile: more accumulators means more
-      // independent FMA chains for the out-of-order core.
-      if (cmr > best_cmr ||
-          (cmr == best_cmr && mr * nr > best.mr * best.nr)) {
-        best_cmr = cmr;
-        best = {mr, nr};
-      }
-    }
-  }
-  cache[slot] = {vector_registers, lanes_per_vector, best};
-  return best;
+  // The search itself (register budget, CMR objective, larger-C-tile
+  // tie-break) is the constexpr definition in core/kernel_contracts.h -
+  // the same one the registration-site static_asserts evaluate, so the
+  // runtime model can never drift from the compile-time contracts.
+  const contracts::Tile best =
+      contracts::solve_tile(vector_registers, lanes_per_vector);
+  cache[slot] = {vector_registers, lanes_per_vector, {best.mr, best.nr}};
+  return cache[slot].tile;
 }
 
 namespace {
@@ -71,7 +56,7 @@ Blocking solve_blocking(const arch::MachineDescriptor& m, Tile tile,
   // together with the C tile; budget half the L1 for the Bc sliver.
   const index_t l1_elems = static_cast<index_t>(m.l1d.size_bytes) / elem;
   index_t kc = l1_elems / (2 * tile.nr);
-  kc = std::clamp<index_t>(kc, tile.nr, 512);
+  kc = std::clamp<index_t>(kc, tile.nr, contracts::kMaxKc);
   kc = std::min(kc, K);
 
   // mc: the mc x kc A block should occupy at most half the (per-core
@@ -194,6 +179,11 @@ Partition solve_partition(int threads, index_t M, index_t N, Tile tile) {
       }
     }
   }
+
+  // Section 6 contract: the chosen grid divides evenly (T mod Tn == 0);
+  // both divisor walks only ever select divisors, so this cannot fire
+  // unless the search above is edited into inconsistency.
+  SHALOM_ASSERT(contracts::valid_partition(t, tn));
 
   Partition p;
   p.tn = tn;

@@ -1,9 +1,13 @@
 #include "core/pack.h"
 
+#include "common/error.h"
+#include "core/kernel_contracts.h"
+
 namespace shalom::pack {
 
 template <typename T>
 void pack_b_n(const T* b, index_t ldb, index_t kc, index_t n, int nr, T* bc) {
+  SHALOM_ASSERT(nr >= 1 && kc >= 0);
   for (index_t j0 = 0; j0 < n; j0 += nr) {
     const index_t width = std::min<index_t>(nr, n - j0);
     T* sliver = bc + (j0 / nr) * b_sliver_elems(kc, nr);
@@ -19,6 +23,7 @@ void pack_b_n(const T* b, index_t ldb, index_t kc, index_t n, int nr, T* bc) {
 
 template <typename T>
 void pack_b_t(const T* b, index_t ldb, index_t kc, index_t n, int nr, T* bc) {
+  SHALOM_ASSERT(nr >= 1 && kc >= 0);
   for (index_t j0 = 0; j0 < n; j0 += nr) {
     const index_t width = std::min<index_t>(nr, n - j0);
     T* sliver = bc + (j0 / nr) * b_sliver_elems(kc, nr);
@@ -35,6 +40,7 @@ void pack_b_t(const T* b, index_t ldb, index_t kc, index_t n, int nr, T* bc) {
 
 template <typename T>
 void pack_a_n(const T* a, index_t lda, index_t m, index_t kc, int mr, T* ac) {
+  SHALOM_ASSERT(mr >= 1 && kc >= 0);
   for (index_t i0 = 0; i0 < m; i0 += mr) {
     const index_t height = std::min<index_t>(mr, m - i0);
     T* sliver = ac + (i0 / mr) * a_sliver_elems(kc, mr);
@@ -49,6 +55,7 @@ void pack_a_n(const T* a, index_t lda, index_t m, index_t kc, int mr, T* ac) {
 
 template <typename T>
 void pack_a_t(const T* a, index_t lda, index_t m, index_t kc, int mr, T* ac) {
+  SHALOM_ASSERT(mr >= 1 && kc >= 0);
   for (index_t i0 = 0; i0 < m; i0 += mr) {
     const index_t height = std::min<index_t>(mr, m - i0);
     T* sliver = ac + (i0 / mr) * a_sliver_elems(kc, mr);

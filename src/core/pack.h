@@ -18,9 +18,15 @@
 #pragma once
 
 #include "common/matrix.h"
+#include "core/kernel_contracts.h"
 #include "core/types.h"
 
 namespace shalom::pack {
+
+// Consumers allocate contracts::kPackSlackElems extra elements past every
+// panel (see the fused TN kernel's overlapping loads); the sliver strides
+// themselves are exactly the register-tile dimensions, whose lane
+// divisibility the kernel-contract header asserts at compile time.
 
 /// Elements one Bc sliver occupies for a given kc (zero padding included).
 inline index_t b_sliver_elems(index_t kc, int nr) { return kc * nr; }

@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/thread_annotations.h"
 #include "core/gemm.h"
 #include "core/parallel.h"
 
@@ -110,27 +110,31 @@ struct PlanCache<T>::Impl {
   using PlanPtr = typename PlanCache<T>::PlanPtr;
   using LruList = std::list<std::pair<PlanKey, PlanPtr>>;
 
-  mutable std::mutex mu;
-  LruList lru;  // front = most recently used
-  std::unordered_map<PlanKey, typename LruList::iterator, PlanKeyHash> map;
-  std::size_t capacity;
-  PlanCacheStats counters;
-  // Lock-free side channel for the per-thread memos in gemm_cached.
+  mutable Mutex mu;
+  LruList lru SHALOM_GUARDED_BY(mu);  // front = most recently used
+  std::unordered_map<PlanKey, typename LruList::iterator, PlanKeyHash> map
+      SHALOM_GUARDED_BY(mu);
+  std::size_t capacity SHALOM_GUARDED_BY(mu);
+  PlanCacheStats counters SHALOM_GUARDED_BY(mu);
+  // Lock-free side channel for the per-thread memos in gemm_cached;
+  // deliberately outside the capability: every operation names its
+  // memory order explicitly (release on publish, acquire on memo
+  // revalidation, relaxed for the pure counter).
   std::atomic<std::uint64_t> generation{0};
   std::atomic<std::uint64_t> memo_hits{0};
 
   explicit Impl(std::size_t cap) : capacity(cap) {}
 
-  /// Caller must hold mu. Moves the hit entry to the LRU front.
-  PlanPtr lookup_locked(const PlanKey& key) {
+  /// Moves the hit entry to the LRU front.
+  PlanPtr lookup_locked(const PlanKey& key) SHALOM_REQUIRES(mu) {
     auto it = map.find(key);
     if (it == map.end()) return nullptr;
     lru.splice(lru.begin(), lru, it->second);
     return it->second->second;
   }
 
-  /// Caller must hold mu. Inserts (or replaces) and trims to capacity.
-  void insert_locked(const PlanKey& key, PlanPtr plan) {
+  /// Inserts (or replaces) and trims to capacity.
+  void insert_locked(const PlanKey& key, PlanPtr plan) SHALOM_REQUIRES(mu) {
     auto it = map.find(key);
     if (it != map.end()) {
       it->second->second = std::move(plan);
@@ -172,7 +176,7 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
     const PlanKey& key, Mode mode, index_t M, index_t N, index_t K,
     const Config& cfg) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     if (PlanPtr hit = impl_->lookup_locked(key)) {
       ++impl_->counters.hits;
       return hit;
@@ -199,7 +203,7 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
   bool inserted = !SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert);
   if (inserted) {
     try {
-      std::lock_guard<std::mutex> lock(impl_->mu);
+      MutexLock lock(impl_->mu);
       impl_->insert_locked(key, plan);
     } catch (const std::bad_alloc&) {
       inserted = false;
@@ -211,7 +215,7 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
 
 template <typename T>
 typename PlanCache<T>::PlanPtr PlanCache<T>::lookup(const PlanKey& key) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   PlanPtr hit = impl_->lookup_locked(key);
   if (hit) {
     ++impl_->counters.hits;
@@ -227,7 +231,7 @@ void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
   bool inserted = !SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert);
   if (inserted) {
     try {
-      std::lock_guard<std::mutex> lock(impl_->mu);
+      MutexLock lock(impl_->mu);
       impl_->insert_locked(key, std::move(plan));
     } catch (const std::bad_alloc&) {
       inserted = false;
@@ -244,7 +248,7 @@ void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
 
 template <typename T>
 void PlanCache<T>::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->capacity = capacity;
   while (impl_->map.size() > capacity) {
     impl_->map.erase(impl_->lru.back().first);
@@ -256,7 +260,7 @@ void PlanCache<T>::set_capacity(std::size_t capacity) {
 
 template <typename T>
 void PlanCache<T>::clear() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->map.clear();
   impl_->lru.clear();
   impl_->counters = PlanCacheStats{};
@@ -266,7 +270,7 @@ void PlanCache<T>::clear() {
 
 template <typename T>
 PlanCacheStats PlanCache<T>::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   PlanCacheStats s = impl_->counters;
   s.hits += impl_->memo_hits.load(std::memory_order_relaxed);
   s.size = impl_->map.size();

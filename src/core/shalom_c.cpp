@@ -122,6 +122,9 @@ extern "C" void shalom_get_stats(shalom_stats* out) {
 
 extern "C" void shalom_reset_stats(void) { shalom::robustness_stats_reset(); }
 
+// selfcheck::run_all() is noexcept (probe failures become quarantine
+// verdicts, never exceptions), so no translator is needed here.
+// shalom-lint: allow(capi-exception-boundary)
 extern "C" int shalom_selftest(void) { return shalom::selfcheck::run_all(); }
 
 extern "C" int shalom_plan_create(shalom_plan** out_plan, char dtype,

@@ -1,12 +1,12 @@
 #include "core/threadpool.h"
 
 #include <memory>
-#include <mutex>
 #include <new>
 #include <system_error>
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/thread_annotations.h"
 
 namespace shalom {
 
@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(int max_threads) : max_threads_(max_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -51,9 +51,9 @@ void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn) {
   // One fork-join round at a time: concurrent callers (threads executing
   // parallel plans, racing plan creations pre-sizing worker arenas) queue
   // here instead of clobbering the shared job slot and join barrier.
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(run_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &fn;
     job_tasks_ = tasks;
     outstanding_ = tasks - 1;
@@ -63,8 +63,10 @@ void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn) {
 
   fn(0);  // the calling thread takes task 0 (fork-join semantics)
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  // Explicit predicate loop (not the lambda-predicate overload) so the
+  // thread-safety analysis sees the guarded read under the held lock.
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) done_cv_.wait(lock);
   job_ = nullptr;
 }
 
@@ -74,10 +76,9 @@ void ThreadPool::worker_loop(int worker_id) {
     const std::function<void(int)>* job = nullptr;
     int tasks = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation)
+        start_cv_.wait(lock);
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
@@ -87,7 +88,7 @@ void ThreadPool::worker_loop(int worker_id) {
     // still report so the barrier drains.
     if (worker_id < tasks && job != nullptr) (*job)(worker_id);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (worker_id < tasks) {
         if (--outstanding_ == 0) done_cv_.notify_one();
       }
@@ -96,14 +97,16 @@ void ThreadPool::worker_loop(int worker_id) {
 }
 
 ThreadPool& ThreadPool::global(int threads) {
-  static std::mutex mu;
+  static Mutex mu;
   // Outgrown pools are retired to this list, never destroyed mid-run: a
   // reference handed out by an earlier call may still be inside
   // parallel_for on another thread, and ~ThreadPool under it would free
   // the mutex/condvars it is blocked on. The list stays tiny - it grows
   // only when a strictly larger thread count is first requested.
+  // (Function-local, so SHALOM_GUARDED_BY cannot name it from a member
+  // declaration; every access below happens under `mu`.)
   static std::vector<std::unique_ptr<ThreadPool>> pools;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   if (pools.empty() || pools.back()->max_threads() < threads) {
     auto pool = std::make_unique<ThreadPool>(threads);
     // Under spawn failure the new pool may come back no wider than the one

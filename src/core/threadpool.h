@@ -15,9 +15,10 @@
 
 #include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace shalom {
 
@@ -62,16 +63,20 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   /// Held for the whole fork-join round: admits one parallel_for at a
-  /// time, making concurrent plan executions / creations safe.
-  std::mutex run_mu_;
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;
-  int job_tasks_ = 0;
-  std::uint64_t generation_ = 0;
-  int outstanding_ = 0;
-  bool shutdown_ = false;
+  /// time, making concurrent plan executions / creations safe. Ordered
+  /// strictly before mu_ (run_mu_ is never acquired under mu_).
+  Mutex run_mu_;
+  /// Guards the job slot and the generation barrier below. The condition
+  /// variables are condition_variable_any so they wait directly on the
+  /// annotated MutexLock.
+  Mutex mu_;
+  std::condition_variable_any start_cv_;
+  std::condition_variable_any done_cv_;
+  const std::function<void(int)>* job_ SHALOM_GUARDED_BY(mu_) = nullptr;
+  int job_tasks_ SHALOM_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ SHALOM_GUARDED_BY(mu_) = 0;
+  int outstanding_ SHALOM_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SHALOM_GUARDED_BY(mu_) = false;
 };
 
 /// Degradation-tolerant fork-join: runs fn(0) .. fn(tasks-1) on the global

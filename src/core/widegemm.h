@@ -24,6 +24,7 @@
 
 #include "common/aligned_buffer.h"
 #include "common/selfcheck.h"
+#include "core/kernel_contracts.h"
 #include "core/microkernel.h"
 #include "core/model.h"
 #include "core/pack.h"
@@ -47,6 +48,29 @@ template <>
 struct WideTile<512> {
   static constexpr int kMr = 15, kNrv = 1;
 };
+
+/// Registration-site contract: each width's tile must be exactly what the
+/// analytic model yields for 32 registers at that lane count, and must
+/// fit the register budget. A drifted specialization fails here instead
+/// of in test_widegemm's runtime solver comparison.
+#define SHALOM_CHECK_WIDE_TILE(Bits)                                       \
+  static_assert(                                                           \
+      contracts::fits_register_budget(WideTile<Bits>::kMr,                 \
+                                      WideTile<Bits>::kNrv),               \
+      "register budget violated: mr + nr/j + mr*nr/j <= 31 (paper Eq. 1 " \
+      "evaluated at the " #Bits "-bit lane count)");                       \
+  static_assert(                                                           \
+      contracts::solve_tile(contracts::kVectorRegisters, (Bits) / 32)      \
+                  .mr == WideTile<Bits>::kMr &&                            \
+          contracts::solve_tile(contracts::kVectorRegisters, (Bits) / 32)  \
+                  .nr == WideTile<Bits>::kNrv * ((Bits) / 32),             \
+      "CMR optimality violated: WideTile<" #Bits "> must equal the "      \
+      "analytic model tile solve_tile(32, " #Bits "/32) (paper S 5.5)")
+
+SHALOM_CHECK_WIDE_TILE(128);
+SHALOM_CHECK_WIDE_TILE(256);
+SHALOM_CHECK_WIDE_TILE(512);
+#undef SHALOM_CHECK_WIDE_TILE
 
 /// One (MR x NRV*lanes) tile update over packed operands; m_eff/n_eff
 /// select the stored sub-tile (packed buffers are zero-padded, so the

@@ -58,7 +58,9 @@ class BsrMatrix {
       const std::vector<std::pair<index_t, index_t>>& blocks);
 
   /// Random pattern with roughly `density` fraction of blocks present
-  /// (deterministic in `seed`); block values uniform in [0, 1).
+  /// (deterministic in `seed`); block values uniform in [0, 1). Shares a
+  /// name with libc random() but is seeded and reproducible.
+  // shalom-lint: allow(nondeterminism)
   static BsrMatrix random(index_t block_rows, index_t block_cols, index_t br,
                           index_t bc, double density, std::uint64_t seed);
 

@@ -6,6 +6,7 @@
 #include "bench_util/runner.h"
 #include "bench_util/stats.h"
 #include "common/rng.h"
+#include "core/kernel_contracts.h"
 #include "core/plan_cache.h"
 #include "core/shalom.h"
 
@@ -75,7 +76,12 @@ TuneResult tune(Mode mode, index_t M, index_t N, index_t K,
 
   for (double s : opt.scales) {
     if (s == 1.0) continue;
-    try_blk({best_blk.mc, scaled(model_blk.kc, s), best_blk.nc});
+    // Clamp to the model's kc ceiling: the plan applies kc_override
+    // as-is, so an unclamped candidate would measure a blocking the
+    // analytic model (and its L1 sliver argument) can never produce.
+    try_blk({best_blk.mc,
+             std::min(scaled(model_blk.kc, s), contracts::kMaxKc),
+             best_blk.nc});
   }
   for (double s : opt.scales) {
     if (s == 1.0) continue;

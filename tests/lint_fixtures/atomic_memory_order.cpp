@@ -1,0 +1,4 @@
+// Fixture: atomic-memory-order - one implicit-seq_cst load.
+#include <atomic>
+
+int bad_load(std::atomic<int>& a) { return a.load(); }

@@ -1,0 +1,2 @@
+// Fixture: capi-exception-boundary - an unwrapped extern "C" entry.
+extern "C" int shalom_fixture_entry(int x) { return x + 1; }

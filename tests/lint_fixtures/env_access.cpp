@@ -1,0 +1,4 @@
+// Fixture: env-access - direct getenv outside common/error.cpp.
+#include <cstdlib>
+
+const char* bad_env() { return std::getenv("SHALOM_FIXTURE"); }

@@ -1,0 +1,4 @@
+// Fixture: fault-site-documented - a site DESIGN.md does not list.
+namespace fault { enum class Site { kBogus }; }
+
+const char* site_name(fault::Site) { return "bogus.site"; }

@@ -1,0 +1,6 @@
+// Fixture: nondeterminism - rand() and time(nullptr) seeding.
+#include <cstdlib>
+#include <ctime>
+
+int bad_rand() { return std::rand(); }
+long bad_seed() { return static_cast<long>(std::time(nullptr)); }

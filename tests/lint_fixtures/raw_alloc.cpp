@@ -1,0 +1,5 @@
+// Fixture: raw-alloc - malloc and array new outside aligned_buffer.
+#include <cstdlib>
+
+void* bad_malloc(unsigned n) { return std::malloc(n); }
+float* bad_new(unsigned n) { return new float[n]; }

@@ -1,0 +1,6 @@
+// Fixture: a seeded violation silenced by a suppression comment.
+#include <atomic>
+
+// The implicit order below is deliberate fixture noise.
+// shalom-lint: allow(atomic-memory-order)
+int quiet_load(std::atomic<int>& a) { return a.load(); }

@@ -1,0 +1,163 @@
+// Golden tests for tools/shalom_lint: each fixture under
+// tests/lint_fixtures/ seeds exactly one rule's violation(s), and the
+// analyzer must report the exact rule ID on the exact line - plus stay
+// silent on the real library sources and on the suppressed fixture.
+//
+// The binary location and fixture paths are injected by the build
+// (SHALOM_LINT_* compile definitions in tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout only
+};
+
+LintRun run_lint(const std::string& args) {
+  LintRun r;
+  const std::string cmd =
+      std::string(SHALOM_LINT_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t n;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) r.output.append(buf, n);
+  const int status = pclose(pipe);
+  r.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const char* name) {
+  return std::string(SHALOM_LINT_FIXTURES) + "/" + name;
+}
+
+std::string design_flag() {
+  return std::string("--design=") + SHALOM_LINT_DESIGN;
+}
+
+int count_lines(const std::string& s) {
+  int n = 0;
+  for (char c : s)
+    if (c == '\n') ++n;
+  return n;
+}
+
+/// Expects a text-format finding `<file>:<line>: [<rule>]` in the output.
+void expect_finding(const LintRun& r, const std::string& file, int line,
+                    const std::string& rule) {
+  const std::string needle =
+      file + ":" + std::to_string(line) + ": [" + rule + "]";
+  EXPECT_NE(r.output.find(needle), std::string::npos)
+      << "expected finding '" << needle << "' in output:\n"
+      << r.output;
+}
+
+TEST(Lint, LibrarySourcesAreClean) {
+  const LintRun r = run_lint(design_flag() + " " + SHALOM_LINT_SRC + " " +
+                             SHALOM_LINT_BENCH);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "");
+}
+
+TEST(Lint, AtomicMemoryOrderFixture) {
+  const std::string f = fixture("atomic_memory_order.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 1) << r.output;
+  expect_finding(r, f, 4, "atomic-memory-order");
+}
+
+TEST(Lint, RawAllocFixture) {
+  const std::string f = fixture("raw_alloc.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 2) << r.output;
+  expect_finding(r, f, 4, "raw-alloc");  // std::malloc
+  expect_finding(r, f, 5, "raw-alloc");  // new float[n]
+}
+
+TEST(Lint, EnvAccessFixture) {
+  const std::string f = fixture("env_access.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 1) << r.output;
+  expect_finding(r, f, 4, "env-access");
+}
+
+TEST(Lint, FaultSiteFixture) {
+  const std::string f = fixture("fault_site.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 1) << r.output;
+  expect_finding(r, f, 4, "fault-site-documented");
+  EXPECT_NE(r.output.find("bogus.site"), std::string::npos) << r.output;
+}
+
+TEST(Lint, NondeterminismFixture) {
+  const std::string f = fixture("nondeterminism.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 2) << r.output;
+  expect_finding(r, f, 5, "nondeterminism");  // std::rand()
+  expect_finding(r, f, 6, "nondeterminism");  // std::time(nullptr)
+}
+
+TEST(Lint, CapiBoundaryFixture) {
+  const std::string f = fixture("capi_boundary.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 1) << r.output;
+  expect_finding(r, f, 2, "capi-exception-boundary");
+  EXPECT_NE(r.output.find("shalom_fixture_entry"), std::string::npos)
+      << r.output;
+}
+
+TEST(Lint, SuppressionCommentSilencesFinding) {
+  const std::string f = fixture("suppressed.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "");
+}
+
+TEST(Lint, WholeFixtureDirectoryFindingCount) {
+  // 1 atomic + 2 raw-alloc + 1 env + 1 fault-site + 2 nondeterminism +
+  // 1 capi + 0 suppressed = 8 findings.
+  const LintRun r =
+      run_lint(design_flag() + " " + std::string(SHALOM_LINT_FIXTURES));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 8) << r.output;
+}
+
+TEST(Lint, JsonFormatCarriesRuleAndLine) {
+  const std::string f = fixture("atomic_memory_order.cpp");
+  const LintRun r = run_lint("--format=json " + design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("\"rule\": \"atomic-memory-order\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"line\": 4"), std::string::npos) << r.output;
+}
+
+TEST(Lint, ListRulesNamesEveryRule) {
+  const LintRun r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"atomic-memory-order", "raw-alloc", "env-access",
+        "fault-site-documented", "nondeterminism",
+        "capi-exception-boundary"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(Lint, NoInputsIsUsageError) {
+  const LintRun r = run_lint("");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+}  // namespace

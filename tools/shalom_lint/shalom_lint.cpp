@@ -1,0 +1,719 @@
+// shalom_lint: the repo-specific static analyzer.
+//
+// A standalone C++17 token/line-level scanner (deliberately no libclang:
+// the rules below are lexical properties of this codebase's conventions,
+// and a zero-dependency tool can run in every environment the library
+// builds in, including the GCC-only CI image where clang-tidy cannot).
+//
+// Rules (each suppressible per line via `// shalom-lint: allow(<rule>)`
+// on the offending line or the line directly above):
+//
+//   atomic-memory-order      every std::atomic load/store/exchange/
+//                            fetch_*/compare_exchange_* call names an
+//                            explicit std::memory_order.
+//   raw-alloc                no malloc/calloc/realloc/posix_memalign/
+//                            aligned_alloc/valloc/memalign and no array
+//                            new[] outside common/aligned_buffer.* (the
+//                            single sanctioned allocation site).
+//   env-access               no direct getenv: every environment read
+//                            goes through the env:: helpers defined in
+//                            common/error.cpp (the only exempt file).
+//   fault-site-documented    every fault-site name string literal (the
+//                            dotted "group.site" literals in files that
+//                            mention fault::Site or define site_name)
+//                            appears in DESIGN.md's site->fallback
+//                            matrix.
+//   nondeterminism           no rand/srand/rand_r/drand48/random and no
+//                            time(nullptr|NULL|0) seeding: runs must be
+//                            reproducible (use common/rng.h).
+//   capi-exception-boundary  every `extern "C"` function definition
+//                            returning int/shalom_status either contains
+//                            the catch-all status translator (a `catch`
+//                            or fail_current_exception) or delegates to
+//                            a same-file helper that does. Only the
+//                            direct `extern "C" <definition>` form is
+//                            recognized; declarations and extern "C" {}
+//                            blocks (headers) are out of scope.
+//
+// Usage:
+//   shalom_lint [--format=text|json] [--design=PATH] [--list-rules]
+//               <file-or-directory>...
+//
+// Exit codes: 0 no findings, 1 findings reported, 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct StringLiteral {
+  int line = 0;
+  std::string value;
+};
+
+struct SourceFile {
+  std::string path;
+  std::string text;  // raw bytes
+  std::string code;  // comments and literal contents blanked with spaces
+  std::vector<std::size_t> line_start;        // offset of each line
+  std::vector<StringLiteral> strings;         // recorded literal values
+  std::map<int, std::set<std::string>> allow; // line -> suppressed rules
+};
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+int line_of(const SourceFile& f, std::size_t pos) {
+  auto it = std::upper_bound(f.line_start.begin(), f.line_start.end(), pos);
+  return static_cast<int>(it - f.line_start.begin());
+}
+
+// ---------------------------------------------------------------------------
+// Scanner: builds the blanked `code` view, records string literals and
+// suppression comments. Handles //, /* */, "..." (with escapes), '...',
+// and raw string literals R"delim(...)delim".
+// ---------------------------------------------------------------------------
+
+void parse_allow(SourceFile& f, const std::string& comment, int line) {
+  const std::string marker = "shalom-lint: allow(";
+  std::size_t at = comment.find(marker);
+  while (at != std::string::npos) {
+    std::size_t p = at + marker.size();
+    std::string name;
+    for (; p < comment.size() && comment[p] != ')'; ++p) {
+      const char c = comment[p];
+      if (c == ',' ) {
+        if (!name.empty()) f.allow[line].insert(name);
+        name.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        name += c;
+      }
+    }
+    if (!name.empty()) f.allow[line].insert(name);
+    at = comment.find(marker, p);
+  }
+}
+
+void scan_file(SourceFile& f) {
+  const std::string& s = f.text;
+  f.code.assign(s.size(), ' ');
+  f.line_start.push_back(0);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s[i] == '\n') {
+      f.code[i] = '\n';
+      if (i + 1 < s.size()) f.line_start.push_back(i + 1);
+    }
+
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    // Line comment.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < s.size() && s[j] != '\n') ++j;
+      parse_allow(f, s.substr(i, j - i), line_of(f, i));
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      std::size_t j = s.find("*/", i + 2);
+      if (j == std::string::npos) j = s.size(); else j += 2;
+      // A block comment may span lines; register the allow() on the line
+      // it starts on.
+      parse_allow(f, s.substr(i, j - i), line_of(f, i));
+      i = j;
+      continue;
+    }
+    // Raw string literal: (optional prefix)R"delim( ... )delim".
+    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"' &&
+        (i == 0 || !is_ident(s[i - 1]))) {
+      std::size_t dstart = i + 2;
+      std::size_t dend = dstart;
+      while (dend < s.size() && s[dend] != '(') ++dend;
+      const std::string delim = s.substr(dstart, dend - dstart);
+      const std::string close = ")" + delim + "\"";
+      const std::size_t at = s.find(close, dend + 1);
+      const std::size_t vend = (at == std::string::npos) ? s.size() : at;
+      f.strings.push_back({line_of(f, i), s.substr(dend + 1,
+                                                   vend - (dend + 1))});
+      i = (at == std::string::npos) ? s.size() : at + close.size();
+      continue;
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < s.size() && s[j] != '"' && s[j] != '\n') {
+        if (s[j] == '\\' && j + 1 < s.size()) {
+          value += s[j];
+          value += s[j + 1];
+          j += 2;
+        } else {
+          value += s[j];
+          ++j;
+        }
+      }
+      f.strings.push_back({line_of(f, i), value});
+      f.code[i] = '"';
+      // Keep a literal "C" visible so `extern "C"` stays recognizable in
+      // the blanked view; all other literal content is blanked.
+      if (value == "C" && j == i + 2) f.code[i + 1] = 'C';
+      if (j < s.size() && s[j] == '"') {
+        f.code[j] = '"';
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+    // Character literal (skip so '"' or '//' inside cannot confuse us).
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != '\'' && s[j] != '\n') {
+        if (s[j] == '\\') ++j;
+        ++j;
+      }
+      i = (j < s.size()) ? j + 1 : j;
+      continue;
+    }
+    f.code[i] = c;
+    ++i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matching helpers over the blanked view
+// ---------------------------------------------------------------------------
+
+/// Finds the next whole-word occurrence of `word` at or after `from`.
+std::size_t find_word(const std::string& code, const std::string& word,
+                      std::size_t from) {
+  std::size_t p = code.find(word, from);
+  while (p != std::string::npos) {
+    const bool left_ok = p == 0 || !is_ident(code[p - 1]);
+    const std::size_t end = p + word.size();
+    const bool right_ok = end >= code.size() || !is_ident(code[end]);
+    if (left_ok && right_ok) return p;
+    p = code.find(word, p + 1);
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& code, std::size_t p) {
+  while (p < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[p])))
+    ++p;
+  return p;
+}
+
+/// With code[open] == '(' (or '{'), returns the index one past the
+/// matching closer, or npos.
+std::size_t match_paren(const std::string& code, std::size_t open,
+                        char oc = '(', char cc = ')') {
+  int depth = 0;
+  for (std::size_t p = open; p < code.size(); ++p) {
+    if (code[p] == oc) ++depth;
+    if (code[p] == cc && --depth == 0) return p + 1;
+  }
+  return std::string::npos;
+}
+
+std::string basename_of(const std::string& path) {
+  return fs::path(path).filename().string();
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void rule_atomic_memory_order(const SourceFile& f,
+                              std::vector<Finding>& out) {
+  static const char* kMethods[] = {
+      "load",          "store",         "exchange",
+      "fetch_add",     "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",     "compare_exchange_weak",
+      "compare_exchange_strong"};
+  for (const char* m : kMethods) {
+    std::size_t p = find_word(f.code, m, 0);
+    while (p != std::string::npos) {
+      // Member-call context only: `.load(` or `->load(`.
+      const bool member =
+          (p >= 1 && f.code[p - 1] == '.') ||
+          (p >= 2 && f.code[p - 2] == '-' && f.code[p - 1] == '>');
+      std::size_t open = skip_ws(f.code, p + std::strlen(m));
+      if (member && open < f.code.size() && f.code[open] == '(') {
+        const std::size_t close = match_paren(f.code, open);
+        const std::string args =
+            close == std::string::npos
+                ? f.code.substr(open)
+                : f.code.substr(open, close - open);
+        if (args.find("memory_order") == std::string::npos) {
+          out.push_back({f.path, line_of(f, p), "atomic-memory-order",
+                         std::string("atomic ") + m +
+                             "() without an explicit std::memory_order "
+                             "(implicit seq_cst; state and justify the "
+                             "required order instead)"});
+        }
+      }
+      p = find_word(f.code, m, p + 1);
+    }
+  }
+}
+
+void rule_raw_alloc(const SourceFile& f, std::vector<Finding>& out) {
+  const std::string base = basename_of(f.path);
+  if (base.rfind("aligned_buffer", 0) == 0) return;  // sanctioned site
+  static const char* kFns[] = {"malloc",         "calloc",  "realloc",
+                               "posix_memalign", "aligned_alloc",
+                               "valloc",         "memalign"};
+  for (const char* fn : kFns) {
+    std::size_t p = find_word(f.code, fn, 0);
+    while (p != std::string::npos) {
+      const std::size_t after = skip_ws(f.code, p + std::strlen(fn));
+      if (after < f.code.size() && f.code[after] == '(') {
+        out.push_back({f.path, line_of(f, p), "raw-alloc",
+                       std::string(fn) +
+                           "() outside common/aligned_buffer.*: all "
+                           "allocations go through AlignedBuffer"});
+      }
+      p = find_word(f.code, fn, p + 1);
+    }
+  }
+  // Array new: `new T[n]` (placement parens are skipped first).
+  std::size_t p = find_word(f.code, "new", 0);
+  while (p != std::string::npos) {
+    std::size_t q = skip_ws(f.code, p + 3);
+    if (q < f.code.size() && f.code[q] == '(') {  // placement arguments
+      const std::size_t close = match_paren(f.code, q);
+      if (close == std::string::npos) break;
+      q = skip_ws(f.code, close);
+    }
+    while (q < f.code.size() &&
+           (is_ident(f.code[q]) || f.code[q] == ':' || f.code[q] == '<' ||
+            f.code[q] == '>' || f.code[q] == ',' || f.code[q] == '*' ||
+            f.code[q] == ' '))
+      ++q;
+    if (q < f.code.size() && f.code[q] == '[') {
+      out.push_back({f.path, line_of(f, p), "raw-alloc",
+                     "array new[] outside common/aligned_buffer.*: all "
+                     "allocations go through AlignedBuffer"});
+    }
+    p = find_word(f.code, "new", p + 1);
+  }
+}
+
+void rule_env_access(const SourceFile& f, std::vector<Finding>& out) {
+  if (basename_of(f.path) == "error.cpp") return;  // env:: helpers live here
+  for (const char* fn : {"getenv", "secure_getenv"}) {
+    std::size_t p = find_word(f.code, fn, 0);
+    while (p != std::string::npos) {
+      out.push_back({f.path, line_of(f, p), "env-access",
+                     std::string(fn) +
+                         " outside common/error.cpp: read the environment "
+                         "through the shalom::env:: helpers so malformed "
+                         "values warn once and fall back"});
+      p = find_word(f.code, fn, p + 1);
+    }
+  }
+}
+
+/// True when the identifier at `p` is member-accessed (`x.rand(`) or
+/// qualified by something other than std:: (`BsrMatrix<T>::random(`): a
+/// repo-defined function that merely shares a libc name, not libc itself
+/// (libc functions appear bare or std::-qualified).
+bool non_libc_context(const std::string& code, std::size_t p) {
+  if (p >= 1 && code[p - 1] == '.') return true;
+  if (p >= 2 && code[p - 2] == '-' && code[p - 1] == '>') return true;
+  if (p >= 2 && code[p - 2] == ':' && code[p - 1] == ':') {
+    std::size_t e = p - 2;
+    std::size_t s = e;
+    while (s > 0 && is_ident(code[s - 1])) --s;
+    return code.substr(s, e - s) != "std";
+  }
+  return false;
+}
+
+void rule_nondeterminism(const SourceFile& f, std::vector<Finding>& out) {
+  for (const char* fn : {"rand", "srand", "rand_r", "drand48", "random"}) {
+    std::size_t p = find_word(f.code, fn, 0);
+    while (p != std::string::npos) {
+      const std::size_t after = skip_ws(f.code, p + std::strlen(fn));
+      if (after < f.code.size() && f.code[after] == '(' &&
+          !non_libc_context(f.code, p)) {
+        out.push_back({f.path, line_of(f, p), "nondeterminism",
+                       std::string(fn) +
+                           "() is nondeterministic across runs; use the "
+                           "seeded generators in common/rng.h"});
+      }
+      p = find_word(f.code, fn, p + 1);
+    }
+  }
+  std::size_t p = find_word(f.code, "time", 0);
+  while (p != std::string::npos) {
+    const std::size_t open = skip_ws(f.code, p + 4);
+    if (open < f.code.size() && f.code[open] == '(') {
+      const std::size_t close = match_paren(f.code, open);
+      if (close != std::string::npos) {
+        std::string arg = f.code.substr(open + 1, close - open - 2);
+        arg.erase(std::remove_if(arg.begin(), arg.end(),
+                                 [](unsigned char c) {
+                                   return std::isspace(c);
+                                 }),
+                  arg.end());
+        if (arg == "nullptr" || arg == "NULL" || arg == "0") {
+          out.push_back({f.path, line_of(f, p), "nondeterminism",
+                         "time(" + arg +
+                             ") seeding is nondeterministic across runs; "
+                             "use the seeded generators in common/rng.h"});
+        }
+      }
+    }
+    p = find_word(f.code, "time", p + 1);
+  }
+}
+
+bool looks_like_site_name(const std::string& v) {
+  // group.site[.sub]: lowercase identifiers joined by dots.
+  bool saw_dot = false;
+  bool part_empty = true;
+  for (char c : v) {
+    if (c == '.') {
+      if (part_empty) return false;
+      saw_dot = true;
+      part_empty = true;
+    } else if ((c >= 'a' && c <= 'z') || c == '_') {
+      part_empty = false;
+    } else {
+      return false;
+    }
+  }
+  return saw_dot && !part_empty;
+}
+
+void rule_fault_site_documented(const SourceFile& f,
+                                const std::string& design_text,
+                                const std::string& design_path,
+                                std::vector<Finding>& out) {
+  if (f.code.find("fault::Site") == std::string::npos &&
+      find_word(f.code, "site_name", 0) == std::string::npos)
+    return;
+  for (const StringLiteral& lit : f.strings) {
+    if (!looks_like_site_name(lit.value)) continue;
+    if (design_text.empty()) {
+      out.push_back({f.path, lit.line, "fault-site-documented",
+                     "fault site \"" + lit.value +
+                         "\" cannot be checked: design file '" +
+                         design_path + "' is missing or unreadable"});
+    } else if (design_text.find(lit.value) == std::string::npos) {
+      out.push_back({f.path, lit.line, "fault-site-documented",
+                     "fault site \"" + lit.value +
+                         "\" is not documented in the site->fallback "
+                         "matrix of " +
+                         design_path});
+    }
+  }
+}
+
+/// Returns the body of a function named `name` defined in this file (the
+/// first occurrence of `name(...)` whose parameter list is followed by a
+/// brace), or "" when no definition is found.
+std::string local_definition_body(const SourceFile& f,
+                                  const std::string& name) {
+  std::size_t p = find_word(f.code, name, 0);
+  while (p != std::string::npos) {
+    std::size_t open = skip_ws(f.code, p + name.size());
+    if (open < f.code.size() && f.code[open] == '(') {
+      const std::size_t close = match_paren(f.code, open);
+      if (close != std::string::npos) {
+        std::size_t q = skip_ws(f.code, close);
+        // Skip trailing specifiers (noexcept, const, ...) including a
+        // noexcept(...) argument.
+        while (q < f.code.size() && is_ident(f.code[q])) {
+          while (q < f.code.size() && is_ident(f.code[q])) ++q;
+          q = skip_ws(f.code, q);
+          if (q < f.code.size() && f.code[q] == '(') {
+            const std::size_t c2 = match_paren(f.code, q);
+            if (c2 == std::string::npos) break;
+            q = skip_ws(f.code, c2);
+          }
+        }
+        if (q < f.code.size() && f.code[q] == '{') {
+          const std::size_t bend = match_paren(f.code, q, '{', '}');
+          if (bend != std::string::npos)
+            return f.code.substr(q, bend - q);
+        }
+      }
+    }
+    p = find_word(f.code, name, p + 1);
+  }
+  return "";
+}
+
+bool body_has_translator(const std::string& body) {
+  return body.find("fail_current_exception") != std::string::npos ||
+         find_word(body, "catch", 0) != std::string::npos;
+}
+
+void rule_capi_exception_boundary(const SourceFile& f,
+                                  std::vector<Finding>& out) {
+  std::size_t p = f.code.find("extern \"C\"");
+  while (p != std::string::npos) {
+    std::size_t q = skip_ws(f.code, p + 10);
+    // Collect the declarator up to the parameter list.
+    const std::size_t decl_start = q;
+    while (q < f.code.size() && f.code[q] != '(' && f.code[q] != ';' &&
+           f.code[q] != '{')
+      ++q;
+    if (q >= f.code.size() || f.code[q] != '(') {
+      p = f.code.find("extern \"C\"", p + 1);
+      continue;  // extern "C" { ... } block or variable: out of scope
+    }
+    const std::string decl = f.code.substr(decl_start, q - decl_start);
+    const std::size_t close = match_paren(f.code, q);
+    if (close == std::string::npos) break;
+    std::size_t r = skip_ws(f.code, close);
+    while (r < f.code.size() && is_ident(f.code[r])) {  // noexcept etc.
+      while (r < f.code.size() && is_ident(f.code[r])) ++r;
+      r = skip_ws(f.code, r);
+    }
+    if (r < f.code.size() && f.code[r] == '{') {
+      // Definition. Return type = declarator minus the trailing name.
+      std::size_t name_end = decl.size();
+      while (name_end > 0 &&
+             std::isspace(static_cast<unsigned char>(decl[name_end - 1])))
+        --name_end;
+      std::size_t name_start = name_end;
+      while (name_start > 0 && is_ident(decl[name_start - 1])) --name_start;
+      const std::string name = decl.substr(name_start, name_end - name_start);
+      std::string ret = decl.substr(0, name_start);
+      // Normalize whitespace.
+      std::string ret_norm;
+      for (char c : ret)
+        if (!std::isspace(static_cast<unsigned char>(c))) ret_norm += c;
+      if (ret_norm == "int" || ret_norm == "shalom_status") {
+        const std::size_t bend = match_paren(f.code, r, '{', '}');
+        const std::string body =
+            bend == std::string::npos ? f.code.substr(r)
+                                      : f.code.substr(r, bend - r);
+        bool ok = body_has_translator(body);
+        if (!ok) {
+          // One level of delegation: a body that calls a same-file
+          // helper containing the translator is wrapped transitively
+          // (the shalom_sgemm -> gemm_c pattern).
+          std::size_t cp = 0;
+          while (!ok && cp < body.size()) {
+            if (is_ident(body[cp]) && (cp == 0 || !is_ident(body[cp - 1]))) {
+              std::size_t ce = cp;
+              while (ce < body.size() && is_ident(body[ce])) ++ce;
+              const std::string callee = body.substr(cp, ce - cp);
+              const std::size_t paren = skip_ws(body, ce);
+              if (paren < body.size() && body[paren] == '(' &&
+                  callee != name && callee != "if" && callee != "while" &&
+                  callee != "for" && callee != "switch" &&
+                  callee != "return" && callee != "sizeof") {
+                const std::string def = local_definition_body(f, callee);
+                if (!def.empty() && body_has_translator(def)) ok = true;
+              }
+              cp = ce;
+            } else {
+              ++cp;
+            }
+          }
+        }
+        if (!ok) {
+          out.push_back(
+              {f.path, line_of(f, p), "capi-exception-boundary",
+               "extern \"C\" entry point '" + name +
+                   "' returns a status but is not wrapped in the "
+                   "catch-all status translator (fail_current_exception) "
+                   "- an exception here would cross the C ABI"});
+        }
+      }
+    }
+    p = f.code.find("extern \"C\"", p + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& all_rules() {
+  static const std::set<std::string> kRules = {
+      "atomic-memory-order",   "raw-alloc",
+      "env-access",            "fault-site-documented",
+      "nondeterminism",        "capi-exception-boundary"};
+  return kRules;
+}
+
+bool suppressed(const SourceFile& f, const Finding& finding) {
+  for (int line : {finding.line, finding.line - 1}) {
+    auto it = f.allow.find(line);
+    if (it == f.allow.end()) continue;
+    if (it->second.count(finding.rule) || it->second.count("all"))
+      return true;
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".c";
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: shalom_lint [--format=text|json] [--design=PATH] "
+               "[--list-rules] <file-or-dir>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string design_path = "DESIGN.md";
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return usage();
+    } else if (arg.rfind("--design=", 0) == 0) {
+      design_path = arg.substr(9);
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : all_rules()) std::printf("%s\n", r.c_str());
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (auto it = fs::recursive_directory_iterator(in, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it)
+        if (it->is_regular_file() && scannable(it->path()))
+          files.push_back(it->path().string());
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      std::fprintf(stderr, "shalom_lint: cannot read '%s'\n", in.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::string design_text;
+  {
+    std::ifstream d(design_path);
+    if (d) {
+      std::ostringstream ss;
+      ss << d.rdbuf();
+      design_text = ss.str();
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const std::string& path : files) {
+    SourceFile f;
+    f.path = path;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "shalom_lint: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    f.text = ss.str();
+    scan_file(f);
+
+    std::vector<Finding> file_findings;
+    rule_atomic_memory_order(f, file_findings);
+    rule_raw_alloc(f, file_findings);
+    rule_env_access(f, file_findings);
+    rule_fault_site_documented(f, design_text, design_path, file_findings);
+    rule_nondeterminism(f, file_findings);
+    rule_capi_exception_boundary(f, file_findings);
+
+    for (Finding& fnd : file_findings)
+      if (!suppressed(f, fnd)) findings.push_back(std::move(fnd));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (format == "json") {
+    std::printf("[");
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& fnd = findings[i];
+      std::printf(
+          "%s\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+          "\"message\": \"%s\"}",
+          i ? "," : "", json_escape(fnd.file).c_str(), fnd.line,
+          json_escape(fnd.rule).c_str(), json_escape(fnd.message).c_str());
+    }
+    std::printf("%s]\n", findings.empty() ? "" : "\n");
+  } else {
+    for (const Finding& fnd : findings)
+      std::printf("%s:%d: [%s] %s\n", fnd.file.c_str(), fnd.line,
+                  fnd.rule.c_str(), fnd.message.c_str());
+    if (!findings.empty())
+      std::fprintf(stderr, "shalom_lint: %zu finding(s)\n", findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
