@@ -41,6 +41,22 @@ else
   echo "WARNING: clang++ not found - thread-safety analysis build SKIPPED" >&2
 fi
 
+echo "=== tier1: guarded chaos (canary arenas + watchdog + trap faults) ==="
+# The whole suite under hardened execution: every AlignedBuffer gets
+# canary zones and every parallel round arms a 2-second stall watchdog.
+# Results must be identical - the guard rails are pure detection.
+SHALOM_GUARD=canary SHALOM_WATCHDOG_MS=2000 \
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+# Then the guard suite itself with the trap and heartbeat fault sites
+# armed from the environment on top: probes trap, a worker wedges, and
+# the quarantine/watchdog recovery paths must still produce correct
+# results. Kept out of the sanitizer configs below (their label filters
+# exclude `guard`): sanitizer runtimes own the signal machinery, so trap
+# containment compiles out there (SHALOM_GUARD_NO_TRAPS).
+SHALOM_GUARD=canary SHALOM_WATCHDOG_MS=2000 \
+SHALOM_FAULT=guard.trap:once,threadpool.heartbeat:once \
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -L guard
+
 echo "=== tier1: ASan build, fault + stress + fuzz labels ==="
 cmake -B build-asan -S . \
       -DSHALOM_SANITIZE=address \

@@ -4,15 +4,25 @@
 // small GEMMs that malloc dominates. AlignedBuffer supports cheap
 // grow-only reuse so a thread-local arena can serve every call, and all
 // storage is 64-byte aligned so 128-bit vector loads never split lines.
+//
+// Guarded mode (SHALOM_GUARD=canary|poison, common/guard.h): each
+// allocation is bracketed by one canary-filled cache line on each side,
+// and verify_guards() proves after kernel execution that no kernel wrote
+// outside its arena. Poison mode additionally pre-fills the storage on
+// every reserve() so stale-read bugs surface as loud wrong results
+// instead of silently reusing last call's data. Both are opt-in: the
+// default (off) build has zero overhead and an unchanged layout.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <utility>
 
 #include "common/error.h"
+#include "common/guard.h"
 
 namespace shalom {
 
@@ -29,13 +39,17 @@ class AlignedBuffer {
 
   AlignedBuffer(AlignedBuffer&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
-        capacity_(std::exchange(other.capacity_, 0)) {}
+        capacity_(std::exchange(other.capacity_, 0)),
+        zone_(std::exchange(other.zone_, 0)),
+        mode_(std::exchange(other.mode_, guard::ArenaMode::kOff)) {}
 
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
       release();
       data_ = std::exchange(other.data_, nullptr);
       capacity_ = std::exchange(other.capacity_, 0);
+      zone_ = std::exchange(other.zone_, 0);
+      mode_ = std::exchange(other.mode_, guard::ArenaMode::kOff);
     }
     return *this;
   }
@@ -43,19 +57,70 @@ class AlignedBuffer {
   ~AlignedBuffer() { release(); }
 
   /// Ensures at least `bytes` of capacity. Contents are NOT preserved on
-  /// growth: packing buffers are write-before-read by construction.
+  /// growth: packing buffers are write-before-read by construction. The
+  /// guard mode (guard::arena_mode()) is snapshotted per allocation, so a
+  /// mode change only affects buffers (re)allocated afterwards.
   void reserve(std::size_t bytes) {
-    if (bytes <= capacity_) return;
+    if (bytes <= capacity_) {
+      // Reuse path: poison mode re-fills the requested span so each call
+      // starts from known-garbage, never last call's data.
+      if (mode_ == guard::ArenaMode::kPoison && data_ != nullptr &&
+          bytes > 0)
+        std::memset(data_, guard::kPoisonByte, bytes);
+      return;
+    }
     // Cache-line rounding must not wrap around SIZE_MAX; a request that
     // large is unsatisfiable anyway, so report it as the same failure.
     if (bytes > SIZE_MAX - (kCacheLineBytes - 1)) throw std::bad_alloc();
-    release();
+    const guard::ArenaMode mode = guard::arena_mode();
+    const std::size_t zone =
+        mode == guard::ArenaMode::kOff ? 0 : guard::kGuardZoneBytes;
     const std::size_t rounded =
         (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
-    data_ = std::aligned_alloc(kCacheLineBytes, rounded);
-    if (data_ == nullptr) throw std::bad_alloc();
+    if (rounded > SIZE_MAX - 2 * zone) throw std::bad_alloc();
+    release();
+    // One allocation carries [front zone | storage | back zone]; data_
+    // points at the storage, which keeps its cache-line alignment because
+    // the zones are whole cache lines.
+    char* raw = static_cast<char*>(
+        std::aligned_alloc(kCacheLineBytes, rounded + 2 * zone));
+    if (raw == nullptr) throw std::bad_alloc();
+    data_ = raw + zone;
     capacity_ = rounded;
+    zone_ = zone;
+    mode_ = mode;
+    if (zone != 0) {
+      std::memset(raw, guard::kCanaryByte, zone);
+      std::memset(raw + zone + rounded, guard::kCanaryByte, zone);
+      if (mode == guard::ArenaMode::kPoison)
+        std::memset(data_, guard::kPoisonByte, rounded);
+    }
   }
+
+  /// Checks both canary zones of a guarded buffer. Returns false when any
+  /// canary byte changed (something wrote outside the storage span) and
+  /// re-arms the zones so the buffer stays usable - and re-checkable -
+  /// after the violation is reported. Unguarded buffers are always intact.
+  bool verify_guards() noexcept {
+    if (zone_ == 0 || data_ == nullptr) return true;
+    unsigned char* front = static_cast<unsigned char*>(data_) - zone_;
+    unsigned char* back = static_cast<unsigned char*>(data_) + capacity_;
+    bool intact = true;
+    for (std::size_t i = 0; i < zone_; ++i) {
+      if (front[i] != guard::kCanaryByte || back[i] != guard::kCanaryByte) {
+        intact = false;
+        break;
+      }
+    }
+    if (!intact) {
+      std::memset(front, guard::kCanaryByte, zone_);
+      std::memset(back, guard::kCanaryByte, zone_);
+    }
+    return intact;
+  }
+
+  /// Guard-zone width of the current allocation (0 when unguarded).
+  std::size_t guard_zone() const noexcept { return zone_; }
 
   /// Typed view of the storage; `reserve(count * sizeof(T))` must have run.
   template <typename T>
@@ -73,13 +138,18 @@ class AlignedBuffer {
 
  private:
   void release() {
-    std::free(data_);
+    if (data_ != nullptr)
+      std::free(static_cast<char*>(data_) - zone_);
     data_ = nullptr;
     capacity_ = 0;
+    zone_ = 0;
+    mode_ = guard::ArenaMode::kOff;
   }
 
   void* data_ = nullptr;
   std::size_t capacity_ = 0;
+  std::size_t zone_ = 0;
+  guard::ArenaMode mode_ = guard::ArenaMode::kOff;
 };
 
 /// Thread-local arena used by the GEMM drivers for packing storage, so

@@ -27,6 +27,11 @@ const char* status_string(int code) noexcept {
       return "unexpected internal error";
     case SHALOM_ERR_NUMERIC:
       return "non-finite value (NaN/Inf) caught by the numerical guard";
+    case SHALOM_ERR_KERNEL_TRAP:
+      return "kernel crashed (SIGILL/SIGSEGV/SIGBUS/SIGFPE) inside a "
+             "trap-contained probe";
+    case SHALOM_ERR_CORRUPTION:
+      return "guarded pack-arena canary violated after kernel execution";
     default:
       return "unknown status code";
   }

@@ -30,6 +30,10 @@ typedef enum shalom_status {
   SHALOM_ERR_INTERNAL = 6,         /* unexpected internal error */
   SHALOM_ERR_NUMERIC = 7,          /* NaN/Inf caught by the numerical guard
                                       (Config::check_numerics = kFail) */
+  SHALOM_ERR_KERNEL_TRAP = 8,      /* kernel crashed (SIGILL/SIGSEGV/...)
+                                      inside a trap-contained probe */
+  SHALOM_ERR_CORRUPTION = 9,       /* guarded pack-arena canary violated
+                                      after kernel execution (SHALOM_GUARD) */
 } shalom_status;
 
 #ifdef __cplusplus
@@ -50,6 +54,27 @@ class invalid_argument : public std::invalid_argument {
 /// policy kFail) finds a NaN or Inf in an operand or in the result. Maps
 /// to SHALOM_ERR_NUMERIC at the C boundary.
 class numeric_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a guard-rail check (common/guard.h) proves memory was
+/// corrupted: a canary word bracketing a guarded pack arena changed after
+/// kernel execution. The offending kernel variant is quarantined before
+/// the throw; the result in C must be considered garbage. Maps to
+/// SHALOM_ERR_CORRUPTION at the C boundary.
+class corruption_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a hardware trap (SIGILL/SIGSEGV/SIGBUS/SIGFPE) is contained
+/// by a guard trap scope in a context that cannot degrade further. Trap
+/// containment around selfcheck probes never throws this - a trapped probe
+/// becomes a quarantine verdict - so it only reaches callers through
+/// explicit guard::run_trapped users. Maps to SHALOM_ERR_KERNEL_TRAP at
+/// the C boundary.
+class kernel_trap_error : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };

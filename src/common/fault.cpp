@@ -20,6 +20,9 @@ std::atomic<std::uint64_t> g_plan_cache_bypassed{0};
 std::atomic<std::uint64_t> g_kernels_quarantined{0};
 std::atomic<std::uint64_t> g_selfchecks_run{0};
 std::atomic<std::uint64_t> g_numeric_anomalies{0};
+std::atomic<std::uint64_t> g_kernels_trapped{0};
+std::atomic<std::uint64_t> g_watchdog_trips{0};
+std::atomic<std::uint64_t> g_arena_corruptions{0};
 // Reset offset for the injected counters: the per-site counters are
 // monotonic (tests rely on fault::injected), so reset only rebases the
 // aggregate view.
@@ -45,6 +48,9 @@ RobustnessStats robustness_stats() noexcept {
       g_kernels_quarantined.load(std::memory_order_relaxed);
   s.selfchecks_run = g_selfchecks_run.load(std::memory_order_relaxed);
   s.numeric_anomalies = g_numeric_anomalies.load(std::memory_order_relaxed);
+  s.kernels_trapped = g_kernels_trapped.load(std::memory_order_relaxed);
+  s.watchdog_trips = g_watchdog_trips.load(std::memory_order_relaxed);
+  s.arena_corruptions = g_arena_corruptions.load(std::memory_order_relaxed);
   const std::uint64_t rebase =
       g_injected_rebase.load(std::memory_order_relaxed);
   const std::uint64_t total = injected_sum();
@@ -59,6 +65,9 @@ void robustness_stats_reset() noexcept {
   g_kernels_quarantined.store(0, std::memory_order_relaxed);
   g_selfchecks_run.store(0, std::memory_order_relaxed);
   g_numeric_anomalies.store(0, std::memory_order_relaxed);
+  g_kernels_trapped.store(0, std::memory_order_relaxed);
+  g_watchdog_trips.store(0, std::memory_order_relaxed);
+  g_arena_corruptions.store(0, std::memory_order_relaxed);
   g_injected_rebase.store(injected_sum(), std::memory_order_relaxed);
 }
 
@@ -80,6 +89,15 @@ void note_selfcheck_run() noexcept {
 }
 void note_numeric_anomaly() noexcept {
   g_numeric_anomalies.fetch_add(1, std::memory_order_relaxed);
+}
+void note_kernel_trapped() noexcept {
+  g_kernels_trapped.fetch_add(1, std::memory_order_relaxed);
+}
+void note_watchdog_trip() noexcept {
+  g_watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+}
+void note_arena_corruption() noexcept {
+  g_arena_corruptions.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace telemetry
 
@@ -133,6 +151,12 @@ const char* site_name(Site site) noexcept {
       return "plan_cache.insert";
     case Site::kSelfcheckProbe:
       return "selfcheck.probe";
+    case Site::kGuardTrap:
+      return "guard.trap";
+    case Site::kThreadpoolHeartbeat:
+      return "threadpool.heartbeat";
+    case Site::kGuardCanary:
+      return "guard.canary";
   }
   return "unknown";
 }

@@ -20,12 +20,20 @@
 //   fail-after-N  the first N checks succeed, every later one fails
 //
 // Sites (the degradation each one exercises is listed in DESIGN.md):
-//   alloc.pack_arena   pack-arena reservation at execution time
-//   alloc.plan         materializing a cacheable plan (PlanCache build)
-//   threadpool.spawn   spawning one pool worker thread
-//   plan_cache.insert  inserting a plan into the LRU cache
-//   selfcheck.probe    one micro-kernel selfcheck probe (common/selfcheck.h);
-//                      an injected failure quarantines the probed variant
+//   alloc.pack_arena     pack-arena reservation at execution time
+//   alloc.plan           materializing a cacheable plan (PlanCache build)
+//   threadpool.spawn     spawning one pool worker thread
+//   plan_cache.insert    inserting a plan into the LRU cache
+//   selfcheck.probe      one micro-kernel selfcheck probe (common/selfcheck.h);
+//                        an injected failure quarantines the probed variant
+//   guard.trap           a guard trap scope (common/guard.h); an injected
+//                        failure reports the scoped call as trapped (simulated
+//                        SIGILL) without running it
+//   threadpool.heartbeat a pool worker at round pickup; an injected failure
+//                        wedges the worker (it parks until pool shutdown),
+//                        which is what the watchdog must recover from
+//   guard.canary         the post-execution arena canary verification; an
+//                        injected failure reports the canaries as violated
 //
 // The telemetry half (RobustnessStats) is always compiled: the degradation
 // paths are real production behaviour - injection is only one way to reach
@@ -70,6 +78,18 @@ struct RobustnessStats {
   /// (Config::check_numerics with policy kCount or kFail); one count per
   /// scan that found a non-finite value.
   std::uint64_t numeric_anomalies = 0;
+  /// Hardware traps (SIGILL/SIGSEGV/SIGBUS/SIGFPE) contained by a guard
+  /// trap scope (common/guard.h), one per trapped probe. Every trap also
+  /// quarantines the variant, so kernels_quarantined moves with it.
+  std::uint64_t kernels_trapped = 0;
+  /// Thread-pool watchdog trips: parallel_for rounds whose workers made no
+  /// heartbeat progress for Config::watchdog_ms, recovered by the round
+  /// leader running the unclaimed tasks serially (core/threadpool.h).
+  std::uint64_t watchdog_trips = 0;
+  /// Guarded pack-arena canary violations detected after kernel execution
+  /// (SHALOM_GUARD=canary|poison); each one quarantines the dispatched
+  /// variant and fails the call with SHALOM_ERR_CORRUPTION.
+  std::uint64_t arena_corruptions = 0;
 };
 
 RobustnessStats robustness_stats() noexcept;
@@ -82,6 +102,9 @@ void note_plan_cache_bypassed() noexcept;
 void note_kernel_quarantined() noexcept;
 void note_selfcheck_run() noexcept;
 void note_numeric_anomaly() noexcept;
+void note_kernel_trapped() noexcept;
+void note_watchdog_trip() noexcept;
+void note_arena_corruption() noexcept;
 }  // namespace telemetry
 
 // ---------------------------------------------------------------------------
@@ -98,8 +121,11 @@ enum class Site : int {
   kThreadpoolSpawn = 2,
   kPlanCacheInsert = 3,
   kSelfcheckProbe = 4,
+  kGuardTrap = 5,
+  kThreadpoolHeartbeat = 6,
+  kGuardCanary = 7,
 };
-inline constexpr int kSiteCount = 5;
+inline constexpr int kSiteCount = 8;
 
 /// Trigger modes (see the header comment for semantics).
 enum class Mode : std::uint32_t {

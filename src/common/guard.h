@@ -1,0 +1,110 @@
+// Hardened-execution guard rails: trap containment, watchdog arming, and
+// guarded (canary/poison) arena modes.
+//
+// The micro-kernels run at the edge of what the hardware allows, which is
+// exactly where a miscompiled SIMD variant or an unsupported ISA extension
+// turns into a process-killing SIGILL/SIGSEGV instead of a recoverable
+// error. This module supplies the runtime half of the robustness story:
+//
+//  * Trap scopes (run_trapped): run a function under sigsetjmp-based
+//    containment of SIGILL/SIGSEGV/SIGBUS/SIGFPE. A trap unwinds back to
+//    the scope instead of killing the process; the selfcheck probes
+//    (common/selfcheck.cpp) use this so a crashing kernel variant becomes
+//    a quarantine verdict (SHALOM_ERR_KERNEL_TRAP + kernels_trapped).
+//  * Arena guard modes (SHALOM_GUARD=off|canary|poison): opt-in canary
+//    bracketing of every AlignedBuffer allocation, verified after kernel
+//    execution (core/plan.cpp); a violation quarantines the dispatched
+//    variant and raises SHALOM_ERR_CORRUPTION.
+//  * Watchdog configuration (SHALOM_WATCHDOG_MS): the thread-pool stall
+//    monitor's default arming period (core/threadpool.h).
+//
+// Layering: lives in shalom_common (no core/ includes) so selfcheck.cpp
+// and aligned_buffer.h can use it; core/ links on top.
+#pragma once
+
+#include <cstddef>
+
+namespace shalom {
+namespace guard {
+
+// ---------------------------------------------------------------------------
+// Trap containment
+// ---------------------------------------------------------------------------
+
+/// True when run_trapped() actually contains traps on this build. False on
+/// non-POSIX targets and under sanitizers (their own signal machinery
+/// conflicts with ours; CMake defines SHALOM_GUARD_NO_TRAPS for every
+/// SHALOM_SANITIZE configuration) - run_trapped() then calls through
+/// without containment and a real trap kills the process as before.
+bool traps_supported() noexcept;
+
+/// Outcome of one trap-scoped call.
+struct TrapOutcome {
+  bool trapped = false;  ///< fn raised SIGILL/SIGSEGV/SIGBUS/SIGFPE
+  int signal = 0;        ///< the raising signal number (0 when !trapped)
+};
+
+/// Runs fn(ctx) inside a trap scope: SIGILL/SIGSEGV/SIGBUS/SIGFPE raised
+/// on THIS thread while fn runs siglongjmps back here and is reported as
+/// TrapOutcome{true, sig} instead of killing the process. Prior sigaction
+/// dispositions are saved before fn and restored after, and scopes are
+/// serialized process-wide (probes are rare, cold-path events). A trap on
+/// another thread during the scope re-raises with the default disposition,
+/// dying exactly as it would without the guard. fn must not throw.
+///
+/// CAUTION: a trapped fn does not unwind - destructors of fn's locals do
+/// not run and any state it was mutating is abandoned half-written. Only
+/// run self-contained code (probes over local buffers) under a scope.
+///
+/// The fault site guard.trap deterministically simulates a trap (fn is
+/// not called; the outcome reports SIGILL).
+TrapOutcome run_trapped(void (*fn)(void*), void* ctx) noexcept;
+
+/// "SIGILL" / "SIGSEGV" / "SIGBUS" / "SIGFPE" / "signal" for diagnostics.
+const char* signal_name(int sig) noexcept;
+
+// ---------------------------------------------------------------------------
+// Guarded arena modes (SHALOM_GUARD)
+// ---------------------------------------------------------------------------
+
+/// What AlignedBuffer brackets its allocations with (see aligned_buffer.h).
+enum class ArenaMode : int {
+  kOff = 0,     ///< no guard zones (the default; zero overhead)
+  kCanary = 1,  ///< 64-byte canary zones before and after the storage
+  kPoison = 2,  ///< canary zones + poison pre-fill of the storage itself
+};
+
+/// Arena guard mode from SHALOM_GUARD=off|canary|poison (parsed once;
+/// malformed values warn and fall back to kOff), unless overridden by
+/// set_arena_mode_for_testing. Buffers snapshot the mode at allocation
+/// time, so a test override only affects allocations made after it.
+ArenaMode arena_mode() noexcept;
+
+/// Overrides arena_mode() for this process. Test-only.
+void set_arena_mode_for_testing(ArenaMode mode) noexcept;
+
+/// Drops any set_arena_mode_for_testing override so arena_mode() follows
+/// SHALOM_GUARD again. Test-only (fixture teardown).
+void clear_arena_mode_for_testing() noexcept;
+
+/// Guard-zone geometry and fill patterns. The zones are one cache line
+/// each so the guarded storage keeps its 64-byte alignment.
+inline constexpr std::size_t kGuardZoneBytes = 64;
+inline constexpr unsigned char kCanaryByte = 0xA5;
+inline constexpr unsigned char kPoisonByte = 0xCD;
+
+// ---------------------------------------------------------------------------
+// Watchdog configuration (SHALOM_WATCHDOG_MS)
+// ---------------------------------------------------------------------------
+
+/// Default watchdog period in milliseconds from SHALOM_WATCHDOG_MS (0 =
+/// watchdog disabled, the default; parsed once), unless overridden by
+/// set_watchdog_ms_for_testing. This seeds Config::watchdog_ms and is the
+/// fallback for pool_run callers that carry no Config.
+int env_watchdog_ms() noexcept;
+
+/// Overrides env_watchdog_ms() for this process. Test-only.
+void set_watchdog_ms_for_testing(int ms) noexcept;
+
+}  // namespace guard
+}  // namespace shalom

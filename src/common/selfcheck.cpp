@@ -27,6 +27,7 @@
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/guard.h"
 #include "common/rng.h"
 #include "core/dispatch.h"
 #include "core/widegemm.h"
@@ -567,13 +568,10 @@ std::atomic<int> g_state[kVariantCount];
 using ukr::AAccess;
 using ukr::BAccess;
 
-/// One full probe of a variant. Counts toward selfchecks_run; the fault
-/// site lets tests force a deterministic failure; any exception escaping
-/// a probe (it should not happen - probes only touch local vectors) is a
+/// The actual probe computation for a variant: any exception escaping a
+/// probe (it should not happen - probes only touch local vectors) is a
 /// failed probe, never a crash in dispatch.
-bool run_probe(Variant v) noexcept {
-  telemetry::note_selfcheck_run();
-  if (SHALOM_FAULT_POINT(fault::Site::kSelfcheckProbe)) return false;
+bool probe_body(Variant v) noexcept {
   try {
     switch (v) {
       case Variant::kMainF32DirectDirect:
@@ -668,6 +666,57 @@ bool run_probe(Variant v) noexcept {
   return false;
 }
 
+/// Test-only probe replacement (set_probe_body_for_testing); nullptr
+/// means the real probe_body above. Lock-free hand-off, so explicit
+/// relaxed orders per the lint discipline.
+std::atomic<bool (*)(Variant)> g_probe_override{nullptr};
+
+/// Context threaded through the trap scope. run_trapped takes a plain
+/// function pointer (a trap must not unwind through std::function
+/// internals), so the variant and verdict travel in this POD.
+struct TrapProbeCtx {
+  Variant v;
+  bool (*body)(Variant);
+  bool ok;
+};
+
+void run_probe_trampoline(void* p) {
+  TrapProbeCtx* ctx = static_cast<TrapProbeCtx*>(p);
+  ctx->ok = ctx->body(ctx->v);
+}
+
+/// One full probe of a variant, executed inside a guard trap scope: a
+/// kernel that raises SIGILL/SIGSEGV/SIGBUS/SIGFPE during its probe is
+/// contained and reported as a failed probe (which the caller turns into
+/// a quarantine verdict) instead of killing the process. Counts toward
+/// selfchecks_run; the selfcheck.probe fault site forces a plain failure
+/// and the guard.trap site a simulated trap.
+bool run_probe(Variant v) noexcept {
+  telemetry::note_selfcheck_run();
+  if (SHALOM_FAULT_POINT(fault::Site::kSelfcheckProbe)) return false;
+
+  TrapProbeCtx ctx;
+  ctx.v = v;
+  ctx.body = g_probe_override.load(std::memory_order_relaxed);
+  if (ctx.body == nullptr) ctx.body = probe_body;
+  ctx.ok = false;
+
+  const guard::TrapOutcome trap =
+      guard::run_trapped(run_probe_trampoline, &ctx);
+  if (trap.trapped) {
+    telemetry::note_kernel_trapped();
+    char msg[160];
+    std::snprintf(msg, sizeof msg,
+                  "kernel variant '%s' raised %s inside its trap-contained "
+                  "selfcheck probe",
+                  variant_name(v), guard::signal_name(trap.signal));
+    shalom::detail::set_last_error(SHALOM_ERR_KERNEL_TRAP, msg);
+    std::fprintf(stderr, "shalom: selfcheck: %s; quarantining\n", msg);
+    return false;
+  }
+  return ctx.ok;
+}
+
 /// Runs the probe and publishes the verdict. Concurrent first callers may
 /// both probe (harmless: probes are pure), but the CAS guarantees exactly
 /// one verdict wins and the quarantine counter/diagnostic fire once.
@@ -732,6 +781,33 @@ int run_all() noexcept {
   for (int i = 0; i < kVariantCount; ++i)
     if (!variant_ok(static_cast<Variant>(i))) ++quarantined;
   return quarantined;
+}
+
+void quarantine(Variant v) noexcept {
+  // Override whatever verdict stands (including kVerified: the guard rail
+  // saw the variant misbehave in production, which outranks its probe).
+  // Loop the CAS so a concurrent publisher cannot resurrect the variant;
+  // count/diagnose only on the actual transition into quarantine.
+  std::atomic<int>& slot = g_state[static_cast<int>(v)];
+  int prior = slot.load(std::memory_order_acquire);
+  while (prior != static_cast<int>(Status::kQuarantined)) {
+    if (slot.compare_exchange_weak(prior,
+                                   static_cast<int>(Status::kQuarantined),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+      telemetry::note_kernel_quarantined();
+      std::fprintf(stderr,
+                   "shalom: guard: kernel variant '%s' quarantined after a "
+                   "guard-rail violation (dispatch re-routes to a verified "
+                   "fallback)\n",
+                   variant_name(v));
+      return;
+    }
+  }
+}
+
+void set_probe_body_for_testing(bool (*fn)(Variant)) noexcept {
+  g_probe_override.store(fn, std::memory_order_relaxed);
 }
 
 void reset_for_testing() noexcept {

@@ -103,6 +103,20 @@ bool variant_ok(Variant v) noexcept;
 /// already-decided variants are not re-probed.
 int run_all() noexcept;
 
+/// Forces `v` into the quarantined state regardless of any earlier
+/// verdict. This is the guard-rail entry point: when post-execution
+/// evidence proves a variant misbehaved (a trapped kernel, a violated
+/// arena canary - see common/guard.h), the probe verdict is overridden
+/// and dispatch permanently routes around the variant. Idempotent; the
+/// quarantine counter and diagnostic fire only on the transition.
+void quarantine(Variant v) noexcept;
+
+/// Replaces the probe implementation for every subsequent probe (nullptr
+/// restores the real probes). Test-only: lets the suite register a
+/// deliberately crashing "kernel" so trap containment is exercised with a
+/// real hardware trap, not just the fault site.
+void set_probe_body_for_testing(bool (*fn)(Variant)) noexcept;
+
 /// Clears all verdicts back to kUnknown. Test-only: production code must
 /// treat quarantine as permanent. Callers owning cached plans must also
 /// invalidate them (plans snapshot quarantine decisions at build time).

@@ -1,6 +1,8 @@
 #include "core/plan.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <exception>
 #include <limits>
 #include <new>
 #include <thread>
@@ -8,6 +10,8 @@
 #include "common/aligned_buffer.h"
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/guard.h"
+#include "common/thread_annotations.h"
 #include "core/dispatch.h"
 #include "core/pack.h"
 #include "core/parallel.h"
@@ -303,6 +307,40 @@ void execute_serial_scalar(const GemmPlan<T>& plan, T alpha, const T* A,
   }
 }
 
+/// Post-execution canary audit of this thread's guarded pack arena
+/// (SHALOM_GUARD=canary|poison, common/guard.h). A violated canary
+/// proves some kernel this plan dispatched wrote outside the arena, so
+/// the result cannot be trusted: quarantine the plan's main-kernel
+/// family (later plans route to the scalar reference) and fail the call
+/// with corruption_error (SHALOM_ERR_CORRUPTION over the C API). The
+/// guard.canary fault site simulates a violation for the tests. No-op
+/// when the buffer is unguarded (verify_guards is trivially true).
+template <typename T>
+void verify_pack_arena(const GemmPlan<T>& plan, AlignedBuffer& arena) {
+  bool intact = arena.verify_guards();
+  if (SHALOM_FAULT_POINT(fault::Site::kGuardCanary)) intact = false;
+  if (intact) return;
+
+  telemetry::note_arena_corruption();
+  using ukr::AAccess;
+  using ukr::BAccess;
+  // Same main-variant mapping as plan_create's quarantine gate: the
+  // trans-A no-pack plan maps to the trans-direct quarantine unit.
+  const AAccess aa = plan.a_packed                ? AAccess::kPacked
+                     : (plan.mode.a == Trans::N) ? AAccess::kDirect
+                                                 : AAccess::kDirectTrans;
+  const BAccess ba = plan.b_packed ? BAccess::kPacked : BAccess::kDirect;
+  const selfcheck::Variant v = ukr::main_variant<T>(aa, ba);
+  selfcheck::quarantine(v);
+  char msg[192];
+  std::snprintf(msg, sizeof msg,
+                "pack-arena guard canary violated after execution "
+                "(kernel variant '%s' wrote outside its arena; variant "
+                "quarantined, result must be discarded)",
+                selfcheck::variant_name(v));
+  throw corruption_error(msg);
+}
+
 }  // namespace
 
 template <typename T>
@@ -357,6 +395,7 @@ void execute_serial(const GemmPlan<T>& plan, T alpha, const T* A,
   // degrade to the no-pack executor instead of throwing out of the hot
   // path.
   T* ac = nullptr;
+  AlignedBuffer* arena_ptr = nullptr;
   if (a_packed || b_packed) {
     AlignedBuffer& arena = thread_pack_arena();
     try {
@@ -368,6 +407,7 @@ void execute_serial(const GemmPlan<T>& plan, T alpha, const T* A,
       execute_serial_nopack(plan, alpha, A, lda, B, ldb, beta, C, ldc);
       return;
     }
+    arena_ptr = &arena;
     ac = arena.as<T>();
   }
   T* const bc_base =
@@ -517,6 +557,8 @@ void execute_serial(const GemmPlan<T>& plan, T alpha, const T* A,
       }
     }
   }
+
+  if (arena_ptr != nullptr) verify_pack_arena(plan, *arena_ptr);
 }
 
 template void execute_serial<float>(const GemmPlan<float>&, float,
@@ -541,20 +583,43 @@ void execute_plan(const GemmPlan<T>& plan, T alpha, const T* A, index_t lda,
 
   const Mode mode = plan.mode;
   const int t = plan.threads;
-  pool_run(t, [&](int id) {
-    const GemmPlan<T>& s = plan.sub[id];
-    if (s.m == 0 || s.n == 0) return;
-    const int pm = id / plan.part.tn;
-    const int pn = id % plan.part.tn;
-    const index_t i0 = plan.rows[pm];
-    const index_t j0 = plan.cols[pn];
+  // A guard-rail throw inside a worker (corruption_error from the arena
+  // audit, numeric_error from the numerical guard) must fail the GEMM
+  // call, not terminate the process (an exception escaping a pool task
+  // is std::terminate): capture the first one and rethrow it on the
+  // calling thread after the round joins.
+  Mutex err_mu;
+  std::exception_ptr first_error SHALOM_GUARDED_BY(err_mu);
+  pool_run(
+      t,
+      [&](int id) {
+        try {
+          const GemmPlan<T>& s = plan.sub[id];
+          if (s.m == 0 || s.n == 0) return;
+          const int pm = id / plan.part.tn;
+          const int pn = id % plan.part.tn;
+          const index_t i0 = plan.rows[pm];
+          const index_t j0 = plan.cols[pn];
 
-    // Shift operand views to the thread's sub-block of op(A)/op(B)/C.
-    const T* a_sub = (mode.a == Trans::N) ? A + i0 * lda : A + i0;
-    const T* b_sub = (mode.b == Trans::N) ? B + j0 : B + j0 * ldb;
-    execute_serial(s, alpha, a_sub, lda, b_sub, ldb, beta,
-                   C + i0 * ldc + j0, ldc);
-  });
+          // Shift operand views to the thread's sub-block of
+          // op(A)/op(B)/C.
+          const T* a_sub = (mode.a == Trans::N) ? A + i0 * lda : A + i0;
+          const T* b_sub = (mode.b == Trans::N) ? B + j0 : B + j0 * ldb;
+          execute_serial(s, alpha, a_sub, lda, b_sub, ldb, beta,
+                         C + i0 * ldc + j0, ldc);
+        } catch (...) {
+          MutexLock lock(err_mu);
+          if (first_error == nullptr)
+            first_error = std::current_exception();
+        }
+      },
+      plan.watchdog_ms);
+  std::exception_ptr pending;
+  {
+    MutexLock lock(err_mu);
+    pending = first_error;
+  }
+  if (pending != nullptr) std::rethrow_exception(pending);
 }
 
 template void execute_plan<float>(const GemmPlan<float>&, float,
@@ -579,6 +644,7 @@ GemmPlan<T> plan_create(Mode mode, index_t M, index_t N, index_t K,
   p.n = N;
   p.k = K;
   p.optimized_edges = cfg.optimized_edges;
+  p.watchdog_ms = cfg.watchdog_ms;
 
   const arch::MachineDescriptor& mach = cfg.resolved_machine();
   constexpr int kLanes = simd::vec_of_t<T>::kLanes;
@@ -623,12 +689,15 @@ GemmPlan<T> plan_create(Mode mode, index_t M, index_t N, index_t K,
       // terminate the process); execution retries and degrades to the
       // no-pack path if memory is still short.
       if (max_arena > 0) {
-        pool_run(t, [&](int) {
-          try {
-            thread_pack_arena().reserve(max_arena);
-          } catch (const std::bad_alloc&) {
-          }
-        });
+        pool_run(
+            t,
+            [&](int) {
+              try {
+                thread_pack_arena().reserve(max_arena);
+              } catch (const std::bad_alloc&) {
+              }
+            },
+            p.watchdog_ms);
       }
       return p;
     }

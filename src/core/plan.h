@@ -35,6 +35,10 @@ struct GemmPlan {
   index_t m = 0, n = 0, k = 0;
   /// Resolved worker count (never 0). 1 = serial plan.
   int threads = 1;
+  /// Watchdog period snapshotted from Config::watchdog_ms at creation
+  /// (0 disables; see core/threadpool.h). Applied to every parallel
+  /// round this plan runs.
+  int watchdog_ms = 0;
 
   /// Register tile, clamped to the instantiated kernel family.
   model::Tile tile{};

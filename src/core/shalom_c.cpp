@@ -36,6 +36,10 @@ int fail_current_exception() {
     return fail(SHALOM_ERR_INVALID_ARGUMENT, e.what());
   } catch (const shalom::numeric_error& e) {
     return fail(SHALOM_ERR_NUMERIC, e.what());
+  } catch (const shalom::corruption_error& e) {
+    return fail(SHALOM_ERR_CORRUPTION, e.what());
+  } catch (const shalom::kernel_trap_error& e) {
+    return fail(SHALOM_ERR_KERNEL_TRAP, e.what());
   } catch (const std::bad_alloc& e) {
     return fail(SHALOM_ERR_ALLOC, e.what());
   } catch (const std::exception& e) {
@@ -118,6 +122,9 @@ extern "C" void shalom_get_stats(shalom_stats* out) {
   out->kernels_quarantined = s.kernels_quarantined;
   out->selfchecks_run = s.selfchecks_run;
   out->numeric_anomalies = s.numeric_anomalies;
+  out->kernels_trapped = s.kernels_trapped;
+  out->watchdog_trips = s.watchdog_trips;
+  out->arena_corruptions = s.arena_corruptions;
 }
 
 extern "C" void shalom_reset_stats(void) { shalom::robustness_stats_reset(); }

@@ -15,6 +15,10 @@
  *   6  SHALOM_ERR_INTERNAL         unexpected internal error
  *   7  SHALOM_ERR_NUMERIC          NaN/Inf caught by the numerical guard
  *                                  (only with SHALOM_CHECK_NUMERICS=fail)
+ *   8  SHALOM_ERR_KERNEL_TRAP      kernel crashed inside a trap-contained
+ *                                  probe (variant quarantined)
+ *   9  SHALOM_ERR_CORRUPTION       guarded pack-arena canary violated
+ *                                  (only with SHALOM_GUARD=canary|poison)
  * No exception ever crosses this boundary. shalom_strerror() names a
  * code; shalom_last_error_message() returns the calling thread's detail
  * message for its most recent failed call.
@@ -72,6 +76,9 @@ typedef struct shalom_stats {
   uint64_t kernels_quarantined;/* kernel variants failing their selfcheck */
   uint64_t selfchecks_run;     /* selfcheck probes executed */
   uint64_t numeric_anomalies;  /* NaN/Inf hits seen by the numerical guard */
+  uint64_t kernels_trapped;    /* hardware traps contained by a probe scope */
+  uint64_t watchdog_trips;     /* thread-pool watchdog stall recoveries */
+  uint64_t arena_corruptions;  /* guarded pack-arena canary violations */
 } shalom_stats;
 
 /* Snapshot of the counters; `out` may not be NULL. */

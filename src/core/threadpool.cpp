@@ -1,16 +1,49 @@
 #include "core/threadpool.h"
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <new>
 #include <system_error>
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/guard.h"
 #include "common/thread_annotations.h"
 
 namespace shalom {
 
-ThreadPool::ThreadPool(int max_threads) : max_threads_(max_threads) {
+namespace {
+
+/// Retired pools kept alive beyond the newest one. Small on purpose: each
+/// retiree only exists because a wider pool superseded it, and thread
+/// counts grow a handful of times per process, but an adversarial
+/// grow-loop must not leak pools without bound.
+constexpr std::size_t kMaxRetiredPools = 4;
+
+/// The global-pool registry. Outgrown pools are retired to the list, not
+/// destroyed mid-run: a reference handed out by an earlier call may still
+/// be inside parallel_for on another thread, and ~ThreadPool under it
+/// would free the mutex/condvars it is blocked on. Reaping (bounding the
+/// list) therefore only touches retirees that are provably quiescent:
+/// zero Handle pins and an uncontended run mutex.
+struct PoolRegistry {
+  Mutex mu;
+  std::vector<std::unique_ptr<ThreadPool>> pools SHALOM_GUARDED_BY(mu);
+};
+
+PoolRegistry& registry() {
+  static PoolRegistry r;
+  return r;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int max_threads)
+    : max_threads_(max_threads),
+      claims_(max_threads >= 1 ? static_cast<std::size_t>(max_threads) : 1),
+      heartbeats_(max_threads >= 1 ? static_cast<std::size_t>(max_threads)
+                                   : 1) {
   SHALOM_REQUIRE(max_threads >= 1, " max_threads=", max_threads);
   workers_.reserve(static_cast<std::size_t>(max_threads_ - 1));
   for (int w = 1; w < max_threads_; ++w) {
@@ -35,11 +68,34 @@ ThreadPool::~ThreadPool() {
     MutexLock lock(mu_);
     shutdown_ = true;
   }
+  // Wakes parked workers too (a watchdog-abandoned worker parks on
+  // start_cv_ until shutdown), so the joins below always complete.
   start_cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn) {
+bool ThreadPool::try_claim(int task, std::uint64_t gen) noexcept {
+  std::atomic<std::uint64_t>& slot = claims_[static_cast<std::size_t>(task)];
+  std::uint64_t seen = slot.load(std::memory_order_acquire);
+  while (seen < gen) {
+    if (slot.compare_exchange_weak(seen, gen, std::memory_order_acq_rel,
+                                   std::memory_order_acquire))
+      return true;
+  }
+  // seen >= gen: this round's task was already claimed (or the claimant
+  // is a straggler from a round that has since completed) - back off.
+  return false;
+}
+
+std::uint64_t ThreadPool::heartbeat_sum() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& hb : heartbeats_)
+    sum += hb.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn,
+                              int watchdog_ms) {
   SHALOM_REQUIRE(tasks >= 1 && tasks <= max_threads_,
                  ": tasks must be in [1, max_threads]; tasks=", tasks,
                  " max_threads=", max_threads_,
@@ -48,16 +104,18 @@ void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
+  if (watchdog_ms < 0) watchdog_ms = guard::env_watchdog_ms();
   // One fork-join round at a time: concurrent callers (threads executing
   // parallel plans, racing plan creations pre-sizing worker arenas) queue
   // here instead of clobbering the shared job slot and join barrier.
   MutexLock run_lock(run_mu_);
+  std::uint64_t gen = 0;
   {
     MutexLock lock(mu_);
     job_ = &fn;
     job_tasks_ = tasks;
     outstanding_ = tasks - 1;
-    ++generation_;
+    gen = ++generation_;
   }
   start_cv_.notify_all();
 
@@ -66,7 +124,46 @@ void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn) {
   // Explicit predicate loop (not the lambda-predicate overload) so the
   // thread-safety analysis sees the guarded read under the held lock.
   MutexLock lock(mu_);
-  while (outstanding_ != 0) done_cv_.wait(lock);
+  if (watchdog_ms <= 0) {
+    while (outstanding_ != 0) done_cv_.wait(lock);
+  } else {
+    std::uint64_t baseline = heartbeat_sum();
+    bool tripped = false;
+    while (outstanding_ != 0) {
+      if (tripped) {
+        // Whatever is still outstanding was claimed by a live-or-wedged
+        // worker; only it can finish the task (see the header comment on
+        // mid-task wedges). No further trips this round.
+        done_cv_.wait(lock);
+        continue;
+      }
+      done_cv_.wait_for(lock, std::chrono::milliseconds(watchdog_ms));
+      if (outstanding_ == 0) break;
+      const std::uint64_t now = heartbeat_sum();
+      if (now != baseline) {
+        baseline = now;  // workers are making progress; re-arm
+        continue;
+      }
+      // Trip: a full period elapsed with zero heartbeat movement. Mark
+      // the pool degraded (sticky), count it, and recover every task no
+      // worker has claimed by running it on this thread.
+      tripped = true;
+      degraded_.store(true, std::memory_order_release);
+      telemetry::note_watchdog_trip();
+      std::fprintf(stderr,
+                   "shalom: threadpool: watchdog tripped after %d ms with "
+                   "no worker heartbeat progress (%d-task round); pool "
+                   "degraded, leader recovering unclaimed tasks serially\n",
+                   watchdog_ms, tasks);
+      for (int t = 1; t < tasks; ++t) {
+        if (!try_claim(t, gen)) continue;
+        lock.unlock();
+        fn(t);
+        lock.lock();
+        --outstanding_;
+      }
+    }
+  }
   job_ = nullptr;
 }
 
@@ -75,6 +172,7 @@ void ThreadPool::worker_loop(int worker_id) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     int tasks = 0;
+    std::uint64_t gen = 0;
     {
       MutexLock lock(mu_);
       while (!shutdown_ && generation_ == seen_generation)
@@ -83,63 +181,137 @@ void ThreadPool::worker_loop(int worker_id) {
       seen_generation = generation_;
       job = job_;
       tasks = job_tasks_;
+      gen = generation_;
     }
-    // Workers with id >= tasks have nothing to do this round but must
-    // still report so the barrier drains.
-    if (worker_id < tasks && job != nullptr) (*job)(worker_id);
-    {
+    // Round-pickup heartbeat: the watchdog reads these sums to tell a
+    // slow round from a wedged one.
+    heartbeats_[static_cast<std::size_t>(worker_id)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolHeartbeat)) {
+      // Simulated wedge: park without claiming the task so the watchdog
+      // leader can recover it. Parked until pool shutdown - exactly the
+      // observable behaviour of a worker the OS stopped scheduling.
       MutexLock lock(mu_);
-      if (worker_id < tasks) {
-        if (--outstanding_ == 0) done_cv_.notify_one();
-      }
+      while (!shutdown_) start_cv_.wait(lock);
+      return;
+    }
+    // Workers with id >= tasks have nothing to do this round; the claim
+    // protocol means they (and claim-race losers) must NOT touch the
+    // barrier - only the claim winner retires a task.
+    bool ran = false;
+    if (worker_id < tasks && job != nullptr && try_claim(worker_id, gen)) {
+      (*job)(worker_id);
+      ran = true;
+    }
+    heartbeats_[static_cast<std::size_t>(worker_id)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (ran) {
+      MutexLock lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+namespace {
+
+/// Grows the registry to at least `threads` wide. Caller holds r.mu.
+void ensure_width_locked(PoolRegistry& r, int threads) SHALOM_REQUIRES(r.mu) {
+  if (r.pools.empty() || r.pools.back()->max_threads() < threads) {
+    auto pool = std::make_unique<ThreadPool>(threads);
+    // Under spawn failure the new pool may come back no wider than the one
+    // we already have; keep the old one rather than churning out a retired
+    // pool per call while the OS stays resource-starved.
+    if (r.pools.empty() ||
+        pool->max_threads() > r.pools.back()->max_threads())
+      r.pools.push_back(std::move(pool));
+  }
+}
+
+}  // namespace
+
+void ThreadPool::reap_retired_locked(
+    std::vector<std::unique_ptr<ThreadPool>>& pools) {
+  // The newest pool (back) is never reaped. A retiree is quiescent when
+  // no Handle pins it and its run mutex is free (no round in flight);
+  // only quiescent retirees go, and only while the list is over cap.
+  // Oldest first: the oldest retirees are the least likely to still be
+  // referenced by a transient global() caller.
+  std::size_t i = 0;
+  while (pools.size() > kMaxRetiredPools + 1 && i + 1 < pools.size()) {
+    ThreadPool& p = *pools[i];
+    if (p.pins_.load(std::memory_order_acquire) == 0 &&
+        p.run_mu_.try_lock()) {
+      p.run_mu_.unlock();
+      pools.erase(pools.begin() +
+                  static_cast<std::vector<
+                      std::unique_ptr<ThreadPool>>::difference_type>(i));
+    } else {
+      ++i;
     }
   }
 }
 
 ThreadPool& ThreadPool::global(int threads) {
-  static Mutex mu;
-  // Outgrown pools are retired to this list, never destroyed mid-run: a
-  // reference handed out by an earlier call may still be inside
-  // parallel_for on another thread, and ~ThreadPool under it would free
-  // the mutex/condvars it is blocked on. The list stays tiny - it grows
-  // only when a strictly larger thread count is first requested.
-  // (Function-local, so SHALOM_GUARDED_BY cannot name it from a member
-  // declaration; every access below happens under `mu`.)
-  static std::vector<std::unique_ptr<ThreadPool>> pools;
-  MutexLock lock(mu);
-  if (pools.empty() || pools.back()->max_threads() < threads) {
-    auto pool = std::make_unique<ThreadPool>(threads);
-    // Under spawn failure the new pool may come back no wider than the one
-    // we already have; keep the old one rather than churning out a retired
-    // pool per call while the OS stays resource-starved.
-    if (pools.empty() || pool->max_threads() > pools.back()->max_threads())
-      pools.push_back(std::move(pool));
-  }
-  return *pools.back();
+  PoolRegistry& r = registry();
+  MutexLock lock(r.mu);
+  ensure_width_locked(r, threads);
+  return *r.pools.back();
 }
 
-void pool_run(int tasks, const std::function<void(int)>& fn) {
+ThreadPool::Handle::Handle(int threads) {
+  PoolRegistry& r = registry();
+  MutexLock lock(r.mu);
+  ensure_width_locked(r, threads);
+  pool_ = r.pools.back().get();
+  pool_->pins_.fetch_add(1, std::memory_order_acq_rel);
+  // Piggyback the reap pass on acquisition: the registry only grows on
+  // acquisition too, so this bounds the retired list without a dedicated
+  // maintenance thread.
+  reap_retired_locked(r.pools);
+}
+
+ThreadPool::Handle::~Handle() {
+  pool_->pins_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+int ThreadPool::retired_pool_count_for_testing() {
+  PoolRegistry& r = registry();
+  MutexLock lock(r.mu);
+  return r.pools.empty() ? 0 : static_cast<int>(r.pools.size()) - 1;
+}
+
+void pool_run(int tasks, const std::function<void(int)>& fn,
+              int watchdog_ms) {
   SHALOM_REQUIRE(tasks >= 1, " tasks=", tasks);
   if (tasks == 1) {
     fn(0);
     return;
   }
-  ThreadPool& pool = ThreadPool::global(tasks);
-  const int avail = pool.max_threads();
+  ThreadPool::Handle handle(tasks);
+  ThreadPool& pool = handle.pool();
+  // A watchdog-degraded pool has at least one wedged worker: every
+  // parallel round on it would trip again and be recovered by the
+  // leader, so skip straight to the serial loop.
+  const bool degraded = pool.degraded();
+  const int avail = degraded ? 1 : pool.max_threads();
   if (avail >= tasks) {
-    pool.parallel_for(tasks, fn);
+    pool.parallel_for(tasks, fn, watchdog_ms);
     return;
   }
   // Degraded round: fewer workers than tasks. Chunk tasks over the width
-  // we have; with a single-thread pool that collapses to a serial loop.
+  // we have; with a single-thread (or watchdog-degraded) pool that
+  // collapses to a serial loop.
   telemetry::note_threads_degraded();
   if (avail <= 1) {
     for (int id = 0; id < tasks; ++id) fn(id);
     return;
   }
-  pool.parallel_for(avail, [&](int w) {
-    for (int id = w; id < tasks; id += avail) fn(id);
-  });
+  pool.parallel_for(
+      avail,
+      [&](int w) {
+        for (int id = w; id < tasks; id += avail) fn(id);
+      },
+      watchdog_ms);
 }
 
 }  // namespace shalom

@@ -7,14 +7,30 @@
 // barrier. There is no work stealing by design - the partition solver is
 // responsible for balance, and the benches measure exactly that.
 //
+// Watchdog (robustness layer, common/guard.h): each round can be armed
+// with a stall monitor. Workers publish heartbeat epochs at round pickup
+// and task completion; tasks are claimed through per-slot generation-
+// tagged CAS so exactly one executor runs each task. When the round
+// leader sees no heartbeat progress for watchdog_ms, it trips: the pool
+// is marked degraded (pool_run then narrows it to serial), the trip is
+// counted (RobustnessStats::watchdog_trips), and the leader claims and
+// runs every still-unclaimed task inline so the round completes with
+// correct results. A worker wedged BEFORE claiming its task is fully
+// recovered this way; a worker wedged in the MIDDLE of a task cannot be
+// (its claimed task may hold half-written output), so the leader keeps
+// waiting on it - the trip is still counted and the pool still degrades.
+//
 // Concurrency contract: parallel_for may be called from several threads at
 // once - rounds serialize on an internal run mutex, so concurrent callers
 // queue rather than corrupt the single job slot. Calling parallel_for from
 // inside a pool task (nesting) is forbidden and would deadlock.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -44,23 +60,82 @@ class ThreadPool {
   /// through pool_run() instead. Safe to call from several threads
   /// concurrently (rounds serialize); must not be re-entered from inside a
   /// task.
-  void parallel_for(int tasks, const std::function<void(int)>& fn);
+  ///
+  /// watchdog_ms arms the stall monitor for this round: > 0 is the
+  /// no-heartbeat-progress period in milliseconds before the leader trips
+  /// and recovers (see the header comment), 0 disables it, and -1 (the
+  /// default) uses guard::env_watchdog_ms() (SHALOM_WATCHDOG_MS).
+  void parallel_for(int tasks, const std::function<void(int)>& fn,
+                    int watchdog_ms = -1);
 
   int max_threads() const { return max_threads_; }
+
+  /// True once a watchdog trip proved at least one worker of this pool
+  /// wedged. Sticky for the pool's lifetime: a wedged worker never comes
+  /// back, so pool_run narrows every later round on this pool to serial.
+  bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_acquire);
+  }
 
   /// Process-wide pool, grown on demand to at least `threads`. Growing
   /// retires the smaller pool instead of destroying it, so a reference
   /// returned earlier (possibly mid-parallel_for on another thread) stays
-  /// valid for the lifetime of the process. Best-effort like the
+  /// valid - until the retired list outgrows its small cap, at which
+  /// point quiesced unpinned retirees are reaped. Callers that hold the
+  /// reference across other global()/Handle activity must pin it with a
+  /// Handle; transient callers (use, then drop before anything else can
+  /// grow the registry) may use the bare reference. Best-effort like the
   /// constructor: under spawn failure the returned pool may be narrower
   /// than `threads` (check max_threads()).
   static ThreadPool& global(int threads);
 
+  /// Pinned reference to the global pool sized for `threads`. While any
+  /// Handle points at a pool, the registry's reaper will not destroy it;
+  /// constructing a Handle also runs the reap pass that bounds the
+  /// retired-pool list. This is what pool_run uses.
+  class Handle {
+   public:
+    explicit Handle(int threads);
+    ~Handle();
+
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    ThreadPool& pool() const noexcept { return *pool_; }
+
+   private:
+    ThreadPool* pool_;
+  };
+
+  /// Number of retired (outgrown) pools currently kept alive in the
+  /// global registry. Test-only observability for the reaping bound.
+  static int retired_pool_count_for_testing();
+
  private:
   void worker_loop(int worker_id);
 
+  /// Claims task slot `task` for round `gen`. Slots carry the generation
+  /// that claimed them and only move forward, which makes the claim
+  /// ABA-safe against stragglers from completed rounds: a stale worker
+  /// sees a slot value >= its own round and backs off. Returns true for
+  /// exactly one caller per (task, round).
+  bool try_claim(int task, std::uint64_t gen) noexcept;
+
+  /// Sum of all worker heartbeat epochs (relaxed snapshot). Progress
+  /// between two snapshots means some worker picked up or finished work.
+  std::uint64_t heartbeat_sum() const noexcept;
+
   int max_threads_;  // may be reduced by the ctor under spawn failure
   std::vector<std::thread> workers_;
+
+  /// Lock-free round state (outside the capability annotations; explicit
+  /// memory orders per the shalom_lint discipline). Sized for the
+  /// requested width before the spawn loop can shrink max_threads_.
+  std::vector<std::atomic<std::uint64_t>> claims_;
+  std::vector<std::atomic<std::uint64_t>> heartbeats_;
+  std::atomic<bool> degraded_{false};
+  /// Handles currently pinning this pool (registry reap guard).
+  std::atomic<int> pins_{0};
 
   /// Held for the whole fork-join round: admits one parallel_for at a
   /// time, making concurrent plan executions / creations safe. Ordered
@@ -77,14 +152,23 @@ class ThreadPool {
   std::uint64_t generation_ SHALOM_GUARDED_BY(mu_) = 0;
   int outstanding_ SHALOM_GUARDED_BY(mu_) = 0;
   bool shutdown_ SHALOM_GUARDED_BY(mu_) = false;
+
+  /// Erases quiesced (unpinned, no round in flight) retired pools while
+  /// the retired count exceeds the registry cap. Caller holds the
+  /// registry mutex.
+  static void reap_retired_locked(
+      std::vector<std::unique_ptr<ThreadPool>>& pools);
 };
 
 /// Degradation-tolerant fork-join: runs fn(0) .. fn(tasks-1) on the global
 /// pool sized for `tasks`, chunking tasks over fewer workers (down to a
-/// serial loop) when the pool could not grow that wide. This is the entry
-/// point every GEMM driver uses - parallel_for's strict contract is for
-/// callers that own an exactly-sized pool. Records threads_degraded
-/// telemetry whenever a round runs below its requested width.
-void pool_run(int tasks, const std::function<void(int)>& fn);
+/// serial loop) when the pool could not grow that wide or has been marked
+/// degraded by its watchdog. This is the entry point every GEMM driver
+/// uses - parallel_for's strict contract is for callers that own an
+/// exactly-sized pool. Records threads_degraded telemetry whenever a
+/// round runs below its requested width. watchdog_ms follows
+/// parallel_for's convention (-1 = SHALOM_WATCHDOG_MS default).
+void pool_run(int tasks, const std::function<void(int)>& fn,
+              int watchdog_ms = -1);
 
 }  // namespace shalom

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "arch/machine.h"
+#include "common/guard.h"
 #include "common/matrix.h"
 #include "common/selfcheck.h"
 
@@ -48,6 +49,14 @@ struct Config {
   /// additionally throws numeric_error (SHALOM_ERR_NUMERIC over the C
   /// API). The default follows SHALOM_CHECK_NUMERICS=ignore|count|fail.
   numerics::Policy check_numerics = numerics::env_policy();
+
+  /// Thread-pool watchdog period in milliseconds for parallel rounds run
+  /// under this config: if a round's workers make no heartbeat progress
+  /// for this long, the round leader trips the watchdog, recovers the
+  /// unclaimed tasks serially, and marks the pool degraded (see
+  /// core/threadpool.h). 0 disables the watchdog. The default follows
+  /// SHALOM_WATCHDOG_MS.
+  int watchdog_ms = guard::env_watchdog_ms();
 
   /// Cache-blocking overrides for the auto-tuner (paper Section 10 future
   /// work): 0 keeps the analytic model's value. Values are rounded to the

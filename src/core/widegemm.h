@@ -23,6 +23,8 @@
 #include <algorithm>
 
 #include "common/aligned_buffer.h"
+#include "common/error.h"
+#include "common/fault.h"
 #include "common/selfcheck.h"
 #include "core/kernel_contracts.h"
 #include "core/microkernel.h"
@@ -196,6 +198,16 @@ void gemm_wide(index_t M, index_t N, index_t K, float alpha, const float* A,
         }
       }
     }
+  }
+
+  // Guarded-arena audit (SHALOM_GUARD): a violated canary means the wide
+  // tile wrote outside the arena - quarantine it and fail the call.
+  if (!arena.verify_guards()) {
+    telemetry::note_arena_corruption();
+    selfcheck::quarantine(selfcheck::wide_variant(Bits));
+    throw corruption_error(
+        "pack-arena guard canary violated after wide-GEMM execution "
+        "(wide tile quarantined, result must be discarded)");
   }
 }
 

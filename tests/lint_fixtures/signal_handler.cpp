@@ -1,0 +1,15 @@
+// signal-handler-safety fixture: the handler registered through
+// sa_handler below reaches stdio and the allocator, neither of which is
+// async-signal-safe.
+#include <csignal>
+#include <cstdio>
+void fixture_handler(int sig) {
+  std::fprintf(stderr, "caught %d\n", sig);
+  int* keep = new int(sig);
+  (void)keep;
+}
+void fixture_install() {
+  struct sigaction sa;
+  sa.sa_handler = fixture_handler;
+  sigaction(SIGSEGV, &sa, nullptr);
+}

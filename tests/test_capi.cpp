@@ -7,6 +7,8 @@
 
 #include <cstring>
 #include <limits>
+#include <set>
+#include <string>
 
 #include "core/shalom_c.h"
 #include "tests/test_util.h"
@@ -151,11 +153,41 @@ TEST(CApi, PlanExecuteErrorPaths) {
 TEST(CApi, PlanDestroyNullIsSafe) { shalom_plan_destroy(nullptr); }
 
 TEST(CApi, StrerrorCoversEveryCode) {
+  // Every enumerator, by name: a new status code added to common/error.h
+  // without a row here (and a distinct status_string) fails to compile
+  // via the static_assert below.
+  struct StatusRow {
+    int code;
+    const char* name;
+  };
+  static constexpr StatusRow kCodes[] = {
+      {SHALOM_OK, "SHALOM_OK"},
+      {SHALOM_ERR_BAD_FLAG, "SHALOM_ERR_BAD_FLAG"},
+      {SHALOM_ERR_INVALID_ARGUMENT, "SHALOM_ERR_INVALID_ARGUMENT"},
+      {SHALOM_ERR_NULL_POINTER, "SHALOM_ERR_NULL_POINTER"},
+      {SHALOM_ERR_DTYPE_MISMATCH, "SHALOM_ERR_DTYPE_MISMATCH"},
+      {SHALOM_ERR_ALLOC, "SHALOM_ERR_ALLOC"},
+      {SHALOM_ERR_INTERNAL, "SHALOM_ERR_INTERNAL"},
+      {SHALOM_ERR_NUMERIC, "SHALOM_ERR_NUMERIC"},
+      {SHALOM_ERR_KERNEL_TRAP, "SHALOM_ERR_KERNEL_TRAP"},
+      {SHALOM_ERR_CORRUPTION, "SHALOM_ERR_CORRUPTION"},
+  };
+  constexpr std::size_t kCodeCount = sizeof(kCodes) / sizeof(kCodes[0]);
+  static_assert(kCodeCount ==
+                    static_cast<std::size_t>(SHALOM_ERR_CORRUPTION) + 1,
+                "status table out of sync with the shalom_status enum: add "
+                "the new code's row (codes are dense and append-only)");
+
   EXPECT_STREQ(shalom_strerror(SHALOM_OK), "success");
-  for (int code = SHALOM_OK; code <= SHALOM_ERR_INTERNAL; ++code) {
-    const char* msg = shalom_strerror(code);
-    ASSERT_NE(msg, nullptr);
-    EXPECT_GT(std::strlen(msg), 0u) << "code " << code;
+  std::set<std::string> seen;
+  for (const StatusRow& row : kCodes) {
+    const char* msg = shalom_strerror(row.code);
+    ASSERT_NE(msg, nullptr) << row.name;
+    EXPECT_GT(std::strlen(msg), 0u) << row.name;
+    EXPECT_STRNE(msg, "unknown status code") << row.name;
+    EXPECT_TRUE(seen.insert(msg).second)
+        << row.name << " shares its description with another status code: "
+        << msg;
   }
   // Out-of-range codes get the sentinel, never NULL or a crash.
   EXPECT_STREQ(shalom_strerror(-1), "unknown status code");

@@ -118,6 +118,16 @@ TEST(Lint, CapiBoundaryFixture) {
       << r.output;
 }
 
+TEST(Lint, SignalHandlerFixture) {
+  const std::string f = fixture("signal_handler.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 2) << r.output;
+  expect_finding(r, f, 7, "signal-handler-safety");  // std::fprintf
+  expect_finding(r, f, 8, "signal-handler-safety");  // new int(sig)
+  EXPECT_NE(r.output.find("fixture_handler"), std::string::npos) << r.output;
+}
+
 TEST(Lint, SuppressionCommentSilencesFinding) {
   const std::string f = fixture("suppressed.cpp");
   const LintRun r = run_lint(design_flag() + " " + f);
@@ -127,11 +137,11 @@ TEST(Lint, SuppressionCommentSilencesFinding) {
 
 TEST(Lint, WholeFixtureDirectoryFindingCount) {
   // 1 atomic + 2 raw-alloc + 1 env + 1 fault-site + 2 nondeterminism +
-  // 1 capi + 0 suppressed = 8 findings.
+  // 1 capi + 2 signal-handler + 0 suppressed = 10 findings.
   const LintRun r =
       run_lint(design_flag() + " " + std::string(SHALOM_LINT_FIXTURES));
   EXPECT_EQ(r.exit_code, 1);
-  EXPECT_EQ(count_lines(r.output), 8) << r.output;
+  EXPECT_EQ(count_lines(r.output), 10) << r.output;
 }
 
 TEST(Lint, JsonFormatCarriesRuleAndLine) {
@@ -150,7 +160,7 @@ TEST(Lint, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"atomic-memory-order", "raw-alloc", "env-access",
         "fault-site-documented", "nondeterminism",
-        "capi-exception-boundary"}) {
+        "capi-exception-boundary", "signal-handler-safety"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -34,6 +34,16 @@
 //                            direct `extern "C" <definition>` form is
 //                            recognized; declarations and extern "C" {}
 //                            blocks (headers) are out of scope.
+//   signal-handler-safety    code reachable from a signal handler (an
+//                            identifier assigned to .sa_handler or
+//                            .sa_sigaction, or passed as the handler
+//                            argument of signal()) performs only
+//                            async-signal-safe operations: no stdio, no
+//                            allocation (malloc family, new/delete), no
+//                            locks, no throw. One level of same-file
+//                            callees is followed; signal/raise/
+//                            siglongjmp are allowed (they are the
+//                            sanctioned handler vocabulary).
 //
 // Usage:
 //   shalom_lint [--format=text|json] [--design=PATH] [--list-rules]
@@ -436,11 +446,21 @@ void rule_fault_site_documented(const SourceFile& f,
   }
 }
 
-/// Returns the body of a function named `name` defined in this file (the
+/// [begin, end) offsets of a function body inside SourceFile::code
+/// (begin == npos when no definition was found). Keeping offsets instead
+/// of an extracted string lets callers report line numbers inside the
+/// body.
+struct BodyRange {
+  std::size_t begin = std::string::npos;
+  std::size_t end = std::string::npos;
+  bool found() const { return begin != std::string::npos; }
+};
+
+/// Locates the body of a function named `name` defined in this file (the
 /// first occurrence of `name(...)` whose parameter list is followed by a
-/// brace), or "" when no definition is found.
-std::string local_definition_body(const SourceFile& f,
-                                  const std::string& name) {
+/// brace, skipping trailing specifiers such as noexcept/const).
+BodyRange local_definition_range(const SourceFile& f,
+                                 const std::string& name) {
   std::size_t p = find_word(f.code, name, 0);
   while (p != std::string::npos) {
     std::size_t open = skip_ws(f.code, p + name.size());
@@ -461,14 +481,21 @@ std::string local_definition_body(const SourceFile& f,
         }
         if (q < f.code.size() && f.code[q] == '{') {
           const std::size_t bend = match_paren(f.code, q, '{', '}');
-          if (bend != std::string::npos)
-            return f.code.substr(q, bend - q);
+          if (bend != std::string::npos) return BodyRange{q, bend};
         }
       }
     }
     p = find_word(f.code, name, p + 1);
   }
-  return "";
+  return BodyRange{};
+}
+
+/// Returns the body of a function named `name` defined in this file, or
+/// "" when no definition is found.
+std::string local_definition_body(const SourceFile& f,
+                                  const std::string& name) {
+  const BodyRange r = local_definition_range(f, name);
+  return r.found() ? f.code.substr(r.begin, r.end - r.begin) : "";
 }
 
 bool body_has_translator(const std::string& body) {
@@ -556,6 +583,162 @@ void rule_capi_exception_boundary(const SourceFile& f,
   }
 }
 
+/// Trailing identifier of a handler expression (`trap_handler`,
+/// `&trap_handler`, `ns::handler` -> `handler`); "" when the expression
+/// is a sentinel disposition (SIG_DFL/SIG_IGN/nullptr/NULL) or not an
+/// identifier at all.
+std::string handler_root_of(const std::string& expr) {
+  std::size_t end = expr.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(expr[end - 1])))
+    --end;
+  std::size_t start = end;
+  while (start > 0 && is_ident(expr[start - 1])) --start;
+  const std::string name = expr.substr(start, end - start);
+  if (name.empty() || name == "SIG_DFL" || name == "SIG_IGN" ||
+      name == "nullptr" || name == "NULL" ||
+      std::isdigit(static_cast<unsigned char>(name[0])))
+    return "";
+  return name;
+}
+
+/// Handler roots registered in this file: identifiers assigned to a
+/// .sa_handler/.sa_sigaction field or passed as the second argument of
+/// signal().
+std::set<std::string> handler_roots(const SourceFile& f) {
+  std::set<std::string> roots;
+  for (const char* field : {"sa_handler", "sa_sigaction"}) {
+    std::size_t p = find_word(f.code, field, 0);
+    while (p != std::string::npos) {
+      const std::size_t q = skip_ws(f.code, p + std::strlen(field));
+      if (q < f.code.size() && f.code[q] == '=' &&
+          (q + 1 >= f.code.size() || f.code[q + 1] != '=')) {
+        std::size_t sc = f.code.find(';', q);
+        if (sc == std::string::npos) sc = f.code.size();
+        const std::string name =
+            handler_root_of(f.code.substr(q + 1, sc - q - 1));
+        if (!name.empty()) roots.insert(name);
+      }
+      p = find_word(f.code, field, p + 1);
+    }
+  }
+  std::size_t p = find_word(f.code, "signal", 0);
+  while (p != std::string::npos) {
+    const std::size_t open = skip_ws(f.code, p + 6);
+    if (open < f.code.size() && f.code[open] == '(') {
+      const std::size_t close = match_paren(f.code, open);
+      if (close != std::string::npos) {
+        // Second top-level argument of signal(sig, handler).
+        std::size_t comma = std::string::npos;
+        int depth = 0;
+        for (std::size_t i = open + 1; i + 1 < close; ++i) {
+          const char c = f.code[i];
+          if (c == '(') ++depth;
+          if (c == ')') --depth;
+          if (c == ',' && depth == 0) {
+            comma = i;
+            break;
+          }
+        }
+        if (comma != std::string::npos) {
+          const std::string name = handler_root_of(
+              f.code.substr(comma + 1, (close - 1) - (comma + 1)));
+          if (!name.empty()) roots.insert(name);
+        }
+      }
+    }
+    p = find_word(f.code, "signal", p + 1);
+  }
+  return roots;
+}
+
+/// Reports non-async-signal-safe constructs inside [begin, end) of
+/// f.code, attributing each to the handler root it is reachable from.
+void scan_handler_range(const SourceFile& f, const std::string& root,
+                        std::size_t begin, std::size_t end,
+                        std::vector<Finding>& out) {
+  // Functions POSIX does not list as async-signal-safe that this codebase
+  // could plausibly reach: the malloc family, stdio, and exit. raise,
+  // signal and siglongjmp are deliberately absent - they are the
+  // sanctioned handler vocabulary (see common/guard.cpp).
+  static const char* kBannedCalls[] = {
+      "malloc", "calloc",   "realloc",   "free",   "printf",
+      "fprintf", "sprintf", "snprintf",  "vsnprintf", "puts",
+      "fputs",  "fwrite",   "fflush",    "fopen",  "fclose",
+      "exit",   "lock",     "unlock",    "try_lock"};
+  for (const char* fn : kBannedCalls) {
+    std::size_t p = find_word(f.code, fn, begin);
+    while (p != std::string::npos && p < end) {
+      const std::size_t after = skip_ws(f.code, p + std::strlen(fn));
+      if (after < end && f.code[after] == '(') {
+        out.push_back(
+            {f.path, line_of(f, p), "signal-handler-safety",
+             std::string("call to ") + fn +
+                 "() is not async-signal-safe but is reachable from "
+                 "signal handler '" +
+                 root +
+                 "': handlers may only use sig_atomic_t stores, "
+                 "siglongjmp and re-raise"});
+      }
+      p = find_word(f.code, fn, p + 1);
+    }
+  }
+  // Keywords that allocate or unwind, and locking primitives whose mere
+  // presence (RAII construction) can self-deadlock under a handler.
+  static const char* kBannedWords[] = {"new",         "delete",
+                                       "throw",       "lock_guard",
+                                       "unique_lock", "MutexLock",
+                                       "Mutex",       "mutex"};
+  for (const char* w : kBannedWords) {
+    std::size_t p = find_word(f.code, w, begin);
+    while (p != std::string::npos && p < end) {
+      out.push_back(
+          {f.path, line_of(f, p), "signal-handler-safety",
+           std::string("'") + w +
+               "' allocates, unwinds or locks inside code reachable "
+               "from signal handler '" +
+               root + "': handlers must stay async-signal-safe"});
+      p = find_word(f.code, w, p + 1);
+    }
+  }
+}
+
+void rule_signal_handler_safety(const SourceFile& f,
+                                std::vector<Finding>& out) {
+  const std::set<std::string> roots = handler_roots(f);
+  if (roots.empty()) return;
+  static const std::set<std::string> kNotCallees = {
+      "if",     "while",  "for", "switch", "return",
+      "sizeof", "new",    "delete", "throw"};
+  std::set<std::size_t> visited;  // body offsets already scanned
+  for (const std::string& root : roots) {
+    const BodyRange body = local_definition_range(f, root);
+    if (!body.found()) continue;
+    if (visited.insert(body.begin).second)
+      scan_handler_range(f, root, body.begin, body.end, out);
+    // One level of same-file callee expansion: a helper the handler calls
+    // is handler code too (deeper chains are out of lexical reach).
+    std::size_t cp = body.begin;
+    while (cp < body.end) {
+      if (is_ident(f.code[cp]) && (cp == 0 || !is_ident(f.code[cp - 1]))) {
+        std::size_t ce = cp;
+        while (ce < body.end && is_ident(f.code[ce])) ++ce;
+        const std::string callee = f.code.substr(cp, ce - cp);
+        const std::size_t paren = skip_ws(f.code, ce);
+        if (paren < body.end && f.code[paren] == '(' && callee != root &&
+            kNotCallees.count(callee) == 0) {
+          const BodyRange cb = local_definition_range(f, callee);
+          if (cb.found() && cb.begin != body.begin &&
+              visited.insert(cb.begin).second)
+            scan_handler_range(f, root, cb.begin, cb.end, out);
+        }
+        cp = ce;
+      } else {
+        ++cp;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -564,7 +747,8 @@ const std::set<std::string>& all_rules() {
   static const std::set<std::string> kRules = {
       "atomic-memory-order",   "raw-alloc",
       "env-access",            "fault-site-documented",
-      "nondeterminism",        "capi-exception-boundary"};
+      "nondeterminism",        "capi-exception-boundary",
+      "signal-handler-safety"};
   return kRules;
 }
 
@@ -685,6 +869,7 @@ int main(int argc, char** argv) {
     rule_fault_site_documented(f, design_text, design_path, file_findings);
     rule_nondeterminism(f, file_findings);
     rule_capi_exception_boundary(f, file_findings);
+    rule_signal_handler_safety(f, file_findings);
 
     for (Finding& fnd : file_findings)
       if (!suppressed(f, fnd)) findings.push_back(std::move(fnd));
