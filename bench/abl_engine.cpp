@@ -1,0 +1,94 @@
+// Ablation (beyond the paper): what overlapping fork-join rounds buy a
+// concurrent server.
+//
+// The PR 5 pool admitted one parallel_for round at a time: N server
+// threads each issuing tiny parallel GEMMs serialized on round admission,
+// so aggregate throughput was capped near a single client's. The
+// work-stealing pool (core/threadpool.h) lets independent rounds overlap
+// and lets the submitting thread claim its own tasks inline instead of
+// blocking on a worker handoff. This bench measures exactly that contrast
+// on warm small parallel GEMMs driven by 8 concurrent clients:
+//
+//   serialized  - SHALOM_SERIALIZE_ROUNDS compatibility mode: the PR 5
+//                 one-round-at-a-time admission discipline
+//   overlapped  - the default scheduler: rounds overlap, callers help
+//
+// Columns are aggregate GFLOPS across all clients; the last column is the
+// overlap speedup (the PR 6 acceptance criterion is >= 2x on warm small
+// shapes, where round admission - not math - dominates).
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/reporter.h"
+#include "bench_util/runner.h"
+#include "bench_util/stats.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/shalom.h"
+#include "core/threadpool.h"
+
+int main(int argc, char** argv) {
+  using namespace shalom;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+
+  const std::vector<index_t> sizes = {16, 24, 32, 48};
+  constexpr int kClients = 8;
+  const Mode mode{Trans::N, Trans::N};
+
+  bench::Table table(
+      "Ablation: round overlap under 8 concurrent clients (NN, warm small "
+      "GEMM, threads=2 per call), aggregate GFLOPS",
+      {"shape", "serialized", "overlapped", "overlapped/serialized"});
+
+  for (index_t s : sizes) {
+    // Per-client private operands: the contended resource under test is
+    // the pool's round admission, not the matrices.
+    std::vector<Matrix<float>> as, bs, cs;
+    for (int t = 0; t < kClients; ++t) {
+      as.emplace_back(s, s);
+      bs.emplace_back(s, s);
+      cs.emplace_back(s, s);
+      fill_random(as.back(), 11 + t);
+      fill_random(bs.back(), 12 + t);
+      fill_random(cs.back(), 13 + t);
+    }
+
+    Config cfg;
+    cfg.threads = 2;  // every call is a (tiny) fork-join round
+    const double flops = 2.0 * s * s * s;
+    const int calls =
+        std::max(40, static_cast<int>(4.0e6 / flops)) * (opt.full ? 4 : 1);
+
+    const auto drive_clients = [&] {
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (int t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+          for (int i = 0; i < calls; ++i) {
+            gemm(mode.a, mode.b, s, s, s, 1.0f, as[t].data(), as[t].ld(),
+                 bs[t].data(), bs[t].ld(), 0.0f, cs[t].data(), cs[t].ld(),
+                 cfg);
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+    };
+
+    ThreadPool::set_serialize_rounds_for_testing(true);
+    const auto t_serial = bench::time_kernel(drive_clients, opt.reps,
+                                             /*warm=*/true);
+    ThreadPool::set_serialize_rounds_for_testing(false);
+    const auto t_overlap = bench::time_kernel(drive_clients, opt.reps,
+                                              /*warm=*/true);
+    ThreadPool::clear_serialize_rounds_override();
+
+    const double total_flops = flops * calls * kClients;
+    const double g_serial = total_flops / t_serial.geomean_s * 1e-9;
+    const double g_overlap = total_flops / t_overlap.geomean_s * 1e-9;
+    table.add_row(std::to_string(s) + "^3",
+                  {g_serial, g_overlap, g_overlap / g_serial});
+  }
+  table.print(opt.csv);
+  return 0;
+}

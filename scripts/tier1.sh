@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard Release build + full test suite (with
 # the eager kernel selftest forced on, so every dispatchable variant is
-# probed against the scalar reference), then AddressSanitizer and
-# UndefinedBehaviorSanitizer configurations running the fault-injection,
-# stress and differential-fuzz labels (the degradation and quarantine
-# paths exercise allocator edge cases, cross-thread teardown and
-# kernel-boundary arithmetic, exactly where the sanitizers earn their
-# keep).
+# probed against the scalar reference), then AddressSanitizer,
+# UndefinedBehaviorSanitizer and ThreadSanitizer configurations running
+# the labels where each earns its keep: ASan/UBSan over fault-injection,
+# stress and differential-fuzz (allocator edge cases, cross-thread
+# teardown, kernel-boundary arithmetic), TSan over stress and the
+# concurrency-engine battery (overlapping work-stealing rounds, sharded
+# plan-cache races, async stream submission).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -76,5 +77,21 @@ cmake -B build-ubsan -S . \
 cmake --build build-ubsan -j "${JOBS}"
 ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
       -L 'fault|stress|fuzz'
+
+echo "=== tier1: TSan build, stress + engine labels ==="
+# The data-race hunt for the concurrent-server machinery: overlapping
+# fork-join rounds with stealing, the sharded plan cache under racing
+# inserts, and GemmStream submission from many client threads. These
+# tests must be TSan-clean; the scheduler uses explicit seq_cst atomic
+# operations (never fences) precisely so TSan models every ordering it
+# relies on.
+cmake -B build-tsan -S . \
+      -DSHALOM_SANITIZE=thread \
+      -DSHALOM_FAULT_INJECTION=ON \
+      -DSHALOM_BUILD_BENCH=OFF \
+      -DSHALOM_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+      -L 'stress|engine'
 
 echo "tier1: OK"

@@ -34,6 +34,14 @@
 //                        which is what the watchdog must recover from
 //   guard.canary         the post-execution arena canary verification; an
 //                        injected failure reports the canaries as violated
+//   threadpool.steal     one steal attempt against one victim deque; an
+//                        injected failure skips that victim (the thief falls
+//                        through to the injection list or parks), degrading
+//                        load balance but never correctness
+//   submit.queue         enqueueing one async GEMM request into a stream
+//                        (core/engine.h); an injected failure rejects the
+//                        submission with std::bad_alloc before anything is
+//                        queued, so the stream state is unchanged
 //
 // The telemetry half (RobustnessStats) is always compiled: the degradation
 // paths are real production behaviour - injection is only one way to reach
@@ -124,8 +132,10 @@ enum class Site : int {
   kGuardTrap = 5,
   kThreadpoolHeartbeat = 6,
   kGuardCanary = 7,
+  kThreadpoolSteal = 8,
+  kSubmitQueue = 9,
 };
-inline constexpr int kSiteCount = 8;
+inline constexpr int kSiteCount = 10;
 
 /// Trigger modes (see the header comment for semantics).
 enum class Mode : std::uint32_t {

@@ -1,0 +1,341 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <new>
+#include <system_error>
+#include <thread>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/fault.h"
+#include "core/batch.h"
+#include "core/plan.h"
+#include "core/plan_cache.h"
+
+namespace shalom {
+namespace engine {
+
+// ---------------------------------------------------------------------------
+// Ticket
+// ---------------------------------------------------------------------------
+
+void Ticket::complete(int status, std::string message) {
+  MutexLock lock(mu_);
+  status_ = status;
+  message_ = std::move(message);
+  done_ = true;
+  cv_.notify_all();
+}
+
+int Ticket::wait() {
+  MutexLock lock(mu_);
+  while (!done_) cv_.wait(lock);
+  return status_;
+}
+
+bool Ticket::done() const {
+  MutexLock lock(mu_);
+  return done_;
+}
+
+int Ticket::status() const {
+  MutexLock lock(mu_);
+  return status_;
+}
+
+const std::string& Ticket::message() const {
+  MutexLock lock(mu_);
+  return message_;
+}
+
+// ---------------------------------------------------------------------------
+// GemmStream
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One queued request, type-erased so float and double submissions share
+/// the pending vector. alpha/beta are stored widened to double; a float
+/// payload round-trips exactly through the widening cast.
+struct Request {
+  char dtype = 's';  // 's' or 'd'
+  Mode mode{};
+  index_t m = 0, n = 0, k = 0, lda = 0, ldb = 0, ldc = 0;
+  double alpha = 0.0, beta = 0.0;
+  const void* a = nullptr;
+  const void* b = nullptr;
+  void* c = nullptr;
+  TicketPtr ticket;
+};
+
+/// Maps the in-flight exception (catch(...) context) to its
+/// shalom_status, mirroring the synchronous C boundary's translation.
+/// Deliberately does NOT touch the C API's thread-local last-error slot:
+/// completion runs on the drainer thread, and shalom_wait re-surfaces
+/// the status on the waiting thread.
+int status_of_current_exception(std::string& message) {
+  try {
+    throw;
+  } catch (const shalom::invalid_argument& e) {
+    message = e.what();
+    return SHALOM_ERR_INVALID_ARGUMENT;
+  } catch (const shalom::numeric_error& e) {
+    message = e.what();
+    return SHALOM_ERR_NUMERIC;
+  } catch (const shalom::corruption_error& e) {
+    message = e.what();
+    return SHALOM_ERR_CORRUPTION;
+  } catch (const shalom::kernel_trap_error& e) {
+    message = e.what();
+    return SHALOM_ERR_KERNEL_TRAP;
+  } catch (const std::bad_alloc& e) {
+    message = e.what();
+    return SHALOM_ERR_ALLOC;
+  } catch (const std::exception& e) {
+    message = e.what();
+    return SHALOM_ERR_INTERNAL;
+  } catch (...) {
+    return SHALOM_ERR_INTERNAL;
+  }
+}
+
+}  // namespace
+
+struct GemmStream::Impl {
+  StreamOptions opts;
+
+  mutable Mutex mu;
+  std::condition_variable_any submit_cv;   // submitters -> drainer
+  std::condition_variable_any drained_cv;  // drainer -> flush waiters
+  std::vector<Request> pending SHALOM_GUARDED_BY(mu);
+  bool stop SHALOM_GUARDED_BY(mu) = false;
+  /// True while the drainer is executing a swapped-out batch; flush()
+  /// waits on (pending empty && !draining).
+  bool draining SHALOM_GUARDED_BY(mu) = false;
+  StreamStats counters SHALOM_GUARDED_BY(mu);
+
+  /// Drainer-thread spawn failed: submit() executes inline instead.
+  bool synchronous = false;  // set once in the ctor, then read-only
+  std::thread drainer;
+
+  /// Executes one shape bucket (equal dtype + mode, shape-ordered) as a
+  /// single coalesced gemm_batch call and resolves every ticket.
+  template <typename T>
+  void run_bucket(Mode mode, const std::vector<Request*>& bucket) {
+    Config cfg;
+    cfg.threads = opts.threads;
+    cfg.use_plan_cache = opts.use_plan_cache;
+    bool coalesced = true;
+    int batch_status = SHALOM_OK;
+    std::string batch_message;
+    try {
+      std::vector<BatchEntry<T>> entries;
+      entries.reserve(bucket.size());
+      for (const Request* r : bucket) {
+        BatchEntry<T> e;
+        e.m = r->m;
+        e.n = r->n;
+        e.k = r->k;
+        e.alpha = static_cast<T>(r->alpha);
+        e.a = static_cast<const T*>(r->a);
+        e.lda = r->lda;
+        e.b = static_cast<const T*>(r->b);
+        e.ldb = r->ldb;
+        e.beta = static_cast<T>(r->beta);
+        e.c = static_cast<T*>(r->c);
+        e.ldc = r->ldc;
+        entries.push_back(e);
+      }
+      gemm_batch<T>(mode, entries, cfg);
+    } catch (...) {
+      coalesced = false;
+      batch_status = status_of_current_exception(batch_message);
+    }
+    if (coalesced) {
+      for (const Request* r : bucket)
+        r->ticket->complete(SHALOM_OK, std::string());
+      return;
+    }
+    // The coalesced run failed and gemm_batch gives no per-entry verdict:
+    // some entries may already have written C. Retry individually ONLY
+    // the idempotent ones (beta == 0 overwrites C, so a re-run of an
+    // already-executed entry is harmless); beta != 0 entries accumulate
+    // and a blind re-run could apply them twice, so they inherit the
+    // batch failure instead.
+    for (const Request* r : bucket) {
+      if (static_cast<T>(r->beta) != T{0}) {
+        r->ticket->complete(batch_status, batch_message);
+        continue;
+      }
+      int status = SHALOM_OK;
+      std::string message;
+      try {
+        gemm_cached<T>(mode, r->m, r->n, r->k, static_cast<T>(r->alpha),
+                       static_cast<const T*>(r->a), r->lda,
+                       static_cast<const T*>(r->b), r->ldb,
+                       static_cast<T>(r->beta), static_cast<T*>(r->c),
+                       r->ldc, cfg);
+      } catch (...) {
+        status = status_of_current_exception(message);
+      }
+      r->ticket->complete(status, std::move(message));
+    }
+  }
+
+  /// Shape-buckets one swapped-out batch and runs each bucket coalesced.
+  /// Returns the number of gemm_batch calls issued.
+  std::uint64_t execute_batch(std::vector<Request>& batch) {
+    std::vector<Request*> order;
+    order.reserve(batch.size());
+    for (Request& r : batch) order.push_back(&r);
+    // Group by (dtype, mode) for the coalesced calls, then order by
+    // shape inside the group so identical shapes run back-to-back and
+    // reuse the warm per-thread plan memo / cache shard.
+    const auto key = [](const Request* r) {
+      return std::make_tuple(r->dtype, static_cast<int>(r->mode.a),
+                             static_cast<int>(r->mode.b), r->m, r->n, r->k,
+                             r->lda, r->ldb, r->ldc);
+    };
+    std::sort(order.begin(), order.end(),
+              [&key](const Request* x, const Request* y) {
+                return key(x) < key(y);
+              });
+    std::uint64_t calls = 0;
+    std::size_t i = 0;
+    while (i < order.size()) {
+      std::size_t j = i;
+      while (j < order.size() && order[j]->dtype == order[i]->dtype &&
+             order[j]->mode.a == order[i]->mode.a &&
+             order[j]->mode.b == order[i]->mode.b)
+        ++j;
+      const std::vector<Request*> bucket(order.begin() + static_cast<std::ptrdiff_t>(i),
+                                         order.begin() + static_cast<std::ptrdiff_t>(j));
+      if (order[i]->dtype == 's') {
+        run_bucket<float>(order[i]->mode, bucket);
+      } else {
+        run_bucket<double>(order[i]->mode, bucket);
+      }
+      ++calls;
+      i = j;
+    }
+    return calls;
+  }
+
+  void drain_loop() {
+    for (;;) {
+      std::vector<Request> batch;
+      {
+        MutexLock lock(mu);
+        while (!stop && pending.empty()) submit_cv.wait(lock);
+        if (pending.empty()) {
+          if (stop) return;  // shutdown with nothing left to run
+          continue;
+        }
+        batch.swap(pending);
+        draining = true;
+      }
+      const std::uint64_t calls = execute_batch(batch);
+      {
+        MutexLock lock(mu);
+        draining = false;
+        counters.executed += batch.size();
+        counters.batches += calls;
+        drained_cv.notify_all();
+      }
+    }
+  }
+};
+
+GemmStream::GemmStream(StreamOptions opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opts = opts;
+  try {
+    Impl* impl = impl_.get();
+    impl_->drainer = std::thread([impl] { impl->drain_loop(); });
+  } catch (const std::system_error&) {
+    // Degrade to synchronous execution rather than failing construction:
+    // submit() then runs each request inline before returning.
+    impl_->synchronous = true;
+  } catch (const std::bad_alloc&) {
+    impl_->synchronous = true;
+  }
+}
+
+GemmStream::~GemmStream() {
+  if (impl_->drainer.joinable()) {
+    {
+      MutexLock lock(impl_->mu);
+      impl_->stop = true;
+    }
+    impl_->submit_cv.notify_all();
+    impl_->drainer.join();  // drains everything still pending first
+  }
+}
+
+template <typename T>
+TicketPtr GemmStream::submit(Mode mode, index_t m, index_t n, index_t k,
+                             T alpha, const T* a, index_t lda, const T* b,
+                             index_t ldb, T beta, T* c, index_t ldc) {
+  // Validate on the submitting thread: contract violations belong to the
+  // caller, not to a ticket resolved later on the drainer.
+  detail::check_gemm_args(mode, m, n, k, a, lda, b, ldb, c, ldc);
+  if (SHALOM_FAULT_POINT(fault::Site::kSubmitQueue)) throw std::bad_alloc();
+  auto ticket = std::make_shared<Ticket>();
+  Request r;
+  r.dtype = std::is_same<T, float>::value ? 's' : 'd';
+  r.mode = mode;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.lda = lda;
+  r.ldb = ldb;
+  r.ldc = ldc;
+  r.alpha = static_cast<double>(alpha);
+  r.beta = static_cast<double>(beta);
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  r.ticket = ticket;
+  if (impl_->synchronous) {
+    const std::vector<Request*> one{&r};
+    impl_->run_bucket<T>(mode, one);
+    MutexLock lock(impl_->mu);
+    ++impl_->counters.submitted;
+    ++impl_->counters.executed;
+    ++impl_->counters.batches;
+    return ticket;
+  }
+  {
+    MutexLock lock(impl_->mu);
+    impl_->pending.push_back(std::move(r));  // strong: throws, queue intact
+    ++impl_->counters.submitted;
+  }
+  impl_->submit_cv.notify_one();
+  return ticket;
+}
+
+template TicketPtr GemmStream::submit<float>(Mode, index_t, index_t, index_t,
+                                             float, const float*, index_t,
+                                             const float*, index_t, float,
+                                             float*, index_t);
+template TicketPtr GemmStream::submit<double>(Mode, index_t, index_t,
+                                              index_t, double, const double*,
+                                              index_t, const double*, index_t,
+                                              double, double*, index_t);
+
+void GemmStream::flush() {
+  MutexLock lock(impl_->mu);
+  while (!impl_->pending.empty() || impl_->draining)
+    impl_->drained_cv.wait(lock);
+}
+
+StreamStats GemmStream::stats() const {
+  MutexLock lock(impl_->mu);
+  return impl_->counters;
+}
+
+}  // namespace engine
+}  // namespace shalom

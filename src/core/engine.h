@@ -1,0 +1,131 @@
+// Asynchronous GEMM submission engine (the concurrent-server front-end).
+//
+// A server loop feeding LibShalom one blocking gemm() at a time pays the
+// full call latency per request even when thousands of independent small
+// products are pending. GemmStream decouples submission from execution:
+// submit() validates the arguments, enqueues the request and returns a
+// Ticket immediately; a dedicated drainer thread swaps out the pending
+// queue, SHAPE-BUCKETS it (requests are grouped by transpose mode and
+// ordered by (m, n, k), so identical shapes run back-to-back and reuse
+// the warm per-thread plan memo and sharded plan-cache entries,
+// cf. core/plan_cache.h) and coalesces each bucket into one gemm_batch()
+// call over the work-stealing pool (core/threadpool.h). Head-of-line
+// blocking disappears: submitters never wait on other requests' execution.
+//
+// Failure containment: a batch that throws is retried entry-by-entry so
+// the failure lands on the ticket(s) that actually caused it, mapped to
+// the same shalom_status codes the synchronous C API uses; unrelated
+// tickets in the batch still complete. The `submit.queue` fault site
+// (common/fault.h) rejects a submission with std::bad_alloc BEFORE it is
+// queued - the strong guarantee the real enqueue-allocation failure path
+// shares. If the drainer thread itself cannot be spawned, the stream
+// degrades to synchronous execution inside submit() (tickets then
+// complete before submit returns) rather than failing construction.
+//
+// Data ownership: the caller's A/B/C buffers must stay alive and
+// unmodified (C: un-read) until the request's ticket completes, exactly
+// like a still-running synchronous call. Requests on one stream execute
+// correctly in any interleaving only if their outputs do not alias.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/thread_annotations.h"
+#include "core/types.h"
+
+namespace shalom {
+namespace engine {
+
+/// Completion handle for one submitted GEMM. shared_ptr-held: the stream
+/// keeps its own reference until the request executes, so dropping a
+/// ticket before (or without ever) waiting is always safe.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  /// Blocks until the request has executed; returns its shalom_status.
+  /// Idempotent - later calls return the same status immediately.
+  int wait();
+
+  /// Nonblocking completion probe.
+  bool done() const;
+
+  /// Status so far: SHALOM_OK before completion, the final status after
+  /// (prefer wait() unless done() already returned true).
+  int status() const;
+
+  /// Detail message for a failed request ("" on success or while
+  /// pending). Stable after done(); the reference lives as long as the
+  /// ticket.
+  const std::string& message() const;
+
+  /// Internal: resolves the ticket (called once, by the owning stream's
+  /// executor). Public only because the stream's out-of-line Impl cannot
+  /// be befriended before it is defined.
+  void complete(int status, std::string message);
+
+ private:
+
+  mutable Mutex mu_;
+  mutable std::condition_variable_any cv_;
+  bool done_ SHALOM_GUARDED_BY(mu_) = false;
+  int status_ SHALOM_GUARDED_BY(mu_) = 0;  // SHALOM_OK
+  std::string message_ SHALOM_GUARDED_BY(mu_);
+};
+
+using TicketPtr = std::shared_ptr<Ticket>;
+
+struct StreamOptions {
+  /// Execution width for the coalesced gemm_batch calls (0 = default
+  /// resolution, like Config::threads).
+  int threads = 0;
+  /// Route batch entries through the plan cache (Config::use_plan_cache).
+  bool use_plan_cache = true;
+};
+
+struct StreamStats {
+  std::uint64_t submitted = 0;  ///< requests accepted by submit()
+  std::uint64_t executed = 0;   ///< requests completed (any status)
+  std::uint64_t batches = 0;    ///< gemm_batch calls issued by the drainer
+};
+
+/// One asynchronous submission queue + its drainer thread. Thread-safe:
+/// any number of threads may submit()/flush() concurrently. Destruction
+/// flushes (every accepted request executes and completes its ticket)
+/// and joins the drainer.
+class GemmStream {
+ public:
+  explicit GemmStream(StreamOptions opts = {});
+  ~GemmStream();
+
+  GemmStream(const GemmStream&) = delete;
+  GemmStream& operator=(const GemmStream&) = delete;
+
+  /// Enqueues C = alpha*op(A)*op(B) + beta*C and returns its ticket.
+  /// Argument validation happens HERE, on the submitting thread
+  /// (shalom::invalid_argument propagates and nothing is queued); the
+  /// returned ticket only ever carries execution-time failures. Throws
+  /// std::bad_alloc when the request cannot be queued (including the
+  /// armed `submit.queue` fault site) - the queue is unchanged then.
+  template <typename T>
+  TicketPtr submit(Mode mode, index_t m, index_t n, index_t k, T alpha,
+                   const T* a, index_t lda, const T* b, index_t ldb, T beta,
+                   T* c, index_t ldc);
+
+  /// Blocks until every request submitted before this call has executed.
+  void flush();
+
+  StreamStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace engine
+}  // namespace shalom

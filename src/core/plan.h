@@ -14,9 +14,9 @@
 // results are bitwise identical to a direct gemm() with the same Config.
 // Plans are immutable after creation and safe to execute concurrently from
 // multiple threads: serial (threads == 1) executions are fully independent
-// (each uses the calling thread's pack arena), while parallel plans
-// serialize their fork-join rounds on the shared ThreadPool, which admits
-// one round at a time.
+// (each uses the calling thread's pack arena), while parallel plans run
+// their fork-join rounds on the shared work-stealing ThreadPool, where
+// rounds from independent callers overlap (core/threadpool.h).
 #pragma once
 
 #include <vector>

@@ -1,5 +1,6 @@
 #include "core/plan_cache.h"
 
+#include <array>
 #include <atomic>
 #include <list>
 #include <unordered_map>
@@ -105,55 +106,122 @@ PlanKey make_plan_key(Mode mode, index_t M, index_t N, index_t K,
   return key;
 }
 
+/// Sharded cache state. Keys are routed to one of kShards independent
+/// (mutex, LRU list, hash map, counter) shards by the HIGH bits of the
+/// key hash - the in-shard unordered_map buckets on the low bits of the
+/// same hash, so the two stay uncorrelated. No operation ever holds two
+/// shard locks at once (eviction locks shards one at a time), so there is
+/// no lock-ordering hazard.
+///
+/// Observable semantics match the PR 1 single-mutex cache: `capacity`
+/// bounds the TOTAL entry count and eviction removes the globally
+/// least-recently-used entry. Global recency is tracked by a per-entry
+/// tick from one shared counter; since each shard's list preserves the
+/// global recency order restricted to that shard, the globally oldest
+/// entry is always some shard's tail, and evicting the oldest tail is an
+/// exact global-LRU eviction (concurrent touches can skew a racing
+/// eviction by a few ticks, which single-threaded callers never see).
 template <typename T>
 struct PlanCache<T>::Impl {
   using PlanPtr = typename PlanCache<T>::PlanPtr;
-  using LruList = std::list<std::pair<PlanKey, PlanPtr>>;
+  struct Entry {
+    PlanKey key;
+    PlanPtr plan;
+    std::uint64_t tick = 0;  // global recency stamp (higher = fresher)
+  };
+  using LruList = std::list<Entry>;
+  static constexpr std::size_t kShardCount = PlanCache<T>::kShards;
+  static_assert((kShardCount & (kShardCount - 1)) == 0,
+                "shard routing masks the high hash bits");
 
-  mutable Mutex mu;
-  LruList lru SHALOM_GUARDED_BY(mu);  // front = most recently used
-  std::unordered_map<PlanKey, typename LruList::iterator, PlanKeyHash> map
-      SHALOM_GUARDED_BY(mu);
-  std::size_t capacity SHALOM_GUARDED_BY(mu);
-  PlanCacheStats counters SHALOM_GUARDED_BY(mu);
-  // Lock-free side channel for the per-thread memos in gemm_cached;
-  // deliberately outside the capability: every operation names its
-  // memory order explicitly (release on publish, acquire on memo
-  // revalidation, relaxed for the pure counter).
+  struct Shard {
+    mutable Mutex mu;
+    LruList lru SHALOM_GUARDED_BY(mu);  // front = shard-local MRU
+    std::unordered_map<PlanKey, typename LruList::iterator, PlanKeyHash> map
+        SHALOM_GUARDED_BY(mu);
+    /// Only hits/misses/evictions are used per shard; stats() sums them.
+    PlanCacheStats counters SHALOM_GUARDED_BY(mu);
+
+    /// Moves the hit entry to the shard's LRU front and re-stamps it.
+    PlanPtr lookup_locked(const PlanKey& key, std::uint64_t tick)
+        SHALOM_REQUIRES(mu) {
+      auto it = map.find(key);
+      if (it == map.end()) return nullptr;
+      it->second->tick = tick;
+      lru.splice(lru.begin(), lru, it->second);
+      return it->second->plan;
+    }
+
+    /// Inserts (or replaces). Returns 1 when a NEW entry was added (the
+    /// caller then accounts it globally and trims), 0 on replace.
+    int insert_locked(const PlanKey& key, PlanPtr plan, std::uint64_t tick)
+        SHALOM_REQUIRES(mu) {
+      auto it = map.find(key);
+      if (it != map.end()) {
+        it->second->plan = std::move(plan);
+        it->second->tick = tick;
+        lru.splice(lru.begin(), lru, it->second);
+        return 0;
+      }
+      lru.emplace_front(Entry{key, std::move(plan), tick});
+      try {
+        map.emplace(key, lru.begin());
+      } catch (...) {
+        // Keep the list and map consistent if the node allocation fails.
+        lru.pop_front();
+        throw;
+      }
+      return 1;
+    }
+  };
+
+  std::array<Shard, kShardCount> shards;
+  // Lock-free cross-shard accounting and the memo side channel for
+  // gemm_cached; deliberately outside the capabilities: every operation
+  // names its memory order explicitly (release on publish, acquire on
+  // memo revalidation, relaxed for pure counters).
+  std::atomic<std::size_t> capacity;
+  std::atomic<std::size_t> total_size{0};
+  std::atomic<std::uint64_t> use_tick{0};
   std::atomic<std::uint64_t> generation{0};
   std::atomic<std::uint64_t> memo_hits{0};
 
   explicit Impl(std::size_t cap) : capacity(cap) {}
 
-  /// Moves the hit entry to the LRU front.
-  PlanPtr lookup_locked(const PlanKey& key) SHALOM_REQUIRES(mu) {
-    auto it = map.find(key);
-    if (it == map.end()) return nullptr;
-    lru.splice(lru.begin(), lru, it->second);
-    return it->second->second;
+  static std::size_t shard_index(const PlanKey& key) {
+    return (static_cast<std::size_t>(PlanKeyHash{}(key)) >> 48) &
+           (kShardCount - 1);
+  }
+  Shard& shard_for(const PlanKey& key) { return shards[shard_index(key)]; }
+
+  std::uint64_t next_tick() noexcept {
+    return use_tick.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  /// Inserts (or replaces) and trims to capacity.
-  void insert_locked(const PlanKey& key, PlanPtr plan) SHALOM_REQUIRES(mu) {
-    auto it = map.find(key);
-    if (it != map.end()) {
-      it->second->second = std::move(plan);
-      lru.splice(lru.begin(), lru, it->second);
-      return;
-    }
-    if (capacity == 0) return;
-    lru.emplace_front(key, std::move(plan));
-    try {
-      map.emplace(key, lru.begin());
-    } catch (...) {
-      // Keep the list and map consistent if the node allocation fails.
-      lru.pop_front();
-      throw;
-    }
-    while (map.size() > capacity) {
-      map.erase(lru.back().first);
-      lru.pop_back();
-      ++counters.evictions;
+  /// Evicts globally-LRU entries (the oldest shard tail) until the total
+  /// entry count fits the capacity. Locks one shard at a time.
+  void evict_to_capacity() {
+    while (total_size.load(std::memory_order_acquire) >
+           capacity.load(std::memory_order_acquire)) {
+      int victim = -1;
+      std::uint64_t oldest = 0;
+      for (std::size_t s = 0; s < kShardCount; ++s) {
+        MutexLock lock(shards[s].mu);
+        if (shards[s].lru.empty()) continue;
+        const std::uint64_t t = shards[s].lru.back().tick;
+        if (victim < 0 || t < oldest) {
+          victim = static_cast<int>(s);
+          oldest = t;
+        }
+      }
+      if (victim < 0) return;  // nothing left to evict
+      Shard& sh = shards[static_cast<std::size_t>(victim)];
+      MutexLock lock(sh.mu);
+      if (sh.lru.empty()) continue;  // raced with clear(); re-scan
+      sh.map.erase(sh.lru.back().key);
+      sh.lru.pop_back();
+      ++sh.counters.evictions;
+      total_size.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
 };
@@ -175,13 +243,14 @@ template <typename T>
 typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
     const PlanKey& key, Mode mode, index_t M, index_t N, index_t K,
     const Config& cfg) {
+  typename Impl::Shard& sh = impl_->shard_for(key);
   {
-    MutexLock lock(impl_->mu);
-    if (PlanPtr hit = impl_->lookup_locked(key)) {
-      ++impl_->counters.hits;
+    MutexLock lock(sh.mu);
+    if (PlanPtr hit = sh.lookup_locked(key, impl_->next_tick())) {
+      ++sh.counters.hits;
       return hit;
     }
-    ++impl_->counters.misses;
+    ++sh.counters.misses;
   }
   // Build outside the lock: plan creation may solve models, size arenas
   // and fork the pool, none of which should serialize other shapes. A
@@ -201,12 +270,19 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
     return nullptr;
   }
   bool inserted = !SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert);
-  if (inserted) {
+  // Capacity 0 disables insertion (PR 1 semantics): the call still
+  // returns the built plan, the cache just won't remember it.
+  if (inserted && impl_->capacity.load(std::memory_order_acquire) > 0) {
+    int added = 0;
     try {
-      MutexLock lock(impl_->mu);
-      impl_->insert_locked(key, plan);
+      MutexLock lock(sh.mu);
+      added = sh.insert_locked(key, plan, impl_->next_tick());
     } catch (const std::bad_alloc&) {
       inserted = false;
+    }
+    if (added == 1) {
+      impl_->total_size.fetch_add(1, std::memory_order_acq_rel);
+      impl_->evict_to_capacity();
     }
   }
   if (!inserted) telemetry::note_plan_cache_bypassed();
@@ -215,12 +291,13 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
 
 template <typename T>
 typename PlanCache<T>::PlanPtr PlanCache<T>::lookup(const PlanKey& key) {
-  MutexLock lock(impl_->mu);
-  PlanPtr hit = impl_->lookup_locked(key);
+  typename Impl::Shard& sh = impl_->shard_for(key);
+  MutexLock lock(sh.mu);
+  PlanPtr hit = sh.lookup_locked(key, impl_->next_tick());
   if (hit) {
-    ++impl_->counters.hits;
+    ++sh.counters.hits;
   } else {
-    ++impl_->counters.misses;
+    ++sh.counters.misses;
   }
   return hit;
 }
@@ -229,12 +306,18 @@ template <typename T>
 void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
   SHALOM_REQUIRE(plan != nullptr);
   bool inserted = !SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert);
-  if (inserted) {
+  if (inserted && impl_->capacity.load(std::memory_order_acquire) > 0) {
+    typename Impl::Shard& sh = impl_->shard_for(key);
+    int added = 0;
     try {
-      MutexLock lock(impl_->mu);
-      impl_->insert_locked(key, std::move(plan));
+      MutexLock lock(sh.mu);
+      added = sh.insert_locked(key, std::move(plan), impl_->next_tick());
     } catch (const std::bad_alloc&) {
       inserted = false;
+    }
+    if (added == 1) {
+      impl_->total_size.fetch_add(1, std::memory_order_acq_rel);
+      impl_->evict_to_capacity();
     }
   }
   if (!inserted) {
@@ -248,33 +331,37 @@ void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
 
 template <typename T>
 void PlanCache<T>::set_capacity(std::size_t capacity) {
-  MutexLock lock(impl_->mu);
-  impl_->capacity = capacity;
-  while (impl_->map.size() > capacity) {
-    impl_->map.erase(impl_->lru.back().first);
-    impl_->lru.pop_back();
-    ++impl_->counters.evictions;
-  }
+  impl_->capacity.store(capacity, std::memory_order_release);
+  impl_->evict_to_capacity();
   impl_->generation.fetch_add(1, std::memory_order_release);
 }
 
 template <typename T>
 void PlanCache<T>::clear() {
-  MutexLock lock(impl_->mu);
-  impl_->map.clear();
-  impl_->lru.clear();
-  impl_->counters = PlanCacheStats{};
+  for (auto& sh : impl_->shards) {
+    MutexLock lock(sh.mu);
+    const std::size_t n = sh.map.size();
+    sh.map.clear();
+    sh.lru.clear();
+    sh.counters = PlanCacheStats{};
+    impl_->total_size.fetch_sub(n, std::memory_order_acq_rel);
+  }
   impl_->memo_hits.store(0, std::memory_order_relaxed);
   impl_->generation.fetch_add(1, std::memory_order_release);
 }
 
 template <typename T>
 PlanCacheStats PlanCache<T>::stats() const {
-  MutexLock lock(impl_->mu);
-  PlanCacheStats s = impl_->counters;
+  PlanCacheStats s{};
+  for (const auto& sh : impl_->shards) {
+    MutexLock lock(sh.mu);
+    s.hits += sh.counters.hits;
+    s.misses += sh.counters.misses;
+    s.evictions += sh.counters.evictions;
+    s.size += sh.map.size();
+  }
   s.hits += impl_->memo_hits.load(std::memory_order_relaxed);
-  s.size = impl_->map.size();
-  s.capacity = impl_->capacity;
+  s.capacity = impl_->capacity.load(std::memory_order_acquire);
   return s;
 }
 

@@ -4,11 +4,21 @@
 // times (CP2K block patterns, VGG im2col layers), so the per-call analytic
 // decisions - blocking, packing, partitioning, arena sizing - are pure
 // overhead after the first call. The global PlanCache memoizes one
-// immutable GemmPlan per (mode, M, N, K, ld class, threads, config) key
-// behind a mutex-guarded LRU list, and gemm_cached() is the transparent
-// entry point the public gemm/gemm_parallel/gemm_batch drivers route
-// through. Cached plans are shared_ptr-held, so an eviction never
-// invalidates a plan another thread is still executing.
+// immutable GemmPlan per (mode, M, N, K, ld class, threads, config) key,
+// and gemm_cached() is the transparent entry point the public
+// gemm/gemm_parallel/gemm_batch drivers route through. Cached plans are
+// shared_ptr-held, so an eviction never invalidates a plan another thread
+// is still executing.
+//
+// Internally the cache is sharded kShards ways by the high bits of the
+// key hash: each shard owns its own mutex, LRU list and hit/miss/eviction
+// counters, so concurrent callers on different shapes never contend on
+// one lock (the concurrent-server path, see core/threadpool.h). The
+// PR 1 single-mutex semantics are preserved observably: stats() sums the
+// shards, capacity bounds the TOTAL entry count, and eviction removes the
+// globally least-recently-used entry (each entry carries a global use
+// tick; the oldest shard tail IS the global LRU victim, since per-shard
+// lists preserve global recency order restricted to the shard).
 #pragma once
 
 #include <cstdint>
@@ -65,6 +75,10 @@ class PlanCache {
 
   static constexpr std::size_t kDefaultCapacity = 256;
 
+  /// Shard count (power of two; keys are routed by the high bits of the
+  /// key hash, leaving the low bits for the in-shard hash map).
+  static constexpr std::size_t kShards = 16;
+
   explicit PlanCache(std::size_t capacity = kDefaultCapacity);
   ~PlanCache();
 
@@ -97,12 +111,14 @@ class PlanCache {
   /// plan_cache_bypassed) rather than thrown.
   void insert(const PlanKey& key, PlanPtr plan);
 
-  /// Shrinks/grows the LRU bound; evicts immediately when shrinking.
-  /// Capacity 0 disables insertion (every call becomes a miss).
+  /// Shrinks/grows the LRU bound (total across all shards); evicts
+  /// immediately when shrinking. Capacity 0 disables insertion (every
+  /// call becomes a miss).
   void set_capacity(std::size_t capacity);
 
   void clear();
 
+  /// Aggregated over all shards (hits also fold in the memo hits).
   PlanCacheStats stats() const;
 
   /// Monotonic counter bumped by clear(), set_capacity() and insert():

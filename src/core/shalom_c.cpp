@@ -5,6 +5,7 @@
 
 #include "common/fault.h"
 #include "common/selfcheck.h"
+#include "core/engine.h"
 #include "core/plan.h"
 #include "core/shalom.h"
 
@@ -13,6 +14,18 @@ struct shalom_plan {
   char dtype = 0;  // 's' or 'd'
   shalom::GemmPlan<float> fplan;
   shalom::GemmPlan<double> dplan;
+};
+
+/* Opaque stream handle: the C++ engine object, nothing more. */
+struct shalom_stream {
+  shalom::engine::GemmStream impl;
+  explicit shalom_stream(shalom::engine::StreamOptions opts) : impl(opts) {}
+};
+
+/* Opaque future handle: shares ownership of the ticket with the stream,
+ * so destroying the future before completion (or the stream) is safe. */
+struct shalom_future {
+  shalom::engine::TicketPtr ticket;
 };
 
 namespace {
@@ -207,3 +220,116 @@ extern "C" int shalom_plan_execute_d(const shalom_plan* plan, double alpha,
 }
 
 extern "C" void shalom_plan_destroy(shalom_plan* plan) { delete plan; }
+
+/* ------------------------------------------------------------------------
+ * Asynchronous submission API (core/engine.h).
+ * ---------------------------------------------------------------------- */
+
+extern "C" int shalom_stream_create(shalom_stream** out_stream, int threads) {
+  clear_last_error();
+  if (out_stream == nullptr)
+    return fail(SHALOM_ERR_NULL_POINTER, "out_stream is NULL");
+  *out_stream = nullptr;
+  shalom::engine::StreamOptions opts;
+  opts.threads = threads <= 0 ? 0 : threads;
+  try {
+    *out_stream = new shalom_stream(opts);
+  } catch (...) {
+    return fail_current_exception();
+  }
+  return SHALOM_OK;
+}
+
+extern "C" void shalom_stream_destroy(shalom_stream* stream) {
+  delete stream;  // ~GemmStream drains every pending request first
+}
+
+extern "C" int shalom_stream_flush(shalom_stream* stream) {
+  clear_last_error();
+  if (stream == nullptr)
+    return fail(SHALOM_ERR_NULL_POINTER, "stream is NULL");
+  try {
+    stream->impl.flush();
+  } catch (...) {
+    return fail_current_exception();
+  }
+  return SHALOM_OK;
+}
+
+namespace {
+
+template <typename T>
+int submit_c(shalom_stream* stream, char trans_a, char trans_b, ptrdiff_t m,
+             ptrdiff_t n, ptrdiff_t k, T alpha, const T* a, ptrdiff_t lda,
+             const T* b, ptrdiff_t ldb, T beta, T* c, ptrdiff_t ldc,
+             shalom_future** out_future) {
+  clear_last_error();
+  if (out_future != nullptr) *out_future = nullptr;
+  if (stream == nullptr)
+    return fail(SHALOM_ERR_NULL_POINTER, "stream is NULL");
+  shalom::Trans ta, tb;
+  if (!parse_trans(trans_a, ta) || !parse_trans(trans_b, tb))
+    return fail(SHALOM_ERR_BAD_FLAG, "transpose flag must be 'N' or 'T'");
+  try {
+    auto future = std::make_unique<shalom_future>();
+    future->ticket = stream->impl.submit<T>(shalom::Mode{ta, tb}, m, n, k,
+                                            alpha, a, lda, b, ldb, beta, c,
+                                            ldc);
+    if (out_future != nullptr) *out_future = future.release();
+    // With out_future NULL the ticket is dropped here (fire-and-forget);
+    // the stream's own reference keeps the request alive.
+  } catch (...) {
+    return fail_current_exception();
+  }
+  return SHALOM_OK;
+}
+
+}  // namespace
+
+extern "C" int shalom_submit_s(shalom_stream* stream, char trans_a,
+                               char trans_b, ptrdiff_t m, ptrdiff_t n,
+                               ptrdiff_t k, float alpha, const float* a,
+                               ptrdiff_t lda, const float* b, ptrdiff_t ldb,
+                               float beta, float* c, ptrdiff_t ldc,
+                               shalom_future** out_future) {
+  return submit_c(stream, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                  beta, c, ldc, out_future);
+}
+
+extern "C" int shalom_submit_d(shalom_stream* stream, char trans_a,
+                               char trans_b, ptrdiff_t m, ptrdiff_t n,
+                               ptrdiff_t k, double alpha, const double* a,
+                               ptrdiff_t lda, const double* b, ptrdiff_t ldb,
+                               double beta, double* c, ptrdiff_t ldc,
+                               shalom_future** out_future) {
+  return submit_c(stream, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                  beta, c, ldc, out_future);
+}
+
+extern "C" int shalom_wait(shalom_future* future) {
+  clear_last_error();
+  if (future == nullptr)
+    return fail(SHALOM_ERR_NULL_POINTER, "future is NULL");
+  try {
+    const int status = future->ticket->wait();
+    if (status != SHALOM_OK)
+      // Re-surface the drainer-side failure as THIS thread's last error,
+      // mirroring what a synchronous call would have set.
+      return fail(status, future->ticket->message().c_str());
+  } catch (...) {
+    return fail_current_exception();
+  }
+  return SHALOM_OK;
+}
+
+// Completion probe, documented as returning 0/1 rather than a status
+// code; Ticket::done() cannot throw.
+// shalom-lint: allow(capi-exception-boundary)
+extern "C" int shalom_future_done(const shalom_future* future) {
+  if (future == nullptr) return 0;
+  return future->ticket->done() ? 1 : 0;
+}
+
+extern "C" void shalom_future_destroy(shalom_future* future) {
+  delete future;  // the stream's reference keeps an unfinished request alive
+}

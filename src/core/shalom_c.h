@@ -107,8 +107,9 @@ int shalom_selftest(void);
  * threads) combination, execute it many times, destroy it when done. The
  * plan snapshots every shape-dependent decision, so repeated executions
  * skip the per-call analytic models entirely. Executing one plan from
- * several threads at once is safe; parallel (threads > 1) plans serialize
- * their fork-join rounds on the library's shared worker pool.
+ * several threads at once is safe; parallel (threads > 1) plans run
+ * their fork-join rounds on the library's shared work-stealing pool,
+ * where rounds from independent callers overlap.
  * ---------------------------------------------------------------------- */
 
 typedef struct shalom_plan shalom_plan;
@@ -132,6 +133,78 @@ int shalom_plan_execute_d(const shalom_plan* plan, double alpha,
 
 /* Safe on NULL. */
 void shalom_plan_destroy(shalom_plan* plan);
+
+/* ------------------------------------------------------------------------
+ * Asynchronous submission API: a stream decouples submitting a GEMM from
+ * executing it. shalom_submit_* validates the arguments, enqueues the
+ * request and returns immediately with a future; a drainer thread behind
+ * the stream shape-buckets pending requests and coalesces each bucket
+ * into one batched execution over the work-stealing pool, so submitters
+ * never wait on other requests and repeated shapes share warm plans.
+ *
+ * The caller's A/B/C buffers must stay alive and unmodified (C: un-read)
+ * until that request's future completes - exactly like a still-running
+ * synchronous call. Outputs of requests in flight on one stream must not
+ * alias each other.
+ *
+ * Execution-time failures surface on the FUTURE, not the submit call:
+ * shalom_submit_* only fails for contract violations (bad flags, bad
+ * dimensions, NULL pointers) or when the request cannot be queued
+ * (SHALOM_ERR_ALLOC; the queue is then unchanged). shalom_wait returns
+ * the request's final status and installs its detail message as the
+ * waiting thread's last-error message.
+ * ---------------------------------------------------------------------- */
+
+typedef struct shalom_stream shalom_stream;
+typedef struct shalom_future shalom_future;
+
+/* threads <= 0 selects the default execution width (all cores). On
+ * success *out_stream owns the stream; free it with
+ * shalom_stream_destroy. If the internal drainer thread cannot be
+ * spawned the stream still works, executing each request synchronously
+ * inside shalom_submit_*. */
+int shalom_stream_create(shalom_stream** out_stream, int threads);
+
+/* Executes every request still pending, then releases the stream.
+ * Outstanding futures stay valid (they share ownership of their
+ * completion state). Safe on NULL. */
+void shalom_stream_destroy(shalom_stream* stream);
+
+/* Blocks until every request submitted before this call has executed.
+ * Per-request verdicts are on the futures; flush itself only fails for
+ * a NULL stream. */
+int shalom_stream_flush(shalom_stream* stream);
+
+/* Enqueue C = alpha * op(A) . op(B) + beta * C (row-major, like
+ * shalom_sgemm). On success *out_future owns a future for the request;
+ * free it with shalom_future_destroy (before or after completion -
+ * dropping a future never cancels the request). out_future may be NULL
+ * for fire-and-forget submission; shalom_stream_flush still covers the
+ * request. */
+int shalom_submit_s(shalom_stream* stream, char trans_a, char trans_b,
+                    ptrdiff_t m, ptrdiff_t n, ptrdiff_t k, float alpha,
+                    const float* a, ptrdiff_t lda, const float* b,
+                    ptrdiff_t ldb, float beta, float* c, ptrdiff_t ldc,
+                    shalom_future** out_future);
+int shalom_submit_d(shalom_stream* stream, char trans_a, char trans_b,
+                    ptrdiff_t m, ptrdiff_t n, ptrdiff_t k, double alpha,
+                    const double* a, ptrdiff_t lda, const double* b,
+                    ptrdiff_t ldb, double beta, double* c, ptrdiff_t ldc,
+                    shalom_future** out_future);
+
+/* Blocks until the request has executed and returns its shalom_status;
+ * a failure's detail message becomes this thread's last-error message.
+ * Idempotent: calling again returns the same status immediately. */
+int shalom_wait(shalom_future* future);
+
+/* Nonzero once the request has executed (then shalom_wait will not
+ * block); 0 while pending or when future is NULL. Not a status code. */
+int shalom_future_done(const shalom_future* future);
+
+/* Safe on NULL and safe before completion: the request keeps running and
+ * its buffers must still outlive it (use shalom_stream_flush or
+ * shalom_stream_destroy to rendezvous). */
+void shalom_future_destroy(shalom_future* future);
 
 #ifdef __cplusplus
 }

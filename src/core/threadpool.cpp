@@ -1,7 +1,9 @@
 #include "core/threadpool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <new>
 #include <system_error>
@@ -26,7 +28,7 @@ constexpr std::size_t kMaxRetiredPools = 4;
 /// be inside parallel_for on another thread, and ~ThreadPool under it
 /// would free the mutex/condvars it is blocked on. Reaping (bounding the
 /// list) therefore only touches retirees that are provably quiescent:
-/// zero Handle pins and an uncontended run mutex.
+/// zero Handle pins and zero rounds in flight.
 struct PoolRegistry {
   Mutex mu;
   std::vector<std::unique_ptr<ThreadPool>> pools SHALOM_GUARDED_BY(mu);
@@ -37,23 +39,216 @@ PoolRegistry& registry() {
   return r;
 }
 
+/// Round-admission override: -1 follows SHALOM_SERIALIZE_ROUNDS, 0/1 is
+/// forced by a bench or test (ThreadPool::set_serialize_rounds_for_testing).
+std::atomic<int> g_serialize_override{-1};
+
+/// Smallest power of two >= n (used for the deque ring capacity).
+std::size_t pow2_at_least(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
+
+/// What the deques carry: a (round, task index) hint. Hints are advisory;
+/// only a claim CAS win makes the holder run the task.
+struct ThreadPool::TaskSlot {
+  Round* round;
+  int task;
+};
+
+// ---------------------------------------------------------------------------
+// Round: one in-flight parallel_for
+// ---------------------------------------------------------------------------
+
+/// Heap-allocated record of one fork-join round. Lifetime is managed by an
+/// intrusive refcount: the submitter holds one reference for the duration
+/// of run_round, the injection list holds one while the round is linked,
+/// and every task hint handed to a deque (or carried by a worker) holds
+/// one. Hints may outlive the round's completion (a stale deque entry),
+/// which is safe because they only ever touch `claims` - and a successful
+/// claim proves the task has not run, hence the round has not joined,
+/// hence `fn` (which points into the submitter's frame) is still alive.
+struct ThreadPool::Round {
+  const std::function<void(int)>* fn;
+  int tasks;
+  std::uint64_t gen;  // generation tag stored into won claim slots
+
+  /// Per-task claim slots: 0 = unclaimed, `gen` = claimed. Exactly one
+  /// CAS wins per slot, which is the exactly-once execution guarantee
+  /// (deque entries and the injection list are only hints).
+  std::vector<std::atomic<std::uint64_t>> claims;
+  std::vector<TaskSlot> slots;
+  /// Next task index not yet handed to any deque. Task 0 is the
+  /// submitter's (fork-join semantics), so distribution starts at 1.
+  std::atomic<int> next_undist{1};
+  /// Tasks not yet executed; the last finisher signals the join.
+  std::atomic<int> remaining;
+  std::atomic<int> refs{1};  // submitter's reference
+
+  Mutex mu;
+  std::condition_variable_any cv;
+  bool done SHALOM_GUARDED_BY(mu) = false;
+
+  Round(const std::function<void(int)>* f, int t, std::uint64_t g)
+      : fn(f), tasks(t), gen(g),
+        claims(static_cast<std::size_t>(t)),
+        slots(static_cast<std::size_t>(t)),
+        remaining(t) {
+    for (int i = 0; i < t; ++i)
+      slots[static_cast<std::size_t>(i)] = TaskSlot{this, i};
+  }
+
+  void retain() noexcept { refs.fetch_add(1, std::memory_order_relaxed); }
+  void release() noexcept {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  /// Claims `task` for execution; true for exactly one caller.
+  bool claim(int task) noexcept {
+    std::uint64_t expected = 0;
+    return claims[static_cast<std::size_t>(task)].compare_exchange_strong(
+        expected, gen, std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+
+  /// Retires one executed task; the last one marks the round done.
+  void finish() noexcept {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      MutexLock lock(mu);
+      done = true;
+      cv.notify_all();
+    }
+  }
+
+  void wait_done() {
+    MutexLock lock(mu);
+    while (!done) cv.wait(lock);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Deque: Chase-Lev-style per-worker work queue
+// ---------------------------------------------------------------------------
+
+/// Fixed-capacity single-owner deque: the owning worker pushes and pops at
+/// the bottom, thieves CAS-increment the top. Entries are TaskSlot hints -
+/// losing one to a race or overflow is a load-balance event, never a
+/// correctness event (the claim protocol is the ground truth). The classic
+/// formulation (Le et al., "Correct and efficient work-stealing for weak
+/// memory models") uses standalone fences; TSan does not model those, so
+/// the fences are expressed as seq_cst operations on top_/bottom_ instead,
+/// per the explicit-memory-order lint discipline.
+class ThreadPool::Deque {
+ public:
+  explicit Deque(std::size_t capacity_pow2)
+      : buf_(capacity_pow2), mask_(capacity_pow2 - 1) {}
+
+  /// Owner only. False when full; the caller runs the task inline then.
+  bool push(TaskSlot* s) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(buf_.size())) return false;
+    buf_[static_cast<std::size_t>(b) & mask_].store(
+        s, std::memory_order_relaxed);
+    // Release-publishes the slot write to thieves that acquire bottom_.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only. Null when empty (or the last element was stolen).
+  TaskSlot* pop() noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // The bottom_ reservation must be globally ordered before the top_
+    // read (seq_cst store/load pair), or the owner and a thief could
+    // both take the last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      TaskSlot* s = buf_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it on top_.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+          s = nullptr;  // a thief won
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return s;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);  // was empty
+    return nullptr;
+  }
+
+  /// Any thread. Null when empty or the CAS race was lost.
+  TaskSlot* steal() noexcept {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    TaskSlot* s = buf_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;  // lost to the owner or another thief
+    // The CAS win proves no one consumed index t before us, and the
+    // bottom_ acquire above made the producing slot write visible, so
+    // `s` is the entry pushed at index t.
+    return s;
+  }
+
+ private:
+  std::vector<std::atomic<TaskSlot*>> buf_;
+  std::size_t mask_;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+struct ThreadPool::Worker {
+  Deque deque;
+  explicit Worker(std::size_t cap) : deque(cap) {}
+};
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
 
 ThreadPool::ThreadPool(int max_threads)
     : max_threads_(max_threads),
-      claims_(max_threads >= 1 ? static_cast<std::size_t>(max_threads) : 1),
+      workers_(max_threads >= 1 ? static_cast<std::size_t>(max_threads) : 1),
       heartbeats_(max_threads >= 1 ? static_cast<std::size_t>(max_threads)
                                    : 1) {
   SHALOM_REQUIRE(max_threads >= 1, " max_threads=", max_threads);
-  workers_.reserve(static_cast<std::size_t>(max_threads_ - 1));
+  const std::size_t deque_cap = pow2_at_least(
+      std::max<std::size_t>(64, static_cast<std::size_t>(max_threads) * 4));
+  // Every Worker slot is written BEFORE the first thread spawns: a
+  // spawned worker immediately scans all of workers_[*] as steal
+  // victims, so the slot stores must happen-before the spawn (the
+  // thread-creation edge), never race with it. A slot that fails to
+  // allocate stays null; spawning stops at the first gap.
+  try {
+    for (int w = 1; w < max_threads_; ++w)
+      workers_[static_cast<std::size_t>(w)] =
+          std::make_unique<Worker>(deque_cap);
+  } catch (const std::bad_alloc&) {
+    // Keep the slots that did allocate; width narrows below.
+  }
+  threads_.reserve(static_cast<std::size_t>(max_threads_ - 1));
   for (int w = 1; w < max_threads_; ++w) {
+    if (workers_[static_cast<std::size_t>(w)] == nullptr) {
+      max_threads_ = w;
+      break;
+    }
     try {
       if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolSpawn))
         throw std::system_error(
             std::make_error_code(std::errc::resource_unavailable_try_again));
-      workers_.emplace_back([this, w] { worker_loop(w); });
+      threads_.emplace_back([this, w] { worker_loop(w); });
     } catch (const std::system_error&) {
-      // Workers 1..w-1 already exist and support w-way rounds; keep them.
+      // Workers 1..w-1 already run and support w-way rounds; keep them.
+      // workers_[w] stays allocated but threadless: its deque is forever
+      // empty, so victims scans skip past it harmlessly.
       max_threads_ = w;
       break;
     } catch (const std::bad_alloc&) {
@@ -71,20 +266,32 @@ ThreadPool::~ThreadPool() {
   // Wakes parked workers too (a watchdog-abandoned worker parks on
   // start_cv_ until shutdown), so the joins below always complete.
   start_cv_.notify_all();
-  for (auto& t : workers_) t.join();
+  for (auto& t : threads_) t.join();
+  // Workers are gone; drop the stale hints their deques still hold (they
+  // only pin round memory - every completed round's claims are all won).
+  for (auto& w : workers_) {
+    if (w == nullptr) continue;
+    while (TaskSlot* s = w->deque.pop()) s->round->release();
+  }
+  MutexLock lock(mu_);
+  for (Round* r : injection_) r->release();
+  injection_.clear();
 }
 
-bool ThreadPool::try_claim(int task, std::uint64_t gen) noexcept {
-  std::atomic<std::uint64_t>& slot = claims_[static_cast<std::size_t>(task)];
-  std::uint64_t seen = slot.load(std::memory_order_acquire);
-  while (seen < gen) {
-    if (slot.compare_exchange_weak(seen, gen, std::memory_order_acq_rel,
-                                   std::memory_order_acquire))
-      return true;
-  }
-  // seen >= gen: this round's task was already claimed (or the claimant
-  // is a straggler from a round that has since completed) - back off.
-  return false;
+bool ThreadPool::serialize_rounds() noexcept {
+  const int forced = g_serialize_override.load(std::memory_order_acquire);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env =
+      env::get_long("SHALOM_SERIALIZE_ROUNDS", 0, 0, 1) != 0;
+  return from_env;
+}
+
+void ThreadPool::set_serialize_rounds_for_testing(bool on) noexcept {
+  g_serialize_override.store(on ? 1 : 0, std::memory_order_release);
+}
+
+void ThreadPool::clear_serialize_rounds_override() noexcept {
+  g_serialize_override.store(-1, std::memory_order_release);
 }
 
 std::uint64_t ThreadPool::heartbeat_sum() const noexcept {
@@ -105,112 +312,239 @@ void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn,
     return;
   }
   if (watchdog_ms < 0) watchdog_ms = guard::env_watchdog_ms();
-  // One fork-join round at a time: concurrent callers (threads executing
-  // parallel plans, racing plan creations pre-sizing worker arenas) queue
-  // here instead of clobbering the shared job slot and join barrier.
-  MutexLock run_lock(run_mu_);
-  std::uint64_t gen = 0;
+  if (serialize_rounds()) {
+    // Compatibility mode: one round at a time, workers do all the
+    // non-leader work (the PR 5 admission discipline, and the baseline
+    // bench/abl_engine measures overlap against).
+    MutexLock run_lock(run_mu_);
+    run_round(tasks, fn, watchdog_ms, /*leader_helps=*/false);
+    return;
+  }
+  // Overlapping mode. With a watchdog armed the leader must NOT help
+  // eagerly: inline help would complete the round before a wedged worker
+  // could ever be observed, and the whole point of the diagnostic round
+  // is to observe it (the leader still recovers everything on a trip).
+  run_round(tasks, fn, watchdog_ms, /*leader_helps=*/watchdog_ms <= 0);
+}
+
+void ThreadPool::run_round(int tasks, const std::function<void(int)>& fn,
+                           int watchdog_ms, bool leader_helps) {
+  const int act = active_rounds_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  int hw = max_active_rounds_.load(std::memory_order_relaxed);
+  while (act > hw &&
+         !max_active_rounds_.compare_exchange_weak(
+             hw, act, std::memory_order_acq_rel, std::memory_order_relaxed)) {
+  }
+
+  Round* r = new Round(&fn, tasks,
+                       round_gen_.fetch_add(1, std::memory_order_relaxed) + 1);
   {
     MutexLock lock(mu_);
-    job_ = &fn;
-    job_tasks_ = tasks;
-    outstanding_ = tasks - 1;
-    gen = ++generation_;
+    r->retain();  // the injection list's reference
+    injection_.push_back(r);
+    ++submit_seq_;
   }
   start_cv_.notify_all();
 
-  fn(0);  // the calling thread takes task 0 (fork-join semantics)
-
-  // Explicit predicate loop (not the lambda-predicate overload) so the
-  // thread-safety analysis sees the guarded read under the held lock.
-  MutexLock lock(mu_);
-  if (watchdog_ms <= 0) {
-    while (outstanding_ != 0) done_cv_.wait(lock);
+  std::exception_ptr caught;
+  run_leader_task(*r, 0, caught);  // fork-join: the caller takes task 0
+  if (leader_helps) {
+    // Caller-inline help: claim-scan every task no worker picked up yet,
+    // so the round completes even on a pool with zero live workers and
+    // the submitting thread never blocks idle.
+    for (int t = 1; t < tasks; ++t) run_leader_task(*r, t, caught);
+    r->wait_done();  // join worker-claimed stragglers
+  } else if (watchdog_ms <= 0) {
+    r->wait_done();
   } else {
-    std::uint64_t baseline = heartbeat_sum();
-    bool tripped = false;
-    while (outstanding_ != 0) {
-      if (tripped) {
-        // Whatever is still outstanding was claimed by a live-or-wedged
-        // worker; only it can finish the task (see the header comment on
-        // mid-task wedges). No further trips this round.
-        done_cv_.wait(lock);
-        continue;
-      }
-      done_cv_.wait_for(lock, std::chrono::milliseconds(watchdog_ms));
-      if (outstanding_ == 0) break;
-      const std::uint64_t now = heartbeat_sum();
-      if (now != baseline) {
-        baseline = now;  // workers are making progress; re-arm
-        continue;
-      }
-      // Trip: a full period elapsed with zero heartbeat movement. Mark
-      // the pool degraded (sticky), count it, and recover every task no
-      // worker has claimed by running it on this thread.
-      tripped = true;
-      degraded_.store(true, std::memory_order_release);
-      telemetry::note_watchdog_trip();
-      std::fprintf(stderr,
-                   "shalom: threadpool: watchdog tripped after %d ms with "
-                   "no worker heartbeat progress (%d-task round); pool "
-                   "degraded, leader recovering unclaimed tasks serially\n",
-                   watchdog_ms, tasks);
-      for (int t = 1; t < tasks; ++t) {
-        if (!try_claim(t, gen)) continue;
-        lock.unlock();
-        fn(t);
-        lock.lock();
-        --outstanding_;
-      }
+    watchdog_wait(*r, watchdog_ms, caught);
+  }
+  {
+    // Unlink the (likely exhausted) round so the list stays short; a
+    // worker may already have unlinked it for us.
+    MutexLock lock(mu_);
+    auto it = std::find(injection_.begin(), injection_.end(), r);
+    if (it != injection_.end()) {
+      injection_.erase(it);
+      r->release();
     }
   }
-  job_ = nullptr;
+  r->release();  // the submitter's reference
+  active_rounds_.fetch_sub(1, std::memory_order_acq_rel);
+  if (caught) std::rethrow_exception(caught);
+}
+
+void ThreadPool::run_leader_task(Round& r, int task,
+                                 std::exception_ptr& caught) {
+  if (!r.claim(task)) return;
+  try {
+    (*r.fn)(task);
+  } catch (...) {
+    // Deferred: the round must join before the exception can propagate
+    // (workers may still be executing sibling tasks of this round).
+    if (!caught) caught = std::current_exception();
+  }
+  r.finish();
+}
+
+void ThreadPool::watchdog_wait(Round& r, int watchdog_ms,
+                               std::exception_ptr& caught) {
+  std::uint64_t baseline = heartbeat_sum();
+  bool tripped = false;
+  MutexLock lock(r.mu);
+  while (!r.done) {
+    if (tripped) {
+      // Whatever is still outstanding was claimed by a live-or-wedged
+      // worker; only it can finish the task (a mid-task wedge may hold
+      // half-written output). No further trips this round.
+      r.cv.wait(lock);
+      continue;
+    }
+    r.cv.wait_for(lock, std::chrono::milliseconds(watchdog_ms));
+    if (r.done) break;
+    const std::uint64_t now = heartbeat_sum();
+    if (now != baseline) {
+      baseline = now;  // workers are making progress; re-arm
+      continue;
+    }
+    // Trip: a full period elapsed with zero heartbeat movement. Mark
+    // the pool degraded (sticky), count it, and recover every task no
+    // worker has claimed by running it on this thread.
+    tripped = true;
+    degraded_.store(true, std::memory_order_release);
+    telemetry::note_watchdog_trip();
+    std::fprintf(stderr,
+                 "shalom: threadpool: watchdog tripped after %d ms with "
+                 "no worker heartbeat progress (%d-task round); pool "
+                 "degraded, leader recovering unclaimed tasks serially\n",
+                 watchdog_ms, r.tasks);
+    for (int t = 1; t < r.tasks; ++t) {
+      lock.unlock();
+      run_leader_task(r, t, caught);
+      lock.lock();
+    }
+  }
+}
+
+ThreadPool::TaskSlot* ThreadPool::steal_task(int thief_id) noexcept {
+  const int n = static_cast<int>(workers_.size());
+  if (n <= 2) return nullptr;  // no other worker to rob
+  for (int k = 1; k < n - 1; ++k) {
+    // Deterministic round-robin starting after the thief: spreads
+    // contention without a randomness source (lint: nondeterminism).
+    const int victim = 1 + (thief_id - 1 + k) % (n - 1);
+    Worker* w = workers_[static_cast<std::size_t>(victim)].get();
+    if (w == nullptr) continue;
+    if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolSteal))
+      continue;  // injected degradation: treat this victim as empty
+    if (TaskSlot* s = w->deque.steal()) return s;
+  }
+  return nullptr;
+}
+
+ThreadPool::TaskSlot* ThreadPool::claim_from_injection(int worker_id) {
+  Round* r = nullptr;
+  {
+    MutexLock lock(mu_);
+    while (!injection_.empty()) {
+      Round* cand = injection_.front();
+      if (cand->next_undist.load(std::memory_order_acquire) >= cand->tasks) {
+        // Fully distributed: unlink so the list stays short (its tasks
+        // live on as deque hints or claims now).
+        injection_.erase(injection_.begin());
+        cand->release();
+        continue;
+      }
+      r = cand;
+      r->retain();  // working reference for the distribution below
+      break;
+    }
+  }
+  if (r == nullptr) return nullptr;
+  // Pull every still-undistributed task: run the first ourselves, queue
+  // the rest in our own deque for thieves to share.
+  TaskSlot* mine = nullptr;
+  int pushed = 0;
+  Worker& self = *workers_[static_cast<std::size_t>(worker_id)];
+  for (;;) {
+    const int i = r->next_undist.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= r->tasks) break;
+    TaskSlot* s = &r->slots[static_cast<std::size_t>(i)];
+    r->retain();  // the hint's reference (released by its consumer)
+    if (mine == nullptr) {
+      mine = s;
+      continue;
+    }
+    if (self.deque.push(s)) {
+      ++pushed;
+    } else {
+      execute_task(s);  // deque full: run it here and now
+    }
+  }
+  if (pushed > 0) {
+    {
+      MutexLock lock(mu_);
+      ++submit_seq_;
+    }
+    start_cv_.notify_all();
+  }
+  r->release();
+  return mine;
+}
+
+void ThreadPool::execute_task(TaskSlot* slot) {
+  Round* r = slot->round;
+  if (r->claim(slot->task)) {
+    (*r->fn)(slot->task);
+    r->finish();
+  }
+  r->release();
 }
 
 void ThreadPool::worker_loop(int worker_id) {
-  std::uint64_t seen_generation = 0;
+  Worker& self = *workers_[static_cast<std::size_t>(worker_id)];
+  std::atomic<std::uint64_t>& beat =
+      heartbeats_[static_cast<std::size_t>(worker_id)];
   for (;;) {
-    const std::function<void(int)>* job = nullptr;
-    int tasks = 0;
-    std::uint64_t gen = 0;
+    // Capture the wakeup sequence BEFORE hunting, so a publication that
+    // races the hunt re-runs it instead of being slept through.
+    std::uint64_t seen_seq = 0;
     {
       MutexLock lock(mu_);
-      while (!shutdown_ && generation_ == seen_generation)
-        start_cv_.wait(lock);
       if (shutdown_) return;
-      seen_generation = generation_;
-      job = job_;
-      tasks = job_tasks_;
-      gen = generation_;
+      seen_seq = submit_seq_;
     }
-    // Round-pickup heartbeat: the watchdog reads these sums to tell a
-    // slow round from a wedged one.
-    heartbeats_[static_cast<std::size_t>(worker_id)].fetch_add(
-        1, std::memory_order_relaxed);
-    if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolHeartbeat)) {
-      // Simulated wedge: park without claiming the task so the watchdog
-      // leader can recover it. Parked until pool shutdown - exactly the
-      // observable behaviour of a worker the OS stopped scheduling.
-      MutexLock lock(mu_);
-      while (!shutdown_) start_cv_.wait(lock);
-      return;
+    TaskSlot* slot = self.deque.pop();
+    if (slot == nullptr) slot = steal_task(worker_id);
+    if (slot == nullptr) slot = claim_from_injection(worker_id);
+    if (slot != nullptr) {
+      // Pickup heartbeat: the watchdog reads these sums to tell a slow
+      // round from a wedged one.
+      beat.fetch_add(1, std::memory_order_relaxed);
+      if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolHeartbeat)) {
+        // Simulated wedge: drop the hint unclaimed (so the watchdog
+        // leader can recover the task) and park until pool shutdown -
+        // exactly the observable behaviour of a worker the OS stopped
+        // scheduling. Anything already queued in our deque stays
+        // stealable by the healthy workers.
+        slot->round->release();
+        MutexLock lock(mu_);
+        while (!shutdown_) start_cv_.wait(lock);
+        return;
+      }
+      execute_task(slot);
+      beat.fetch_add(1, std::memory_order_relaxed);  // completion
+      continue;
     }
-    // Workers with id >= tasks have nothing to do this round; the claim
-    // protocol means they (and claim-race losers) must NOT touch the
-    // barrier - only the claim winner retires a task.
-    bool ran = false;
-    if (worker_id < tasks && job != nullptr && try_claim(worker_id, gen)) {
-      (*job)(worker_id);
-      ran = true;
-    }
-    heartbeats_[static_cast<std::size_t>(worker_id)].fetch_add(
-        1, std::memory_order_relaxed);
-    if (ran) {
-      MutexLock lock(mu_);
-      if (--outstanding_ == 0) done_cv_.notify_one();
-    }
+    MutexLock lock(mu_);
+    while (!shutdown_ && submit_seq_ == seen_seq) start_cv_.wait(lock);
+    if (shutdown_) return;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Global registry
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -232,16 +566,15 @@ void ensure_width_locked(PoolRegistry& r, int threads) SHALOM_REQUIRES(r.mu) {
 void ThreadPool::reap_retired_locked(
     std::vector<std::unique_ptr<ThreadPool>>& pools) {
   // The newest pool (back) is never reaped. A retiree is quiescent when
-  // no Handle pins it and its run mutex is free (no round in flight);
-  // only quiescent retirees go, and only while the list is over cap.
-  // Oldest first: the oldest retirees are the least likely to still be
-  // referenced by a transient global() caller.
+  // no Handle pins it and no round is in flight; only quiescent retirees
+  // go, and only while the list is over cap. Oldest first: the oldest
+  // retirees are the least likely to still be referenced by a transient
+  // global() caller.
   std::size_t i = 0;
   while (pools.size() > kMaxRetiredPools + 1 && i + 1 < pools.size()) {
     ThreadPool& p = *pools[i];
     if (p.pins_.load(std::memory_order_acquire) == 0 &&
-        p.run_mu_.try_lock()) {
-      p.run_mu_.unlock();
+        p.active_rounds_.load(std::memory_order_acquire) == 0) {
       pools.erase(pools.begin() +
                   static_cast<std::vector<
                       std::unique_ptr<ThreadPool>>::difference_type>(i));

@@ -1,29 +1,52 @@
-// Fork-join thread pool (paper Section 6).
+// Work-stealing thread pool with overlapping fork-join rounds.
 //
-// LibShalom parallelizes irregular-shaped GEMM "using the fork-join
-// operating system primitives" with a static partition. The pool keeps T-1
-// persistent workers parked on a condition variable; parallel_for wakes
-// them, runs task 0 on the calling thread, and joins at a generation
-// barrier. There is no work stealing by design - the partition solver is
-// responsible for balance, and the benches measure exactly that.
+// LibShalom parallelizes irregular-shaped GEMM with a static partition
+// (paper Section 6): each round runs fn(0) .. fn(tasks-1) with exactly one
+// C sub-block per task, and the partition solver - not the scheduler - is
+// responsible for balance. Through PR 5 the pool enforced that shape with
+// a single job slot guarded by a run mutex, which also meant independent
+// callers (a server thread per client) serialized on round admission even
+// when their GEMMs were tiny. This pool removes that serialization point:
 //
-// Watchdog (robustness layer, common/guard.h): each round can be armed
-// with a stall monitor. Workers publish heartbeat epochs at round pickup
-// and task completion; tasks are claimed through per-slot generation-
-// tagged CAS so exactly one executor runs each task. When the round
-// leader sees no heartbeat progress for watchdog_ms, it trips: the pool
-// is marked degraded (pool_run then narrows it to serial), the trip is
-// counted (RobustnessStats::watchdog_trips), and the leader claims and
-// runs every still-unclaimed task inline so the round completes with
-// correct results. A worker wedged BEFORE claiming its task is fully
-// recovered this way; a worker wedged in the MIDDLE of a task cannot be
-// (its claimed task may hold half-written output), so the leader keeps
-// waiting on it - the trip is still counted and the pool still degrades.
+//   - Every round is an independent heap-allocated record (claims, join
+//     counter, refcount). Any number of rounds can be in flight at once;
+//     max_overlapped_rounds_for_testing() observes the high-water mark.
+//   - Each worker owns a Chase-Lev-style deque of task references. A
+//     submitter publishes its round on a shared injection list; workers
+//     that run dry distribute the round's tasks into their own deque
+//     (running the first directly) and idle workers steal from the
+//     bottom-most victims' deques top-end-first.
+//   - The submitting thread always runs task 0 itself (fork-join
+//     semantics) and, when no watchdog is armed, claim-scans the rest of
+//     its round inline - a caller never blocks idle behind other rounds,
+//     and rounds complete even on a pool with zero live workers.
 //
-// Concurrency contract: parallel_for may be called from several threads at
-// once - rounds serialize on an internal run mutex, so concurrent callers
-// queue rather than corrupt the single job slot. Calling parallel_for from
-// inside a pool task (nesting) is forbidden and would deadlock.
+// Exactly-once execution carries over from PR 5 unchanged: every task slot
+// is a generation-tagged CAS claim and deque/injection entries are only
+// *hints* - whoever wins the claim runs the task, everyone else backs off.
+// A stale hint (task already executed, round already gone from the list)
+// is harmless because entries hold a reference on the round record.
+//
+// Watchdog (robustness layer, common/guard.h): a round armed with
+// watchdog_ms > 0 runs in diagnostic mode - the leader runs task 0 only,
+// then waits in watchdog_ms slices watching the worker heartbeat sum
+// (workers tick at task pickup and completion). No progress for a full
+// period trips the watchdog: the pool is marked degraded (sticky, pool_run
+// then narrows later rounds to serial), the trip is counted
+// (RobustnessStats::watchdog_trips), and the leader claims and runs every
+// still-unclaimed task inline so the round completes with correct
+// results. A worker wedged BEFORE claiming a task is fully recovered; one
+// wedged MID-task cannot be (its output may be half-written), so the
+// leader keeps waiting on it. Diagnostic mode deliberately withholds the
+// leader's inline help until the trip: eager help would complete the
+// round before a wedge could ever be observed.
+//
+// Concurrency contract: parallel_for may be called from any number of
+// threads at once and the rounds genuinely overlap. Calling parallel_for
+// from inside a pool task (nesting) remains forbidden. Compatibility
+// escape hatch: SHALOM_SERIALIZE_ROUNDS=1 (or the programmatic override
+// below) restores the PR 5 one-round-at-a-time admission - the baseline
+// that bench/abl_engine measures the overlap win against.
 #pragma once
 
 #include <atomic>
@@ -41,30 +64,36 @@ namespace shalom {
 class ThreadPool {
  public:
   /// Creates a pool usable for up to `max_threads`-way parallel_for calls
-  /// (spawns max_threads - 1 workers). Spawning is best-effort: if the OS
-  /// refuses a worker thread (std::system_error / bad_alloc), the pool
-  /// keeps the workers it got and max_threads() reports the reduced
-  /// width - construction never throws for resource exhaustion, only for
-  /// the max_threads < 1 contract violation.
+  /// (spawns max_threads - 1 workers, each with its own steal deque).
+  /// Spawning is best-effort: if the OS refuses a worker thread
+  /// (std::system_error / bad_alloc), the pool keeps the workers it got
+  /// and max_threads() reports the reduced width - construction never
+  /// throws for resource exhaustion, only for the max_threads < 1
+  /// contract violation.
   explicit ThreadPool(int max_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Runs fn(0) .. fn(tasks-1) across the pool, blocking until every task
-  /// has finished. `tasks` must lie in [1, max_threads()]: the paper's
-  /// scheme assigns exactly one C sub-block per thread, so oversubscribing
-  /// a round is a contract violation (shalom::invalid_argument), not a
-  /// queueing request - callers that may face a degraded pool should go
-  /// through pool_run() instead. Safe to call from several threads
-  /// concurrently (rounds serialize); must not be re-entered from inside a
-  /// task.
+  /// Runs fn(0) .. fn(tasks-1), blocking until every task has finished.
+  /// `tasks` must lie in [1, max_threads()]: the paper's scheme assigns
+  /// exactly one C sub-block per thread, so oversubscribing a round is a
+  /// contract violation (shalom::invalid_argument), not a queueing
+  /// request - callers that may face a degraded pool should go through
+  /// pool_run() instead. Safe to call from several threads concurrently;
+  /// the rounds overlap (unless SHALOM_SERIALIZE_ROUNDS is set). Must not
+  /// be re-entered from inside a task.
   ///
   /// watchdog_ms arms the stall monitor for this round: > 0 is the
   /// no-heartbeat-progress period in milliseconds before the leader trips
-  /// and recovers (see the header comment), 0 disables it, and -1 (the
-  /// default) uses guard::env_watchdog_ms() (SHALOM_WATCHDOG_MS).
+  /// and recovers (see the header comment), 0 disables it (the leader
+  /// then helps eagerly instead of waiting), and -1 (the default) uses
+  /// guard::env_watchdog_ms() (SHALOM_WATCHDOG_MS).
+  ///
+  /// If fn throws on the leader thread, the first exception is rethrown
+  /// after the round joins (tasks the workers run must not throw - GEMM
+  /// drivers already wrap worker bodies in their own catch).
   void parallel_for(int tasks, const std::function<void(int)>& fn,
                     int watchdog_ms = -1);
 
@@ -76,6 +105,21 @@ class ThreadPool {
   bool degraded() const noexcept {
     return degraded_.load(std::memory_order_acquire);
   }
+
+  /// High-water mark of rounds observed in flight simultaneously on this
+  /// pool. >= 2 proves two callers' rounds genuinely overlapped.
+  int max_overlapped_rounds_for_testing() const noexcept {
+    return max_active_rounds_.load(std::memory_order_acquire);
+  }
+
+  /// Process-wide round-admission compatibility switch. When true,
+  /// parallel_for serializes rounds on an internal run mutex exactly like
+  /// the PR 5 pool (and the leader never helps beyond task 0 outside a
+  /// watchdog trip). Reads SHALOM_SERIALIZE_ROUNDS unless overridden;
+  /// the setters exist for A/B benching and tests.
+  static bool serialize_rounds() noexcept;
+  static void set_serialize_rounds_for_testing(bool on) noexcept;
+  static void clear_serialize_rounds_override() noexcept;
 
   /// Process-wide pool, grown on demand to at least `threads`. Growing
   /// retires the smaller pool instead of destroying it, so a reference
@@ -112,45 +156,66 @@ class ThreadPool {
   static int retired_pool_count_for_testing();
 
  private:
-  void worker_loop(int worker_id);
+  struct Round;     // one in-flight parallel_for (threadpool.cpp)
+  struct TaskSlot;  // {round, task index} - what deques carry
+  class Deque;      // Chase-Lev-style per-worker deque
+  struct Worker;    // per-worker state (the deque, cache-line padded)
 
-  /// Claims task slot `task` for round `gen`. Slots carry the generation
-  /// that claimed them and only move forward, which makes the claim
-  /// ABA-safe against stragglers from completed rounds: a stale worker
-  /// sees a slot value >= its own round and backs off. Returns true for
-  /// exactly one caller per (task, round).
-  bool try_claim(int task, std::uint64_t gen) noexcept;
+  void worker_loop(int worker_id);
+  void run_round(int tasks, const std::function<void(int)>& fn,
+                 int watchdog_ms, bool leader_helps);
+  /// Claim-then-run for the submitting thread; first exception captured.
+  void run_leader_task(Round& r, int task, std::exception_ptr& caught);
+  /// Diagnostic-mode join: watchdog slices, trip -> degrade + recover.
+  void watchdog_wait(Round& r, int watchdog_ms, std::exception_ptr& caught);
+  /// Steals one task hint from some other worker's deque.
+  TaskSlot* steal_task(int thief_id) noexcept;
+  /// Pulls undistributed tasks of the oldest listed round into worker
+  /// `worker_id`'s deque; returns one hint to run immediately (or null).
+  TaskSlot* claim_from_injection(int worker_id);
+  /// Claim -> run -> join-count for one task hint; drops the hint's
+  /// round reference. Worker-side only (task fns must not throw there).
+  void execute_task(TaskSlot* slot);
 
   /// Sum of all worker heartbeat epochs (relaxed snapshot). Progress
   /// between two snapshots means some worker picked up or finished work.
   std::uint64_t heartbeat_sum() const noexcept;
 
   int max_threads_;  // may be reduced by the ctor under spawn failure
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> threads_;
+  /// Per-worker deques, indexed by worker id 1..max_threads_-1 (slot 0 is
+  /// the submitters' side and has no deque). Entries past a failed spawn
+  /// stay null.
+  std::vector<std::unique_ptr<Worker>> workers_;
 
-  /// Lock-free round state (outside the capability annotations; explicit
-  /// memory orders per the shalom_lint discipline). Sized for the
-  /// requested width before the spawn loop can shrink max_threads_.
-  std::vector<std::atomic<std::uint64_t>> claims_;
+  /// Lock-free state (outside the capability annotations; explicit
+  /// memory orders per the shalom_lint discipline). heartbeats_ is sized
+  /// for the requested width before the spawn loop can shrink
+  /// max_threads_.
   std::vector<std::atomic<std::uint64_t>> heartbeats_;
   std::atomic<bool> degraded_{false};
   /// Handles currently pinning this pool (registry reap guard).
   std::atomic<int> pins_{0};
+  /// Round generation source; claims are tagged with it (never 0).
+  std::atomic<std::uint64_t> round_gen_{0};
+  /// Rounds currently in flight, and the high-water mark thereof.
+  std::atomic<int> active_rounds_{0};
+  std::atomic<int> max_active_rounds_{0};
 
-  /// Held for the whole fork-join round: admits one parallel_for at a
-  /// time, making concurrent plan executions / creations safe. Ordered
-  /// strictly before mu_ (run_mu_ is never acquired under mu_).
+  /// Held for the whole round ONLY in serialize_rounds() compatibility
+  /// mode; untouched on the overlapping path. Ordered strictly before
+  /// mu_ (never acquired under mu_).
   Mutex run_mu_;
-  /// Guards the job slot and the generation barrier below. The condition
-  /// variables are condition_variable_any so they wait directly on the
-  /// annotated MutexLock.
+  /// Guards the injection list and worker parking. Never held while
+  /// running a task.
   Mutex mu_;
   std::condition_variable_any start_cv_;
-  std::condition_variable_any done_cv_;
-  const std::function<void(int)>* job_ SHALOM_GUARDED_BY(mu_) = nullptr;
-  int job_tasks_ SHALOM_GUARDED_BY(mu_) = 0;
-  std::uint64_t generation_ SHALOM_GUARDED_BY(mu_) = 0;
-  int outstanding_ SHALOM_GUARDED_BY(mu_) = 0;
+  /// Rounds with possibly-undistributed tasks, oldest first. Entries own
+  /// one reference on their round; the submitter (at join) or a
+  /// distributing worker (on exhaustion) unlinks and releases.
+  std::vector<Round*> injection_ SHALOM_GUARDED_BY(mu_);
+  /// Bumped on every publication that parked workers should look at.
+  std::uint64_t submit_seq_ SHALOM_GUARDED_BY(mu_) = 0;
   bool shutdown_ SHALOM_GUARDED_BY(mu_) = false;
 
   /// Erases quiesced (unpinned, no round in flight) retired pools while

@@ -1,8 +1,10 @@
 // Tests for the C API: happy path against the oracle, transpose-flag
 // parsing, error codes and thread handling, the opaque plan handle
 // (shalom_plan_create / _execute_s / _execute_d / _destroy) including
-// every documented error code, plus the diagnostics surface
-// (shalom_strerror, shalom_last_error_message) and overflow rejection.
+// every documented error code, the asynchronous stream/future surface
+// (shalom_stream_* / shalom_submit_* / shalom_wait), plus the diagnostics
+// surface (shalom_strerror, shalom_last_error_message) and overflow
+// rejection.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -10,6 +12,8 @@
 #include <set>
 #include <string>
 
+#include "common/fault.h"
+#include "common/guard.h"
 #include "core/shalom_c.h"
 #include "tests/test_util.h"
 
@@ -214,6 +218,184 @@ TEST(CApi, LastErrorMessageTracksFailures) {
                          p.b.data(), p.b.ld(), 0.f, p.c.data(), p.c.ld(), 1),
             SHALOM_OK);
   EXPECT_STREQ(shalom_last_error_message(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous stream/future API
+// ---------------------------------------------------------------------------
+
+TEST(CApiAsync, SubmitWaitMatchesOracle) {
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  ASSERT_NE(stream, nullptr);
+
+  testing::Problem<float> pf({Trans::N, Trans::N}, 19, 27, 14);
+  testing::Problem<double> pd({Trans::T, Trans::T}, 12, 8, 31);
+
+  shalom_future* ff = nullptr;
+  shalom_future* fd = nullptr;
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 19, 27, 14, 1.5f, pf.a.data(),
+                            pf.a.ld(), pf.b.data(), pf.b.ld(), 0.25f,
+                            pf.c.data(), pf.c.ld(), &ff),
+            0);
+  ASSERT_EQ(shalom_submit_d(stream, 't', 't', 12, 8, 31, -1.0, pd.a.data(),
+                            pd.a.ld(), pd.b.data(), pd.b.ld(), 0.5,
+                            pd.c.data(), pd.c.ld(), &fd),
+            0);
+  ASSERT_NE(ff, nullptr);
+  ASSERT_NE(fd, nullptr);
+
+  EXPECT_EQ(shalom_wait(ff), 0);
+  EXPECT_EQ(shalom_wait(fd), 0);
+  EXPECT_NE(shalom_future_done(ff), 0);
+
+  pf.run_reference(1.5f, 0.25f);
+  pf.expect_matches("shalom_submit_s");
+  pd.run_reference(-1.0, 0.5);
+  pd.expect_matches("shalom_submit_d");
+
+  shalom_future_destroy(ff);
+  shalom_future_destroy(fd);
+  shalom_stream_destroy(stream);
+}
+
+TEST(CApiAsync, WaitTwiceReturnsSameStatus) {
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  testing::Problem<float> p({Trans::N, Trans::N}, 10, 10, 10);
+  shalom_future* f = nullptr;
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 10, 10, 10, 1.f, p.a.data(),
+                            p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                            p.c.ld(), &f),
+            0);
+  EXPECT_EQ(shalom_wait(f), 0);
+  EXPECT_EQ(shalom_wait(f), 0) << "wait must be idempotent";
+  shalom_future_destroy(f);
+  shalom_stream_destroy(stream);
+}
+
+TEST(CApiAsync, DestroyFutureBeforeWaitIsSafe) {
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  testing::Problem<float> p({Trans::N, Trans::N}, 16, 24, 12);
+
+  // Dropping the future does not cancel the request (buffers stay owned
+  // here until the flush below rendezvouses with its execution).
+  shalom_future* f = nullptr;
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 16, 24, 12, 1.f, p.a.data(),
+                            p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                            p.c.ld(), &f),
+            0);
+  shalom_future_destroy(f);
+
+  // Fire-and-forget submission: no future at all.
+  testing::Problem<float> q({Trans::N, Trans::T}, 9, 13, 17);
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'T', 9, 13, 17, 1.f, q.a.data(),
+                            q.a.ld(), q.b.data(), q.b.ld(), 0.f, q.c.data(),
+                            q.c.ld(), nullptr),
+            0);
+
+  EXPECT_EQ(shalom_stream_flush(stream), 0);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("future destroyed before wait");
+  q.run_reference(1.f, 0.f);
+  q.expect_matches("fire and forget");
+  shalom_stream_destroy(stream);
+}
+
+TEST(CApiAsync, ErrorPaths) {
+  // Null handles everywhere.
+  EXPECT_EQ(shalom_stream_create(nullptr, 1), 3);
+  EXPECT_EQ(shalom_stream_flush(nullptr), 3);
+  EXPECT_EQ(shalom_wait(nullptr), 3);
+  EXPECT_EQ(shalom_future_done(nullptr), 0);
+  shalom_stream_destroy(nullptr);  // documented as safe
+  shalom_future_destroy(nullptr);
+
+  float x[16] = {};
+  shalom_future* f = reinterpret_cast<shalom_future*>(&x);  // sentinel
+  EXPECT_EQ(shalom_submit_s(nullptr, 'N', 'N', 2, 2, 2, 1.f, x, 2, x, 2,
+                            0.f, x, 2, &f),
+            3);
+  EXPECT_EQ(f, nullptr) << "out_future must be cleared on failure";
+
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  // Bad transpose flag, then bad stride: both fail on the submitting
+  // thread, never producing a future.
+  f = reinterpret_cast<shalom_future*>(&x);
+  EXPECT_EQ(shalom_submit_s(stream, 'Q', 'N', 2, 2, 2, 1.f, x, 2, x, 2,
+                            0.f, x, 2, &f),
+            1);
+  EXPECT_EQ(f, nullptr);
+  EXPECT_EQ(shalom_submit_s(stream, 'N', 'N', 2, 2, 2, 1.f, x, /*lda=*/1, x,
+                            2, 0.f, x, 2, &f),
+            2);
+  EXPECT_GT(std::strlen(shalom_last_error_message()), 0u);
+  shalom_stream_destroy(stream);
+}
+
+TEST(CApiAsync, SubmitQueueFaultReturnsAllocError) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  testing::Problem<float> p({Trans::N, Trans::N}, 8, 8, 8);
+
+  fault::arm(fault::Site::kSubmitQueue, fault::Mode::kOnce);
+  shalom_future* f = nullptr;
+  EXPECT_EQ(shalom_submit_s(stream, 'N', 'N', 8, 8, 8, 1.f, p.a.data(),
+                            p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                            p.c.ld(), &f),
+            SHALOM_ERR_ALLOC);
+  fault::disarm_all();
+  EXPECT_EQ(f, nullptr);
+  EXPECT_GT(std::strlen(shalom_last_error_message()), 0u);
+
+  // Nothing was queued; the stream keeps serving.
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 8, 8, 8, 1.f, p.a.data(),
+                            p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                            p.c.ld(), &f),
+            0);
+  EXPECT_EQ(shalom_wait(f), 0);
+  shalom_future_destroy(f);
+  shalom_stream_destroy(stream);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("submit after rejected submit");
+}
+
+TEST(CApiAsync, SubmitAfterDegradedPoolStillExecutes) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  // Degrade the global pool for real: wedge one worker at pickup and let
+  // a watchdog-armed parallel GEMM trip and recover. Later stream
+  // batches then run on the degraded pool (narrowed to serial) and must
+  // still complete with correct results.
+  guard::set_watchdog_ms_for_testing(100);
+  testing::Problem<float> warm({Trans::N, Trans::N}, 96, 120, 40);
+  fault::arm(fault::Site::kThreadpoolHeartbeat, fault::Mode::kOnce);
+  ASSERT_EQ(shalom_sgemm('N', 'N', 96, 120, 40, 1.f, warm.a.data(),
+                         warm.a.ld(), warm.b.data(), warm.b.ld(), 0.f,
+                         warm.c.data(), warm.c.ld(), 3),
+            0);
+  fault::disarm_all();
+  guard::set_watchdog_ms_for_testing(-1);
+  EXPECT_GE(robustness_stats().watchdog_trips, 1u)
+      << "the warm-up round was supposed to trip the watchdog";
+
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 3), 0);
+  testing::Problem<float> p({Trans::N, Trans::T}, 40, 60, 30);
+  shalom_future* f = nullptr;
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'T', 40, 60, 30, 1.f, p.a.data(),
+                            p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                            p.c.ld(), &f),
+            0);
+  EXPECT_EQ(shalom_wait(f), 0);
+  shalom_future_destroy(f);
+  shalom_stream_destroy(stream);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("stream on degraded pool");
 }
 
 TEST(CApi, OverflowingShapesRejected) {

@@ -1,0 +1,410 @@
+// Concurrency battery for the execution engine (PR 6): the work-stealing
+// ThreadPool with overlapping fork-join rounds, the caller-inline help
+// path, steal/wedge fault behaviour, and the asynchronous GemmStream
+// front-end. Labelled `engine`; scripts/tier1.sh re-runs this suite (with
+// the stress label) under ThreadSanitizer, so every test here must also
+// be race-clean by construction - no unsynchronized test-side state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/engine.h"
+#include "core/shalom.h"
+#include "core/threadpool.h"
+#include "tests/test_util.h"
+
+namespace shalom {
+namespace {
+
+/// Forces the round-admission policy for one test and restores the env
+/// default on scope exit, so no test leaks its override into the next.
+struct SerializeRoundsGuard {
+  explicit SerializeRoundsGuard(bool on) {
+    ThreadPool::set_serialize_rounds_for_testing(on);
+  }
+  ~SerializeRoundsGuard() { ThreadPool::clear_serialize_rounds_override(); }
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm_all();
+    robustness_stats_reset();
+  }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+// ---------------------------------------------------------------------------
+// Concurrent clients: bitwise determinism
+// ---------------------------------------------------------------------------
+
+/// Counts elementwise bitwise differences between two same-shape matrices
+/// (GTest assertions are not thread-safe; clients tally, main asserts).
+int count_bitwise_diffs(const Matrix<float>& got, const Matrix<float>& want) {
+  int bad = 0;
+  for (index_t i = 0; i < got.rows(); ++i)
+    for (index_t j = 0; j < got.cols(); ++j)
+      if (std::memcmp(&got(i, j), &want(i, j), sizeof(float)) != 0) ++bad;
+  return bad;
+}
+
+// N clients x M shapes: every client's product under full round overlap
+// must be bitwise identical to the same call run in isolation. The
+// partition assigns each C sub-block to exactly one task with a fixed
+// serial loop nest, so WHICH thread steals a task must never show up in
+// the arithmetic.
+TEST_F(EngineTest, ConcurrentClientsBitwiseMatchIsolatedRuns) {
+  SerializeRoundsGuard overlap(false);
+  struct Case {
+    Mode mode;
+    index_t m, n, k;
+  };
+  const std::vector<Case> cases = {
+      {{Trans::N, Trans::N}, 48, 96, 32},  {{Trans::N, Trans::T}, 13, 57, 21},
+      {{Trans::T, Trans::N}, 64, 40, 48},  {{Trans::N, Trans::N}, 7, 9, 120},
+      {{Trans::T, Trans::T}, 33, 33, 33},
+  };
+  Config cfg;
+  cfg.threads = 3;
+
+  // Isolated reference pass: same cfg, no concurrency.
+  std::vector<testing::Problem<float>> problems;
+  std::vector<Matrix<float>> c0;  // pristine C inputs, pre-reference
+  problems.reserve(cases.size());
+  for (const Case& s : cases) {
+    problems.emplace_back(s.mode, s.m, s.n, s.k);
+    testing::Problem<float>& p = problems.back();
+    c0.push_back(p.c);
+    gemm(s.mode.a, s.mode.b, s.m, s.n, s.k, 1.25f, p.a.data(), p.a.ld(),
+         p.b.data(), p.b.ld(), 0.5f, p.c.data(), p.c.ld(), cfg);
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kIters = 6;
+  std::atomic<int> diffs{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        const std::size_t s = (static_cast<std::size_t>(t) + it) % cases.size();
+        const testing::Problem<float>& p = problems[s];
+        Matrix<float> c = c0[s];  // private output, same initial contents
+        gemm(p.mode.a, p.mode.b, p.m, p.n, p.k, 1.25f, p.a.data(), p.a.ld(),
+             p.b.data(), p.b.ld(), 0.5f, c.data(), c.ld(), cfg);
+        diffs.fetch_add(count_bitwise_diffs(c, p.c),
+                        std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(diffs.load(std::memory_order_relaxed), 0)
+      << "concurrent execution changed some product bitwise";
+}
+
+// ---------------------------------------------------------------------------
+// Round overlap: the tentpole property
+// ---------------------------------------------------------------------------
+
+// Two independent callers' rounds must genuinely be in flight at once.
+// Task 0 of each round (always run by its submitting thread) rendezvouses
+// with the other round's task 0; the deadline keeps a scheduler regression
+// from hanging the suite - the assertion below fails instead.
+TEST_F(EngineTest, IndependentRoundsOverlap) {
+  SerializeRoundsGuard overlap(false);
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  const auto rendezvous = [&arrived] {
+    arrived.fetch_add(1, std::memory_order_acq_rel);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (arrived.load(std::memory_order_acquire) < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+  };
+  std::vector<std::thread> callers;
+  for (int caller = 0; caller < 2; ++caller) {
+    callers.emplace_back([&] {
+      pool.parallel_for(
+          2,
+          [&](int t) {
+            if (t == 0) rendezvous();
+          },
+          /*watchdog_ms=*/0);
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(arrived.load(std::memory_order_acquire), 2)
+      << "the two rounds never ran concurrently (rendezvous timed out)";
+  EXPECT_GE(pool.max_overlapped_rounds_for_testing(), 2);
+}
+
+// The SHALOM_SERIALIZE_ROUNDS compatibility mode restores the PR 5
+// one-round-at-a-time admission: correct results, no overlap ever.
+TEST_F(EngineTest, SerializedRoundsDoNotOverlap) {
+  SerializeRoundsGuard serialize(true);
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  std::vector<std::thread> callers;
+  for (int caller = 0; caller < 4; ++caller) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        pool.parallel_for(
+            2,
+            [&](int) {
+              runs.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            },
+            /*watchdog_ms=*/0);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(runs.load(std::memory_order_relaxed), 4 * 8 * 2);
+  EXPECT_EQ(pool.max_overlapped_rounds_for_testing(), 1)
+      << "serialize mode must admit one round at a time";
+}
+
+// ---------------------------------------------------------------------------
+// Fault sites: steal skip and wedged workers
+// ---------------------------------------------------------------------------
+
+// threadpool.steal failing on EVERY attempt may only degrade load balance:
+// all work still runs exactly once (via own deques, the injection list,
+// and the leader), and results stay right.
+TEST_F(EngineTest, StealFaultDegradesOnlyLoadBalance) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  SerializeRoundsGuard overlap(false);
+  ThreadPool pool(4);
+  fault::arm(fault::Site::kThreadpoolSteal, fault::Mode::kEveryN, 1);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::atomic<int>> counts(4);
+    pool.parallel_for(
+        4, [&](int t) { counts[t].fetch_add(1, std::memory_order_relaxed); },
+        /*watchdog_ms=*/0);
+    for (auto& c : counts)
+      ASSERT_EQ(c.load(std::memory_order_relaxed), 1)
+          << "task lost or duplicated under steal faults in round " << round;
+  }
+  fault::disarm_all();
+
+  testing::Problem<float> p({Trans::N, Trans::T}, 60, 90, 40);
+  Config cfg;
+  cfg.threads = 4;
+  fault::arm(fault::Site::kThreadpoolSteal, fault::Mode::kEveryN, 1);
+  gemm(Trans::N, Trans::T, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(),
+       p.b.data(), p.b.ld(), 0.0f, p.c.data(), p.c.ld(), cfg);
+  fault::disarm_all();
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("gemm under steal faults");
+}
+
+// Even when EVERY worker that picks up work wedges, a watchdog-free round
+// completes: the leader's inline claim-scan runs whatever the wedged
+// workers dropped. This is the "submitters never block idle" guarantee.
+TEST_F(EngineTest, LeaderCompletesRoundWhenAllWorkersWedge) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  SerializeRoundsGuard overlap(false);
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(4);
+  fault::arm(fault::Site::kThreadpoolHeartbeat, fault::Mode::kEveryN, 1);
+  pool.parallel_for(
+      4, [&](int t) { counts[t].fetch_add(1, std::memory_order_relaxed); },
+      /*watchdog_ms=*/0);
+  fault::disarm_all();
+  for (int t = 0; t < 4; ++t)
+    EXPECT_EQ(counts[static_cast<std::size_t>(t)].load(
+                  std::memory_order_relaxed),
+              1)
+        << "task " << t;
+}
+
+// PR 5 wedge-recovery regression, re-run under the stealing scheduler: a
+// worker wedged at pickup (its queued hints stay stealable, its claimed
+// nothing) must be recovered by the watchdog leader with every task run
+// exactly once, and the pool marked degraded.
+TEST_F(EngineTest, WatchdogRecoversWedgedWorkerUnderStealing) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  SerializeRoundsGuard overlap(false);
+  ThreadPool pool(4);
+  if (pool.max_threads() < 4)
+    GTEST_SKIP() << "could not spawn 3 workers on this host";
+
+  std::vector<std::atomic<int>> counts(4);
+  fault::arm(fault::Site::kThreadpoolHeartbeat, fault::Mode::kOnce);
+  pool.parallel_for(
+      4, [&](int t) { counts[t].fetch_add(1, std::memory_order_relaxed); },
+      /*watchdog_ms=*/100);
+  fault::disarm_all();
+
+  for (int t = 0; t < 4; ++t)
+    EXPECT_EQ(counts[static_cast<std::size_t>(t)].load(
+                  std::memory_order_relaxed),
+              1)
+        << "task " << t << " must run exactly once";
+  EXPECT_TRUE(pool.degraded());
+  EXPECT_GE(robustness_stats().watchdog_trips, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// GemmStream: asynchronous submission
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, StreamSubmitFlushMatchesReference) {
+  engine::GemmStream stream;
+  testing::Problem<float> pf({Trans::N, Trans::N}, 24, 36, 16);
+  testing::Problem<double> pd({Trans::T, Trans::N}, 17, 11, 23);
+
+  engine::TicketPtr tf = stream.submit<float>(
+      pf.mode, pf.m, pf.n, pf.k, 1.5f, pf.a.data(), pf.a.ld(), pf.b.data(),
+      pf.b.ld(), 0.25f, pf.c.data(), pf.c.ld());
+  engine::TicketPtr td = stream.submit<double>(
+      pd.mode, pd.m, pd.n, pd.k, -1.0, pd.a.data(), pd.a.ld(), pd.b.data(),
+      pd.b.ld(), 0.5, pd.c.data(), pd.c.ld());
+  stream.flush();
+
+  ASSERT_TRUE(tf->done());
+  ASSERT_TRUE(td->done());
+  EXPECT_EQ(tf->wait(), 0);
+  EXPECT_EQ(td->wait(), 0);
+  EXPECT_EQ(tf->message(), "");
+
+  pf.run_reference(1.5f, 0.25f);
+  pf.expect_matches("stream float");
+  pd.run_reference(-1.0, 0.5);
+  pd.expect_matches("stream double");
+
+  const engine::StreamStats st = stream.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.executed, 2u);
+  EXPECT_GE(st.batches, 1u);
+  EXPECT_LE(st.batches, st.executed)
+      << "coalescing can only merge requests, never split them";
+}
+
+TEST_F(EngineTest, StreamWaitIsIdempotentAndBlocksUntilDone) {
+  engine::GemmStream stream;
+  testing::Problem<float> p({Trans::N, Trans::N}, 32, 32, 32);
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+  EXPECT_EQ(t->wait(), 0);  // blocks until the drainer executed it
+  EXPECT_TRUE(t->done());
+  EXPECT_EQ(t->wait(), 0);  // idempotent re-wait
+  EXPECT_EQ(t->status(), 0);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("stream wait");
+}
+
+// Many clients share one stream; every ticket resolves OK and every
+// product is right. Each client owns its problem storage for the full
+// submit -> wait window (the documented buffer-lifetime contract).
+TEST_F(EngineTest, ManyClientsOneStream) {
+  engine::GemmStream stream;
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 10;
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<testing::Problem<float>> ps;
+      std::vector<engine::TicketPtr> tickets;
+      ps.reserve(kPerClient);
+      tickets.reserve(kPerClient);
+      for (int i = 0; i < kPerClient; ++i) {
+        // A few distinct shapes per client, repeated, so the drainer sees
+        // coalescable duplicates from different clients.
+        const index_t m = 8 + 4 * (i % 3);
+        const index_t n = 12 + 4 * (t % 2);
+        ps.emplace_back(Mode{Trans::N, Trans::N}, m, n, 16);
+        testing::Problem<float>& p = ps.back();
+        tickets.push_back(stream.submit<float>(
+            p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+            p.b.ld(), 0.5f, p.c.data(), p.c.ld()));
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        if (tickets[static_cast<std::size_t>(i)]->wait() != 0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        testing::Problem<float>& p = ps[static_cast<std::size_t>(i)];
+        p.run_reference(1.0f, 0.5f);
+        const double tol = testing::gemm_tolerance<float>(p.k);
+        for (index_t r = 0; r < p.m; ++r)
+          for (index_t c = 0; c < p.n; ++c)
+            if (!(std::fabs(static_cast<double>(p.c(r, c)) -
+                            static_cast<double>(p.c_ref(r, c))) <= tol))
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(mismatches.load(std::memory_order_relaxed), 0);
+  const engine::StreamStats st = stream.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(st.executed, st.submitted);
+}
+
+TEST_F(EngineTest, StreamDestructorDrainsPending) {
+  testing::Problem<float> p({Trans::N, Trans::T}, 20, 30, 25);
+  engine::TicketPtr ticket;
+  {
+    engine::GemmStream stream;
+    ticket = stream.submit<float>(p.mode, p.m, p.n, p.k, 2.0f, p.a.data(),
+                                  p.a.ld(), p.b.data(), p.b.ld(), 0.0f,
+                                  p.c.data(), p.c.ld());
+    // No flush: destruction itself must execute the request.
+  }
+  ASSERT_TRUE(ticket->done());
+  EXPECT_EQ(ticket->wait(), 0);
+  p.run_reference(2.0f, 0.0f);
+  p.expect_matches("drained by destructor");
+}
+
+TEST_F(EngineTest, StreamSubmitValidatesOnCallingThread) {
+  engine::GemmStream stream;
+  testing::Problem<float> p({Trans::N, Trans::N}, 8, 8, 8);
+  EXPECT_THROW(stream.submit<float>(p.mode, p.m, p.n, p.k, 1.0f,
+                                    p.a.data(), /*lda=*/2, p.b.data(),
+                                    p.b.ld(), 0.0f, p.c.data(), p.c.ld()),
+               invalid_argument);
+  EXPECT_EQ(stream.stats().submitted, 0u)
+      << "a rejected submission must not enter the queue";
+}
+
+TEST_F(EngineTest, SubmitQueueFaultRejectsBeforeQueueing) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  engine::GemmStream stream;
+  testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
+
+  fault::arm(fault::Site::kSubmitQueue, fault::Mode::kOnce);
+  EXPECT_THROW(stream.submit<float>(p.mode, p.m, p.n, p.k, 1.0f, p.a.data(),
+                                    p.a.ld(), p.b.data(), p.b.ld(), 0.0f,
+                                    p.c.data(), p.c.ld()),
+               std::bad_alloc);
+  fault::disarm_all();
+  EXPECT_EQ(stream.stats().submitted, 0u) << "strong guarantee: no residue";
+
+  // The stream survives the rejection and keeps serving.
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+  EXPECT_EQ(t->wait(), 0);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("submit after rejected submit");
+}
+
+}  // namespace
+}  // namespace shalom

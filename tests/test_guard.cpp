@@ -265,15 +265,18 @@ TEST_F(GuardTest, WatchdogRecoversAWedgedWorker) {
   EXPECT_TRUE(pool.degraded());
   EXPECT_GE(robustness_stats().watchdog_trips, 1u);
 
-  // The wedged worker never comes back: a later round on the same pool
-  // trips again and is recovered the same way, with every task intact.
+  // The wedged worker never comes back, but a later round on the same
+  // pool still completes with every task intact: under the work-stealing
+  // scheduler the live workers absorb the missing worker's share (its
+  // queued hints are stealable, its unclaimed tasks redistributable), so
+  // a second trip is NOT required - only exactly-once execution is.
   std::atomic<int> again[4] = {{0}, {0}, {0}, {0}};
   pool.parallel_for(
       4, [&](int t) { again[t].fetch_add(1, std::memory_order_relaxed); },
       /*watchdog_ms=*/100);
   for (int t = 0; t < 4; ++t)
     EXPECT_EQ(again[t].load(std::memory_order_relaxed), 1);
-  EXPECT_GE(robustness_stats().watchdog_trips, 2u);
+  EXPECT_GE(robustness_stats().watchdog_trips, 1u);
 }
 
 TEST_F(GuardTest, WatchdogTripDuringParallelGemmKeepsResultsCorrect) {

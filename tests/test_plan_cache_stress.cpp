@@ -4,13 +4,18 @@
 // cache), with a deliberately tiny cache capacity so insertion, hit and
 // eviction paths all race. Asserts numerically correct results on every
 // thread and a bounded cache; run under `ctest -L stress`, and build with
-// -DSHALOM_SANITIZE=thread to have ThreadSanitizer check the same run.
+// -DSHALOM_SANITIZE=thread to have ThreadSanitizer check the same run
+// (scripts/tier1.sh does exactly that).
 //
-// The fork-join ThreadPool admits one parallel_for round at a time and is
-// safe to drive from several threads concurrently (the documented plan
-// contract); the tests below exercise exactly that - shared parallel
-// plans executed from many threads at once, and racing parallel plan
-// creations whose arena pre-reservation rounds contend for the pool.
+// The work-stealing ThreadPool overlaps fork-join rounds from independent
+// callers and is safe to drive from several threads concurrently (the
+// documented plan contract); the tests below exercise exactly that -
+// shared parallel plans executed from many threads at once, and racing
+// parallel plan creations whose arena pre-reservation rounds contend for
+// the pool. The PlanCacheSharding tests pin down the property the
+// sharded cache (core/plan_cache.h) must preserve: observable behaviour -
+// summed stats, the total capacity bound, exact global LRU order -
+// identical to the original single-mutex cache.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -175,9 +180,10 @@ int count_mismatches(const testing::Problem<float>& p) {
 }
 
 TEST(PlanCacheStress, ConcurrentParallelPlanExecution) {
-  // Many threads execute one shared threads>1 plan simultaneously: the
-  // pool admits one fork-join round at a time, so every execution must
-  // still produce the exact product (the documented plan contract).
+  // Many threads execute one shared threads>1 plan simultaneously: their
+  // fork-join rounds overlap on the work-stealing pool, and every
+  // execution must still produce the exact product (the documented plan
+  // contract).
   const Mode mode{Trans::N, Trans::N};
   const index_t m = 96, n = 192, k = 64;
   Config cfg;
@@ -238,6 +244,111 @@ TEST(PlanCacheStress, RacingParallelPlanCreators) {
   for (auto& t : creators) t.join();
   EXPECT_EQ(mismatches.load(), 0)
       << "racing parallel plan creation/execution produced wrong products";
+  cache.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-cache properties (PR 1 semantics over 16 shards)
+// ---------------------------------------------------------------------------
+
+/// Serial-plan key for an m x n x k NN shape with default Config.
+PlanKey key_for(index_t m, index_t n, index_t k, const Config& cfg) {
+  return make_plan_key({Trans::N, Trans::N}, m, n, k, LdClass::kContiguous,
+                       /*threads=*/1, cfg);
+}
+
+// Single-threaded ground truth: with keys spread across shards, stats()
+// must still behave like one LRU map - exact miss/hit counts, the TOTAL
+// size bounded by capacity, and the eviction victim chosen by GLOBAL
+// recency (not per-shard recency).
+TEST(PlanCacheSharding, SummedStatsAndGlobalLruMatchSingleMapSemantics) {
+  auto& cache = PlanCache<float>::global();
+  cache.clear();
+  cache.set_capacity(4);
+  const Config cfg;
+  const Mode mode{Trans::N, Trans::N};
+
+  // 8 distinct keys through get_or_create: 8 misses, then size == 4 with
+  // exactly 4 evictions - and the survivors are the 4 most recent.
+  std::vector<PlanKey> keys;
+  for (index_t i = 0; i < 8; ++i) {
+    const index_t m = 4 + i;
+    keys.push_back(key_for(m, 6, 5, cfg));
+    ASSERT_NE(cache.get_or_create(keys.back(), mode, m, 6, 5, cfg), nullptr);
+  }
+  PlanCacheStats st = cache.stats();
+  EXPECT_EQ(st.misses, 8u);
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.size, 4u);
+  EXPECT_EQ(st.evictions, 4u);
+  EXPECT_EQ(st.capacity, 4u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(cache.lookup(keys[static_cast<std::size_t>(i)]), nullptr)
+        << "key " << i << " should have aged out";
+
+  // Re-touch the OLDEST resident (keys[4]), then insert a fresh key: the
+  // eviction must take keys[5] - the global LRU - even though keys[4]
+  // and keys[5] may live in different shards.
+  ASSERT_NE(cache.lookup(keys[4]), nullptr);
+  const PlanKey fresh = key_for(40, 6, 5, cfg);
+  ASSERT_NE(cache.get_or_create(fresh, mode, 40, 6, 5, cfg), nullptr);
+  EXPECT_NE(cache.lookup(keys[4]), nullptr)
+      << "recently touched entry must survive";
+  EXPECT_EQ(cache.lookup(keys[5]), nullptr)
+      << "global LRU entry must be the eviction victim";
+  st = cache.stats();
+  EXPECT_EQ(st.size, 4u);
+  // 9 creates + 4 aged-out probes + the keys[5] probe missed; the two
+  // keys[4] touches hit (lookup() counts both outcomes, PR 1 semantics).
+  EXPECT_EQ(st.misses, 14u);
+  EXPECT_EQ(st.hits, 2u);
+  EXPECT_EQ(st.evictions, 5u);
+
+  cache.set_capacity(PlanCache<float>::kDefaultCapacity);
+  cache.clear();
+}
+
+TEST(PlanCacheSharding, RacingInsertsKeepTotalSizeBounded) {
+  auto& cache = PlanCache<float>::global();
+  cache.clear();
+  cache.set_capacity(8);
+  const Config cfg;
+  const Mode mode{Trans::N, Trans::N};
+
+  // One real (tiny, serial) plan shared by every insert; the race under
+  // test is the cache bookkeeping, not plan construction.
+  const auto plan = std::make_shared<const GemmPlan<float>>(
+      plan_create<float>(mode, 4, 4, 4, cfg));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Distinct keys across all threads -> every insert adds an entry
+        // and the total must keep collapsing back to capacity.
+        const index_t m = 4 + t * kPerThread + i;
+        cache.insert(key_for(m, 7, 6, cfg), plan);
+        (void)cache.lookup(key_for(4 + (m % 16), 7, 6, cfg));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const PlanCacheStats st = cache.stats();
+  EXPECT_LE(st.size, 8u) << "capacity is a TOTAL bound across shards";
+  EXPECT_GE(st.evictions,
+            static_cast<std::uint64_t>(kThreads * kPerThread - 8))
+      << "every insert beyond capacity must have evicted";
+
+  // The cache is still coherent: a fresh miss inserts and serves.
+  const PlanKey probe = key_for(500, 7, 6, cfg);
+  EXPECT_NE(cache.get_or_create(probe, mode, 500, 7, 6, cfg), nullptr);
+  EXPECT_NE(cache.lookup(probe), nullptr);
+
+  cache.set_capacity(PlanCache<float>::kDefaultCapacity);
   cache.clear();
 }
 
