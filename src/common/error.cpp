@@ -32,6 +32,14 @@ const char* status_string(int code) noexcept {
              "trap-contained probe";
     case SHALOM_ERR_CORRUPTION:
       return "guarded pack-arena canary violated after kernel execution";
+    case SHALOM_ERR_REJECTED:
+      return "request shed by admission control or cancelled before "
+             "execution";
+    case SHALOM_ERR_TIMEOUT:
+      return "deadline expired before completion";
+    case SHALOM_DEGRADED:
+      return "completed with correct results on a degraded (synchronous) "
+             "path";
     default:
       return "unknown status code";
   }
@@ -120,6 +128,30 @@ long get_long(const char* name, long fallback, long lo, long hi) noexcept {
     return fallback;
   }
   return parsed;
+}
+
+int get_enum(const char* name, int fallback, const char* const* names,
+             int count) noexcept {
+  const char* value = raw(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  for (int i = 0; i < count; ++i)
+    if (std::strcmp(value, names[i]) == 0) return i;
+  // Build "one of a|b|c" in fixed storage: this path must not allocate
+  // (same discipline as the rest of the error machinery).
+  char expected[96];
+  std::size_t at = 0;
+  const char* prefix = "one of ";
+  for (std::size_t i = 0; prefix[i] != '\0' && at + 1 < sizeof expected; ++i)
+    expected[at++] = prefix[i];
+  for (int i = 0; i < count; ++i) {
+    if (i > 0 && at + 1 < sizeof expected) expected[at++] = '|';
+    for (const char* p = names[i]; *p != '\0' && at + 1 < sizeof expected;
+         ++p)
+      expected[at++] = *p;
+  }
+  expected[at] = '\0';
+  warn_malformed(name, value, expected);
+  return fallback;
 }
 
 }  // namespace env

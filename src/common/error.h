@@ -34,6 +34,18 @@ typedef enum shalom_status {
                                       inside a trap-contained probe */
   SHALOM_ERR_CORRUPTION = 9,       /* guarded pack-arena canary violated
                                       after kernel execution (SHALOM_GUARD) */
+  SHALOM_ERR_REJECTED = 10,        /* request shed by stream admission
+                                      control (queue at capacity / stream
+                                      draining) or cancelled by the caller
+                                      before execution */
+  SHALOM_ERR_TIMEOUT = 11,         /* request deadline expired before
+                                      execution, or a timed wait ran out
+                                      before completion */
+  SHALOM_DEGRADED = 12,            /* NOT an error: the work completed with
+                                      correct results but on a degraded
+                                      path (stream latched synchronous by
+                                      its circuit breaker or drainer-spawn
+                                      failure) */
 } shalom_status;
 
 #ifdef __cplusplus
@@ -79,6 +91,25 @@ class kernel_trap_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when stream admission control sheds a submission (queue at
+/// capacity under a shed-* overload policy, the `engine.shed` fault site,
+/// or a submit on a draining/closed stream). Nothing was queued; the
+/// stream is unchanged. Maps to SHALOM_ERR_REJECTED at the C boundary.
+class rejected_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a request's deadline expires before it could be admitted
+/// (a `block`-policy submit that ran out of time waiting for queue
+/// space). Queued requests whose deadline expires resolve their ticket
+/// with SHALOM_ERR_TIMEOUT instead of throwing. Maps to
+/// SHALOM_ERR_TIMEOUT at the C boundary.
+class timeout_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Static description of a shalom_status value ("invalid argument", ...).
 /// Never returns NULL; unknown codes map to a fixed sentinel string.
 const char* status_string(int code) noexcept;
@@ -113,6 +144,14 @@ namespace env {
 /// malformed, non-numeric, or out-of-range values warn once via
 /// warn_malformed() and return `fallback`.
 long get_long(const char* name, long fallback, long lo, long hi) noexcept;
+
+/// Reads `name` as one of `count` keywords and returns the matching index
+/// into `names`. Unset or empty returns `fallback` silently; any other
+/// value that matches no keyword warns once via warn_malformed() (listing
+/// the accepted keywords) and returns `fallback`. Matching is exact and
+/// case-sensitive: SHALOM_* keyword knobs are documented lowercase.
+int get_enum(const char* name, int fallback, const char* const* names,
+             int count) noexcept;
 
 /// Raw environment lookup (nullptr when unset). The single point every
 /// SHALOM_* read funnels through (enforced by tools/shalom_lint's

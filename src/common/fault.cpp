@@ -23,6 +23,12 @@ std::atomic<std::uint64_t> g_numeric_anomalies{0};
 std::atomic<std::uint64_t> g_kernels_trapped{0};
 std::atomic<std::uint64_t> g_watchdog_trips{0};
 std::atomic<std::uint64_t> g_arena_corruptions{0};
+std::atomic<std::uint64_t> g_stream_queue_peak{0};
+std::atomic<std::uint64_t> g_requests_shed{0};
+std::atomic<std::uint64_t> g_requests_expired{0};
+std::atomic<std::uint64_t> g_requests_cancelled{0};
+std::atomic<std::uint64_t> g_submit_retries{0};
+std::atomic<std::uint64_t> g_breaker_trips{0};
 // Reset offset for the injected counters: the per-site counters are
 // monotonic (tests rely on fault::injected), so reset only rebases the
 // aggregate view.
@@ -51,6 +57,13 @@ RobustnessStats robustness_stats() noexcept {
   s.kernels_trapped = g_kernels_trapped.load(std::memory_order_relaxed);
   s.watchdog_trips = g_watchdog_trips.load(std::memory_order_relaxed);
   s.arena_corruptions = g_arena_corruptions.load(std::memory_order_relaxed);
+  s.stream_queue_peak = g_stream_queue_peak.load(std::memory_order_relaxed);
+  s.requests_shed = g_requests_shed.load(std::memory_order_relaxed);
+  s.requests_expired = g_requests_expired.load(std::memory_order_relaxed);
+  s.requests_cancelled =
+      g_requests_cancelled.load(std::memory_order_relaxed);
+  s.submit_retries = g_submit_retries.load(std::memory_order_relaxed);
+  s.breaker_trips = g_breaker_trips.load(std::memory_order_relaxed);
   const std::uint64_t rebase =
       g_injected_rebase.load(std::memory_order_relaxed);
   const std::uint64_t total = injected_sum();
@@ -68,6 +81,12 @@ void robustness_stats_reset() noexcept {
   g_kernels_trapped.store(0, std::memory_order_relaxed);
   g_watchdog_trips.store(0, std::memory_order_relaxed);
   g_arena_corruptions.store(0, std::memory_order_relaxed);
+  g_stream_queue_peak.store(0, std::memory_order_relaxed);
+  g_requests_shed.store(0, std::memory_order_relaxed);
+  g_requests_expired.store(0, std::memory_order_relaxed);
+  g_requests_cancelled.store(0, std::memory_order_relaxed);
+  g_submit_retries.store(0, std::memory_order_relaxed);
+  g_breaker_trips.store(0, std::memory_order_relaxed);
   g_injected_rebase.store(injected_sum(), std::memory_order_relaxed);
 }
 
@@ -98,6 +117,29 @@ void note_watchdog_trip() noexcept {
 }
 void note_arena_corruption() noexcept {
   g_arena_corruptions.fetch_add(1, std::memory_order_relaxed);
+}
+void note_queue_depth(std::uint64_t depth) noexcept {
+  std::uint64_t peak = g_stream_queue_peak.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !g_stream_queue_peak.compare_exchange_weak(
+             peak, depth, std::memory_order_relaxed,
+             std::memory_order_relaxed)) {
+  }
+}
+void note_request_shed() noexcept {
+  g_requests_shed.fetch_add(1, std::memory_order_relaxed);
+}
+void note_request_expired() noexcept {
+  g_requests_expired.fetch_add(1, std::memory_order_relaxed);
+}
+void note_request_cancelled() noexcept {
+  g_requests_cancelled.fetch_add(1, std::memory_order_relaxed);
+}
+void note_submit_retry() noexcept {
+  g_submit_retries.fetch_add(1, std::memory_order_relaxed);
+}
+void note_breaker_trip() noexcept {
+  g_breaker_trips.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace telemetry
 
@@ -161,6 +203,10 @@ const char* site_name(Site site) noexcept {
       return "threadpool.steal";
     case Site::kSubmitQueue:
       return "submit.queue";
+    case Site::kEngineDeadline:
+      return "engine.deadline";
+    case Site::kEngineShed:
+      return "engine.shed";
   }
   return "unknown";
 }

@@ -41,7 +41,18 @@
 //   submit.queue         enqueueing one async GEMM request into a stream
 //                        (core/engine.h); an injected failure rejects the
 //                        submission with std::bad_alloc before anything is
-//                        queued, so the stream state is unchanged
+//                        queued, so the stream state is unchanged (the
+//                        submit path retries with exponential backoff
+//                        before surfacing the failure)
+//   engine.deadline      the drainer's per-request deadline sweep; an
+//                        injected failure expires the swept request as if
+//                        its deadline had passed, resolving its ticket
+//                        with SHALOM_ERR_TIMEOUT before gemm_batch runs
+//   engine.shed          stream admission control; an injected failure
+//                        sheds the incoming submission (rejected_error →
+//                        SHALOM_ERR_REJECTED) regardless of queue depth
+//                        or overload policy, so shed handling is testable
+//                        without filling the queue
 //
 // The telemetry half (RobustnessStats) is always compiled: the degradation
 // paths are real production behaviour - injection is only one way to reach
@@ -98,6 +109,26 @@ struct RobustnessStats {
   /// (SHALOM_GUARD=canary|poison); each one quarantines the dispatched
   /// variant and fails the call with SHALOM_ERR_CORRUPTION.
   std::uint64_t arena_corruptions = 0;
+  /// High-water mark of any stream's submission-queue depth (CAS-max over
+  /// every depth observed at admission time; reset rebases to 0).
+  std::uint64_t stream_queue_peak = 0;
+  /// Submissions shed by admission control: queue-at-capacity under a
+  /// shed-* policy, the engine.shed fault site, or submit on a
+  /// draining/closed stream (each resolves as SHALOM_ERR_REJECTED).
+  std::uint64_t requests_shed = 0;
+  /// Queued requests whose deadline expired before execution plus
+  /// block-policy submits that timed out waiting for queue space (each
+  /// resolves as SHALOM_ERR_TIMEOUT).
+  std::uint64_t requests_expired = 0;
+  /// Queued requests cancelled via shalom_future_cancel before the
+  /// drainer claimed them (each resolves as SHALOM_ERR_REJECTED).
+  std::uint64_t requests_cancelled = 0;
+  /// Transient-failure retries spent by the submit/spawn/batch
+  /// retry-with-backoff loops (one count per backoff sleep).
+  std::uint64_t submit_retries = 0;
+  /// Circuit-breaker trips: streams latched into synchronous-degraded
+  /// mode after N consecutive retry-exhausted failures.
+  std::uint64_t breaker_trips = 0;
 };
 
 RobustnessStats robustness_stats() noexcept;
@@ -113,6 +144,15 @@ void note_numeric_anomaly() noexcept;
 void note_kernel_trapped() noexcept;
 void note_watchdog_trip() noexcept;
 void note_arena_corruption() noexcept;
+/// CAS-max: records `depth` as the new stream_queue_peak if it exceeds
+/// the current peak (relaxed; a lost race only undercounts by one
+/// concurrent observation and the next deeper queue restores it).
+void note_queue_depth(std::uint64_t depth) noexcept;
+void note_request_shed() noexcept;
+void note_request_expired() noexcept;
+void note_request_cancelled() noexcept;
+void note_submit_retry() noexcept;
+void note_breaker_trip() noexcept;
 }  // namespace telemetry
 
 // ---------------------------------------------------------------------------
@@ -134,8 +174,10 @@ enum class Site : int {
   kGuardCanary = 7,
   kThreadpoolSteal = 8,
   kSubmitQueue = 9,
+  kEngineDeadline = 10,
+  kEngineShed = 11,
 };
-inline constexpr int kSiteCount = 10;
+inline constexpr int kSiteCount = 12;
 
 /// Trigger modes (see the header comment for semantics).
 enum class Mode : std::uint32_t {

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <new>
 #include <system_error>
 #include <thread>
@@ -36,6 +37,17 @@ int Ticket::wait() {
   return status_;
 }
 
+bool Ticket::wait_for(long ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(ms > 0 ? ms : 0);
+  MutexLock lock(mu_);
+  while (!done_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+      return done_;
+  }
+  return true;
+}
+
 bool Ticket::done() const {
   MutexLock lock(mu_);
   return done_;
@@ -49,6 +61,47 @@ int Ticket::status() const {
 const std::string& Ticket::message() const {
   MutexLock lock(mu_);
   return message_;
+}
+
+bool Ticket::try_claim() {
+  std::uint32_t expected = 0;
+  return claim_.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acq_rel);
+}
+
+bool Ticket::revoke(int status, std::string message) {
+  std::uint32_t expected = 0;
+  if (!claim_.compare_exchange_strong(expected, 2,
+                                      std::memory_order_acq_rel))
+    return false;
+  complete(status, std::move(message));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Env knobs (parsed once per process, PR 3 hardening discipline)
+// ---------------------------------------------------------------------------
+
+long env_queue_cap() noexcept {
+  // lo = 1: a cap of zero would reject every submission, which is never
+  // what an operator meant - it warns and falls back to unbounded.
+  static const long cap =
+      env::get_long("SHALOM_QUEUE_CAP", 0, 1, 1L << 30);
+  return cap;
+}
+
+OverloadPolicy env_overload_policy() noexcept {
+  static const char* const kNames[] = {"block", "shed-newest",
+                                       "shed-oldest"};
+  static const int policy =
+      env::get_enum("SHALOM_OVERLOAD_POLICY", 0, kNames, 3);
+  return static_cast<OverloadPolicy>(policy);
+}
+
+long env_retry_budget() noexcept {
+  static const long budget =
+      env::get_long("SHALOM_RETRY_BUDGET", 3, 0, 16);
+  return budget;
 }
 
 // ---------------------------------------------------------------------------
@@ -68,6 +121,8 @@ struct Request {
   const void* a = nullptr;
   const void* b = nullptr;
   void* c = nullptr;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
   TicketPtr ticket;
 };
 
@@ -91,6 +146,12 @@ int status_of_current_exception(std::string& message) {
   } catch (const shalom::kernel_trap_error& e) {
     message = e.what();
     return SHALOM_ERR_KERNEL_TRAP;
+  } catch (const shalom::rejected_error& e) {
+    message = e.what();
+    return SHALOM_ERR_REJECTED;
+  } catch (const shalom::timeout_error& e) {
+    message = e.what();
+    return SHALOM_ERR_TIMEOUT;
   } catch (const std::bad_alloc& e) {
     message = e.what();
     return SHALOM_ERR_ALLOC;
@@ -102,29 +163,61 @@ int status_of_current_exception(std::string& message) {
   }
 }
 
+/// One exponential-backoff pause between transient-failure retries:
+/// 1/2/4/8 ms, capped so a deep budget cannot stall a submitter for
+/// seconds.
+void backoff_sleep(long attempt) {
+  const long shift = attempt < 3 ? attempt : 3;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1L << shift));
+}
+
 }  // namespace
 
 struct GemmStream::Impl {
-  StreamOptions opts;
+  StreamOptions opts;  // fully resolved in the ctor (no negatives left)
 
   mutable Mutex mu;
   std::condition_variable_any submit_cv;   // submitters -> drainer
   std::condition_variable_any drained_cv;  // drainer -> flush waiters
+  std::condition_variable_any space_cv;    // drainer -> blocked submitters
   std::vector<Request> pending SHALOM_GUARDED_BY(mu);
   bool stop SHALOM_GUARDED_BY(mu) = false;
   /// True while the drainer is executing a swapped-out batch; flush()
-  /// waits on (pending empty && !draining).
-  bool draining SHALOM_GUARDED_BY(mu) = false;
+  /// waits on (pending empty && !executing).
+  bool executing SHALOM_GUARDED_BY(mu) = false;
+  /// Stream lifecycle: running → draining → closed. Leaving kRunning is
+  /// one-way; submits on a non-running stream are rejected.
+  enum Lifecycle { kRunning, kDraining, kClosed };
+  Lifecycle lifecycle SHALOM_GUARDED_BY(mu) = kRunning;
   StreamStats counters SHALOM_GUARDED_BY(mu);
 
   /// Drainer-thread spawn failed: submit() executes inline instead.
   bool synchronous = false;  // set once in the ctor, then read-only
+  /// Circuit breaker: latched (sticky) after breaker_threshold
+  /// consecutive retry-exhausted submit failures; a latched stream
+  /// executes inline like a spawn-degraded one. Lock-free so the hot
+  /// submit path checks it with one relaxed load.
+  std::atomic<bool> latched{false};
+  std::atomic<int> consecutive_failures{0};
+  std::atomic<std::uint64_t> retry_count{0};
   std::thread drainer;
+
+  bool degraded() const noexcept {
+    return synchronous || latched.load(std::memory_order_relaxed);
+  }
+
+  void count_retry() noexcept {
+    retry_count.fetch_add(1, std::memory_order_relaxed);
+    telemetry::note_submit_retry();
+  }
 
   /// Executes one shape bucket (equal dtype + mode, shape-ordered) as a
   /// single coalesced gemm_batch call and resolves every ticket.
+  /// `ok_status` is what a successful entry resolves to: SHALOM_OK on the
+  /// drainer path, SHALOM_DEGRADED on the inline degraded path.
   template <typename T>
-  void run_bucket(Mode mode, const std::vector<Request*>& bucket) {
+  void run_bucket(Mode mode, const std::vector<Request*>& bucket,
+                  int ok_status) {
     Config cfg;
     cfg.threads = opts.threads;
     cfg.use_plan_cache = opts.use_plan_cache;
@@ -156,7 +249,7 @@ struct GemmStream::Impl {
     }
     if (coalesced) {
       for (const Request* r : bucket)
-        r->ticket->complete(SHALOM_OK, std::string());
+        r->ticket->complete(ok_status, std::string());
       return;
     }
     // The coalesced run failed and gemm_batch gives no per-entry verdict:
@@ -164,7 +257,8 @@ struct GemmStream::Impl {
     // the idempotent ones (beta == 0 overwrites C, so a re-run of an
     // already-executed entry is harmless); beta != 0 entries accumulate
     // and a blind re-run could apply them twice, so they inherit the
-    // batch failure instead.
+    // batch failure instead. Transient SHALOM_ERR_ALLOC per-entry
+    // failures get the stream's backoff retry budget before resolving.
     for (const Request* r : bucket) {
       if (static_cast<T>(r->beta) != T{0}) {
         r->ticket->complete(batch_status, batch_message);
@@ -172,14 +266,22 @@ struct GemmStream::Impl {
       }
       int status = SHALOM_OK;
       std::string message;
-      try {
-        gemm_cached<T>(mode, r->m, r->n, r->k, static_cast<T>(r->alpha),
-                       static_cast<const T*>(r->a), r->lda,
-                       static_cast<const T*>(r->b), r->ldb,
-                       static_cast<T>(r->beta), static_cast<T*>(r->c),
-                       r->ldc, cfg);
-      } catch (...) {
-        status = status_of_current_exception(message);
+      for (long attempt = 0;; ++attempt) {
+        status = SHALOM_OK;
+        message.clear();
+        try {
+          gemm_cached<T>(mode, r->m, r->n, r->k, static_cast<T>(r->alpha),
+                         static_cast<const T*>(r->a), r->lda,
+                         static_cast<const T*>(r->b), r->ldb,
+                         static_cast<T>(r->beta), static_cast<T*>(r->c),
+                         r->ldc, cfg);
+        } catch (...) {
+          status = status_of_current_exception(message);
+        }
+        if (status != SHALOM_ERR_ALLOC || attempt >= opts.retry_budget)
+          break;
+        count_retry();
+        backoff_sleep(attempt);
       }
       r->ticket->complete(status, std::move(message));
     }
@@ -214,9 +316,9 @@ struct GemmStream::Impl {
       const std::vector<Request*> bucket(order.begin() + static_cast<std::ptrdiff_t>(i),
                                          order.begin() + static_cast<std::ptrdiff_t>(j));
       if (order[i]->dtype == 's') {
-        run_bucket<float>(order[i]->mode, bucket);
+        run_bucket<float>(order[i]->mode, bucket, SHALOM_OK);
       } else {
-        run_bucket<double>(order[i]->mode, bucket);
+        run_bucket<double>(order[i]->mode, bucket, SHALOM_OK);
       }
       ++calls;
       i = j;
@@ -227,6 +329,7 @@ struct GemmStream::Impl {
   void drain_loop() {
     for (;;) {
       std::vector<Request> batch;
+      std::vector<Request> run;
       {
         MutexLock lock(mu);
         while (!stop && pending.empty()) submit_cv.wait(lock);
@@ -235,13 +338,40 @@ struct GemmStream::Impl {
           continue;
         }
         batch.swap(pending);
-        draining = true;
+        executing = true;
+        space_cv.notify_all();  // queue just emptied: admit blockers
+        // Claim-or-drop sweep, BEFORE anything reaches gemm_batch:
+        // expire overdue deadlines (monotonic clock, plus the
+        // engine.deadline fault site) and drop requests whose ticket was
+        // revoked while queued (cancel / shed-oldest) - the claim
+        // handshake guarantees the buffers of a revoked request are
+        // never touched. The sweep runs under mu so the expired/executed
+        // counters are already up to date when a waiter observes any of
+        // these tickets resolve and then reads stats().
+        const auto now = std::chrono::steady_clock::now();
+        run.reserve(batch.size());
+        for (Request& r : batch) {
+          const bool overdue =
+              (r.has_deadline && now >= r.deadline) ||
+              SHALOM_FAULT_POINT(fault::Site::kEngineDeadline);
+          if (overdue) {
+            if (r.ticket->revoke(SHALOM_ERR_TIMEOUT,
+                                 "shalom: request deadline expired before "
+                                 "execution")) {
+              telemetry::note_request_expired();
+              ++counters.expired;
+            }
+            continue;
+          }
+          if (!r.ticket->try_claim()) continue;  // revoked while queued
+          run.push_back(std::move(r));
+        }
+        counters.executed += run.size();  // claimed == will run
       }
-      const std::uint64_t calls = execute_batch(batch);
+      const std::uint64_t calls = execute_batch(run);
       {
         MutexLock lock(mu);
-        draining = false;
-        counters.executed += batch.size();
+        executing = false;
         counters.batches += calls;
         drained_cv.notify_all();
       }
@@ -251,38 +381,53 @@ struct GemmStream::Impl {
 
 GemmStream::GemmStream(StreamOptions opts)
     : impl_(std::make_unique<Impl>()) {
+  if (opts.queue_cap < 0) opts.queue_cap = env_queue_cap();
+  if (opts.overload_policy < 0)
+    opts.overload_policy = static_cast<int>(env_overload_policy());
+  if (opts.retry_budget < 0) opts.retry_budget = env_retry_budget();
+  if (opts.breaker_threshold < 1) opts.breaker_threshold = 1;
   impl_->opts = opts;
-  try {
-    Impl* impl = impl_.get();
-    impl_->drainer = std::thread([impl] { impl->drain_loop(); });
-  } catch (const std::system_error&) {
-    // Degrade to synchronous execution rather than failing construction:
-    // submit() then runs each request inline before returning.
-    impl_->synchronous = true;
-  } catch (const std::bad_alloc&) {
-    impl_->synchronous = true;
+  // Spawn the drainer with the same transient-failure retry budget the
+  // submit path gets; only a persistent failure degrades the stream to
+  // synchronous execution (it still never fails construction).
+  for (long attempt = 0;; ++attempt) {
+    try {
+      if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolSpawn))
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "injected drainer-spawn failure");
+      Impl* impl = impl_.get();
+      impl_->drainer = std::thread([impl] { impl->drain_loop(); });
+      return;
+    } catch (const std::system_error&) {
+    } catch (const std::bad_alloc&) {
+    }
+    if (attempt >= opts.retry_budget) break;
+    impl_->count_retry();
+    backoff_sleep(attempt);
   }
+  // Degrade to synchronous execution rather than failing construction:
+  // submit() then runs each request inline before returning.
+  impl_->synchronous = true;
 }
 
-GemmStream::~GemmStream() {
-  if (impl_->drainer.joinable()) {
-    {
-      MutexLock lock(impl_->mu);
-      impl_->stop = true;
-    }
-    impl_->submit_cv.notify_all();
-    impl_->drainer.join();  // drains everything still pending first
-  }
-}
+GemmStream::~GemmStream() { close(); }
 
 template <typename T>
 TicketPtr GemmStream::submit(Mode mode, index_t m, index_t n, index_t k,
                              T alpha, const T* a, index_t lda, const T* b,
-                             index_t ldb, T beta, T* c, index_t ldc) {
+                             index_t ldb, T beta, T* c, index_t ldc,
+                             long deadline_ms) {
   // Validate on the submitting thread: contract violations belong to the
   // caller, not to a ticket resolved later on the drainer.
   detail::check_gemm_args(mode, m, n, k, a, lda, b, ldb, c, ldc);
-  if (SHALOM_FAULT_POINT(fault::Site::kSubmitQueue)) throw std::bad_alloc();
+  if (SHALOM_FAULT_POINT(fault::Site::kEngineShed)) {
+    telemetry::note_request_shed();
+    MutexLock lock(impl_->mu);
+    ++impl_->counters.shed;
+    throw rejected_error(
+        "shalom: submission shed (engine.shed fault site)");
+  }
   auto ticket = std::make_shared<Ticket>();
   Request r;
   r.dtype = std::is_same<T, float>::value ? 's' : 'd';
@@ -298,20 +443,128 @@ TicketPtr GemmStream::submit(Mode mode, index_t m, index_t n, index_t k,
   r.a = a;
   r.b = b;
   r.c = c;
+  if (deadline_ms > 0) {
+    r.has_deadline = true;
+    r.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadline_ms);
+  }
   r.ticket = ticket;
-  if (impl_->synchronous) {
+  if (impl_->degraded()) {
+    {
+      MutexLock lock(impl_->mu);
+      if (impl_->lifecycle != Impl::kRunning) {
+        ++impl_->counters.shed;
+        telemetry::note_request_shed();
+        throw rejected_error("shalom: submit on a draining/closed stream");
+      }
+      ++impl_->counters.submitted;
+    }
+    // Inline degraded execution: claim first so a concurrent cancel of
+    // the (not yet returned) ticket can never double-resolve it, and
+    // count it executed before completion so a waiter that sees the
+    // ticket resolve never reads stats() missing it.
+    ticket->try_claim();
+    {
+      MutexLock lock(impl_->mu);
+      ++impl_->counters.executed;
+      ++impl_->counters.batches;
+    }
     const std::vector<Request*> one{&r};
-    impl_->run_bucket<T>(mode, one);
-    MutexLock lock(impl_->mu);
-    ++impl_->counters.submitted;
-    ++impl_->counters.executed;
-    ++impl_->counters.batches;
+    impl_->run_bucket<T>(mode, one, SHALOM_DEGRADED);
     return ticket;
   }
-  {
-    MutexLock lock(impl_->mu);
-    impl_->pending.push_back(std::move(r));  // strong: throws, queue intact
-    ++impl_->counters.submitted;
+  const std::size_t cap =
+      impl_->opts.queue_cap > 0
+          ? static_cast<std::size_t>(impl_->opts.queue_cap)
+          : 0;
+  for (long attempt = 0;; ++attempt) {
+    try {
+      MutexLock lock(impl_->mu);
+      if (impl_->lifecycle != Impl::kRunning) {
+        ++impl_->counters.shed;
+        telemetry::note_request_shed();
+        throw rejected_error("shalom: submit on a draining/closed stream");
+      }
+      if (cap > 0 && impl_->pending.size() >= cap) {
+        switch (static_cast<OverloadPolicy>(impl_->opts.overload_policy)) {
+          case OverloadPolicy::kShedNewest:
+            ++impl_->counters.shed;
+            telemetry::note_request_shed();
+            throw rejected_error(
+                "shalom: queue at capacity (shed-newest policy)");
+          case OverloadPolicy::kShedOldest: {
+            // Revoke the oldest queued request in favor of the new one.
+            // An entry already revoked by a racing cancel just frees its
+            // slot (its ticket was resolved by the canceller).
+            auto oldest = impl_->pending.begin();
+            if (oldest->ticket->revoke(
+                    SHALOM_ERR_REJECTED,
+                    "shalom: shed (oldest) under overload")) {
+              ++impl_->counters.shed;
+              telemetry::note_request_shed();
+            }
+            impl_->pending.erase(oldest);
+            break;
+          }
+          case OverloadPolicy::kBlock: {
+            if (!r.has_deadline) {
+              while (impl_->lifecycle == Impl::kRunning &&
+                     impl_->pending.size() >= cap)
+                impl_->space_cv.wait(lock);
+            } else {
+              while (impl_->lifecycle == Impl::kRunning &&
+                     impl_->pending.size() >= cap) {
+                if (impl_->space_cv.wait_until(lock, r.deadline) ==
+                        std::cv_status::timeout &&
+                    impl_->lifecycle == Impl::kRunning &&
+                    impl_->pending.size() >= cap) {
+                  ++impl_->counters.expired;
+                  telemetry::note_request_expired();
+                  throw timeout_error(
+                      "shalom: deadline expired waiting for queue space");
+                }
+              }
+            }
+            if (impl_->lifecycle != Impl::kRunning) {
+              ++impl_->counters.shed;
+              telemetry::note_request_shed();
+              throw rejected_error(
+                  "shalom: stream drained away while blocked on admission");
+            }
+            break;
+          }
+        }
+      }
+      if (SHALOM_FAULT_POINT(fault::Site::kSubmitQueue))
+        throw std::bad_alloc();
+      impl_->pending.push_back(std::move(r));  // strong: throws, queue intact
+      ++impl_->counters.submitted;
+      const std::uint64_t depth = impl_->pending.size();
+      if (depth > impl_->counters.queue_peak)
+        impl_->counters.queue_peak = depth;
+      telemetry::note_queue_depth(depth);
+      impl_->consecutive_failures.store(0, std::memory_order_relaxed);
+      break;
+    } catch (const std::bad_alloc&) {
+      if (attempt < impl_->opts.retry_budget) {
+        impl_->count_retry();
+        backoff_sleep(attempt);
+        continue;
+      }
+      // Retry budget exhausted: feed the circuit breaker. Enough
+      // consecutive exhausted submits latch the stream into
+      // synchronous-degraded mode so later traffic keeps flowing
+      // (inline, skipping the failing enqueue path) instead of burning
+      // retry time per request.
+      const int fails =
+          impl_->consecutive_failures.fetch_add(
+              1, std::memory_order_relaxed) +
+          1;
+      if (fails >= impl_->opts.breaker_threshold &&
+          !impl_->latched.exchange(true, std::memory_order_relaxed))
+        telemetry::note_breaker_trip();
+      throw;
+    }
   }
   impl_->submit_cv.notify_one();
   return ticket;
@@ -320,21 +573,68 @@ TicketPtr GemmStream::submit(Mode mode, index_t m, index_t n, index_t k,
 template TicketPtr GemmStream::submit<float>(Mode, index_t, index_t, index_t,
                                              float, const float*, index_t,
                                              const float*, index_t, float,
-                                             float*, index_t);
+                                             float*, index_t, long);
 template TicketPtr GemmStream::submit<double>(Mode, index_t, index_t,
                                               index_t, double, const double*,
                                               index_t, const double*, index_t,
-                                              double, double*, index_t);
+                                              double, double*, index_t, long);
 
-void GemmStream::flush() {
+int GemmStream::flush() {
   MutexLock lock(impl_->mu);
-  while (!impl_->pending.empty() || impl_->draining)
+  while (!impl_->pending.empty() || impl_->executing)
     impl_->drained_cv.wait(lock);
+  return impl_->degraded() ? SHALOM_DEGRADED : SHALOM_OK;
+}
+
+int GemmStream::flush_for(long ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(ms > 0 ? ms : 0);
+  MutexLock lock(impl_->mu);
+  while (!impl_->pending.empty() || impl_->executing) {
+    if (impl_->drained_cv.wait_until(lock, deadline) !=
+        std::cv_status::timeout)
+      continue;
+    if (!impl_->pending.empty() || impl_->executing)
+      return SHALOM_ERR_TIMEOUT;
+  }
+  return impl_->degraded() ? SHALOM_DEGRADED : SHALOM_OK;
+}
+
+int GemmStream::close() {
+  {
+    MutexLock lock(impl_->mu);
+    if (impl_->lifecycle == Impl::kRunning)
+      impl_->lifecycle = Impl::kDraining;
+  }
+  // Blocked submitters re-check the lifecycle and bail out rejected.
+  impl_->space_cv.notify_all();
+  const int rc = flush();  // every accepted request resolves
+  {
+    MutexLock lock(impl_->mu);
+    impl_->lifecycle = Impl::kClosed;
+    impl_->stop = true;
+  }
+  impl_->submit_cv.notify_all();
+  if (impl_->drainer.joinable()) impl_->drainer.join();
+  return rc;
+}
+
+StreamHealth GemmStream::health() const {
+  MutexLock lock(impl_->mu);
+  if (impl_->lifecycle != Impl::kRunning) return StreamHealth::kDraining;
+  if (impl_->degraded()) return StreamHealth::kDegraded;
+  if (impl_->opts.queue_cap > 0 &&
+      impl_->pending.size() >=
+          static_cast<std::size_t>(impl_->opts.queue_cap))
+    return StreamHealth::kShedding;
+  return StreamHealth::kOk;
 }
 
 StreamStats GemmStream::stats() const {
   MutexLock lock(impl_->mu);
-  return impl_->counters;
+  StreamStats s = impl_->counters;
+  s.retries = impl_->retry_count.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace engine

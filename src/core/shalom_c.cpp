@@ -53,6 +53,10 @@ int fail_current_exception() {
     return fail(SHALOM_ERR_CORRUPTION, e.what());
   } catch (const shalom::kernel_trap_error& e) {
     return fail(SHALOM_ERR_KERNEL_TRAP, e.what());
+  } catch (const shalom::rejected_error& e) {
+    return fail(SHALOM_ERR_REJECTED, e.what());
+  } catch (const shalom::timeout_error& e) {
+    return fail(SHALOM_ERR_TIMEOUT, e.what());
   } catch (const std::bad_alloc& e) {
     return fail(SHALOM_ERR_ALLOC, e.what());
   } catch (const std::exception& e) {
@@ -138,6 +142,12 @@ extern "C" void shalom_get_stats(shalom_stats* out) {
   out->kernels_trapped = s.kernels_trapped;
   out->watchdog_trips = s.watchdog_trips;
   out->arena_corruptions = s.arena_corruptions;
+  out->stream_queue_peak = s.stream_queue_peak;
+  out->requests_shed = s.requests_shed;
+  out->requests_expired = s.requests_expired;
+  out->requests_cancelled = s.requests_cancelled;
+  out->submit_retries = s.submit_retries;
+  out->breaker_trips = s.breaker_trips;
 }
 
 extern "C" void shalom_reset_stats(void) { shalom::robustness_stats_reset(); }
@@ -249,11 +259,39 @@ extern "C" int shalom_stream_flush(shalom_stream* stream) {
   if (stream == nullptr)
     return fail(SHALOM_ERR_NULL_POINTER, "stream is NULL");
   try {
-    stream->impl.flush();
+    // SHALOM_DEGRADED passes through without touching the last-error
+    // slot: the work completed correctly, the code is a routing signal.
+    return stream->impl.flush();
   } catch (...) {
     return fail_current_exception();
   }
-  return SHALOM_OK;
+}
+
+extern "C" int shalom_stream_flush_for(shalom_stream* stream, long ms) {
+  clear_last_error();
+  if (stream == nullptr)
+    return fail(SHALOM_ERR_NULL_POINTER, "stream is NULL");
+  try {
+    const int status = stream->impl.flush_for(ms);
+    if (status == SHALOM_ERR_TIMEOUT)
+      return fail(status, "stream did not drain within the flush deadline");
+    return status;  // SHALOM_OK or SHALOM_DEGRADED
+  } catch (...) {
+    return fail_current_exception();
+  }
+}
+
+// Health probe, documented as returning an enum value (or -1 on NULL)
+// rather than a status code; GemmStream::health() only takes the stream
+// mutex and cannot throw anything but allocation-free lock errors, which
+// the catch still contains.
+extern "C" int shalom_stream_health(const shalom_stream* stream) {
+  if (stream == nullptr) return -1;
+  try {
+    return static_cast<int>(stream->impl.health());
+  } catch (...) {  // shalom-lint: allow(capi-exception-boundary)
+    return -1;
+  }
 }
 
 namespace {
@@ -262,7 +300,7 @@ template <typename T>
 int submit_c(shalom_stream* stream, char trans_a, char trans_b, ptrdiff_t m,
              ptrdiff_t n, ptrdiff_t k, T alpha, const T* a, ptrdiff_t lda,
              const T* b, ptrdiff_t ldb, T beta, T* c, ptrdiff_t ldc,
-             shalom_future** out_future) {
+             long deadline_ms, shalom_future** out_future) {
   clear_last_error();
   if (out_future != nullptr) *out_future = nullptr;
   if (stream == nullptr)
@@ -274,7 +312,7 @@ int submit_c(shalom_stream* stream, char trans_a, char trans_b, ptrdiff_t m,
     auto future = std::make_unique<shalom_future>();
     future->ticket = stream->impl.submit<T>(shalom::Mode{ta, tb}, m, n, k,
                                             alpha, a, lda, b, ldb, beta, c,
-                                            ldc);
+                                            ldc, deadline_ms);
     if (out_future != nullptr) *out_future = future.release();
     // With out_future NULL the ticket is dropped here (fire-and-forget);
     // the stream's own reference keeps the request alive.
@@ -293,7 +331,7 @@ extern "C" int shalom_submit_s(shalom_stream* stream, char trans_a,
                                float beta, float* c, ptrdiff_t ldc,
                                shalom_future** out_future) {
   return submit_c(stream, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
-                  beta, c, ldc, out_future);
+                  beta, c, ldc, 0, out_future);
 }
 
 extern "C" int shalom_submit_d(shalom_stream* stream, char trans_a,
@@ -303,7 +341,30 @@ extern "C" int shalom_submit_d(shalom_stream* stream, char trans_a,
                                double beta, double* c, ptrdiff_t ldc,
                                shalom_future** out_future) {
   return submit_c(stream, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
-                  beta, c, ldc, out_future);
+                  beta, c, ldc, 0, out_future);
+}
+
+extern "C" int shalom_submit_timed_s(shalom_stream* stream, char trans_a,
+                                     char trans_b, ptrdiff_t m, ptrdiff_t n,
+                                     ptrdiff_t k, float alpha, const float* a,
+                                     ptrdiff_t lda, const float* b,
+                                     ptrdiff_t ldb, float beta, float* c,
+                                     ptrdiff_t ldc, long deadline_ms,
+                                     shalom_future** out_future) {
+  return submit_c(stream, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                  beta, c, ldc, deadline_ms, out_future);
+}
+
+extern "C" int shalom_submit_timed_d(shalom_stream* stream, char trans_a,
+                                     char trans_b, ptrdiff_t m, ptrdiff_t n,
+                                     ptrdiff_t k, double alpha,
+                                     const double* a, ptrdiff_t lda,
+                                     const double* b, ptrdiff_t ldb,
+                                     double beta, double* c, ptrdiff_t ldc,
+                                     long deadline_ms,
+                                     shalom_future** out_future) {
+  return submit_c(stream, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                  beta, c, ldc, deadline_ms, out_future);
 }
 
 extern "C" int shalom_wait(shalom_future* future) {
@@ -312,14 +373,52 @@ extern "C" int shalom_wait(shalom_future* future) {
     return fail(SHALOM_ERR_NULL_POINTER, "future is NULL");
   try {
     const int status = future->ticket->wait();
-    if (status != SHALOM_OK)
+    if (status != SHALOM_OK && status != SHALOM_DEGRADED)
       // Re-surface the drainer-side failure as THIS thread's last error,
-      // mirroring what a synchronous call would have set.
+      // mirroring what a synchronous call would have set. SHALOM_DEGRADED
+      // is not a failure (the results are correct) and passes through
+      // without touching the slot.
       return fail(status, future->ticket->message().c_str());
+    return status;
   } catch (...) {
     return fail_current_exception();
   }
-  return SHALOM_OK;
+}
+
+extern "C" int shalom_wait_for(shalom_future* future, long ms) {
+  clear_last_error();
+  if (future == nullptr)
+    return fail(SHALOM_ERR_NULL_POINTER, "future is NULL");
+  try {
+    if (!future->ticket->wait_for(ms))
+      // The request itself is untouched: only this wait timed out.
+      return fail(SHALOM_ERR_TIMEOUT,
+                  "request did not resolve within the wait deadline");
+    const int status = future->ticket->status();
+    if (status != SHALOM_OK && status != SHALOM_DEGRADED)
+      return fail(status, future->ticket->message().c_str());
+    return status;
+  } catch (...) {
+    return fail_current_exception();
+  }
+}
+
+// Returns 1/0 rather than a status code. The only throwing point is the
+// message-string construction, which happens BEFORE the revoke CAS: a
+// contained failure means nothing was cancelled (return 0), never a
+// revoked-but-unresolved ticket.
+// shalom-lint: allow(capi-exception-boundary)
+extern "C" int shalom_future_cancel(shalom_future* future) {
+  if (future == nullptr) return 0;
+  try {
+    if (!future->ticket->revoke(SHALOM_ERR_REJECTED,
+                                "cancelled by shalom_future_cancel"))
+      return 0;
+  } catch (...) {
+    return 0;
+  }
+  shalom::telemetry::note_request_cancelled();
+  return 1;
 }
 
 // Completion probe, documented as returning 0/1 rather than a status

@@ -19,6 +19,14 @@
  *                                  probe (variant quarantined)
  *   9  SHALOM_ERR_CORRUPTION       guarded pack-arena canary violated
  *                                  (only with SHALOM_GUARD=canary|poison)
+ *  10  SHALOM_ERR_REJECTED         request shed by stream admission control
+ *                                  (queue at capacity / stream draining) or
+ *                                  cancelled before execution
+ *  11  SHALOM_ERR_TIMEOUT          request deadline expired before
+ *                                  execution, or a timed wait ran out
+ *  12  SHALOM_DEGRADED             not an error: the work completed with
+ *                                  correct results on a degraded synchronous
+ *                                  path (see shalom_stream_health)
  * No exception ever crosses this boundary. shalom_strerror() names a
  * code; shalom_last_error_message() returns the calling thread's detail
  * message for its most recent failed call.
@@ -79,6 +87,12 @@ typedef struct shalom_stats {
   uint64_t kernels_trapped;    /* hardware traps contained by a probe scope */
   uint64_t watchdog_trips;     /* thread-pool watchdog stall recoveries */
   uint64_t arena_corruptions;  /* guarded pack-arena canary violations */
+  uint64_t stream_queue_peak;  /* high-water stream submission-queue depth */
+  uint64_t requests_shed;      /* submissions rejected by admission control */
+  uint64_t requests_expired;   /* requests whose deadline expired unexecuted */
+  uint64_t requests_cancelled; /* requests cancelled before execution */
+  uint64_t submit_retries;     /* transient-failure backoff retries spent */
+  uint64_t breaker_trips;      /* streams latched synchronous-degraded */
 } shalom_stats;
 
 /* Snapshot of the counters; `out` may not be NULL. */
@@ -149,10 +163,27 @@ void shalom_plan_destroy(shalom_plan* plan);
  *
  * Execution-time failures surface on the FUTURE, not the submit call:
  * shalom_submit_* only fails for contract violations (bad flags, bad
- * dimensions, NULL pointers) or when the request cannot be queued
- * (SHALOM_ERR_ALLOC; the queue is then unchanged). shalom_wait returns
- * the request's final status and installs its detail message as the
- * waiting thread's last-error message.
+ * dimensions, NULL pointers), when admission control sheds the request
+ * (SHALOM_ERR_REJECTED: queue at capacity under a shed-* policy, or the
+ * stream is draining/closed), when a block-policy wait for queue space
+ * outlives the request's deadline (SHALOM_ERR_TIMEOUT), or when the
+ * request cannot be queued after the retry budget is spent
+ * (SHALOM_ERR_ALLOC). The queue is unchanged in every failing case.
+ * shalom_wait returns the request's final status and installs a
+ * failure's detail message as the waiting thread's last-error message.
+ *
+ * Admission control and QoS (see DESIGN.md "Stream lifecycle"): the
+ * pending queue is bounded by SHALOM_QUEUE_CAP (0/unset = unbounded) and
+ * SHALOM_OVERLOAD_POLICY picks what happens at capacity:
+ *   block        park the submitter until space frees (bounded by the
+ *                request's deadline when it has one)     [default]
+ *   shed-newest  reject the incoming request (SHALOM_ERR_REJECTED)
+ *   shed-oldest  revoke the oldest queued request in its favor (its
+ *                future resolves SHALOM_ERR_REJECTED)
+ * SHALOM_RETRY_BUDGET bounds exponential-backoff retries for transient
+ * queue/spawn failures (default 3); a circuit breaker latches a stream
+ * whose submits keep failing into synchronous-degraded mode, where
+ * requests still execute correctly (futures resolve SHALOM_DEGRADED).
  * ---------------------------------------------------------------------- */
 
 typedef struct shalom_stream shalom_stream;
@@ -165,15 +196,36 @@ typedef struct shalom_future shalom_future;
  * inside shalom_submit_*. */
 int shalom_stream_create(shalom_stream** out_stream, int threads);
 
-/* Executes every request still pending, then releases the stream.
- * Outstanding futures stay valid (they share ownership of their
- * completion state). Safe on NULL. */
+/* Graceful shutdown: stops admission (later submits on the stream return
+ * SHALOM_ERR_REJECTED), resolves every request already accepted, then
+ * releases the stream. Outstanding futures stay valid (they share
+ * ownership of their completion state). Safe on NULL. */
 void shalom_stream_destroy(shalom_stream* stream);
 
-/* Blocks until every request submitted before this call has executed.
- * Per-request verdicts are on the futures; flush itself only fails for
- * a NULL stream. */
+/* Blocks until every request submitted before this call has resolved.
+ * Returns SHALOM_OK, or SHALOM_DEGRADED when the stream is executing on
+ * a degraded synchronous path (drainer-spawn failure or a latched
+ * circuit breaker) - work completed correctly, but callers should stop
+ * routing load here. Per-request verdicts are on the futures. */
 int shalom_stream_flush(shalom_stream* stream);
+
+/* shalom_stream_flush bounded by `ms` milliseconds: additionally returns
+ * SHALOM_ERR_TIMEOUT when the queue had not drained in time (the stream
+ * keeps draining in the background; flush again to re-wait). */
+int shalom_stream_flush_for(shalom_stream* stream, long ms);
+
+/* Coarse stream condition for load-balancer style probes. Precedence
+ * when several apply: DRAINING > DEGRADED > SHEDDING > OK. */
+typedef enum shalom_stream_health_state {
+  SHALOM_STREAM_HEALTH_OK = 0,
+  SHALOM_STREAM_HEALTH_DEGRADED = 1, /* latched synchronous execution */
+  SHALOM_STREAM_HEALTH_SHEDDING = 2, /* queue at capacity right now */
+  SHALOM_STREAM_HEALTH_DRAINING = 3, /* shutdown in progress (or closed) */
+} shalom_stream_health_state;
+
+/* Returns the stream's shalom_stream_health_state, or -1 when stream is
+ * NULL. Not a status code. */
+int shalom_stream_health(const shalom_stream* stream);
 
 /* Enqueue C = alpha * op(A) . op(B) + beta * C (row-major, like
  * shalom_sgemm). On success *out_future owns a future for the request;
@@ -192,10 +244,41 @@ int shalom_submit_d(shalom_stream* stream, char trans_a, char trans_b,
                     ptrdiff_t ldb, double beta, double* c, ptrdiff_t ldc,
                     shalom_future** out_future);
 
+/* shalom_submit_* with a per-request deadline: if the request has not
+ * started executing within `deadline_ms` milliseconds of submission its
+ * future resolves with SHALOM_ERR_TIMEOUT instead (the output buffer is
+ * untouched). deadline_ms <= 0 means no deadline. Under the block
+ * overload policy the deadline also bounds the wait for queue space. */
+int shalom_submit_timed_s(shalom_stream* stream, char trans_a, char trans_b,
+                          ptrdiff_t m, ptrdiff_t n, ptrdiff_t k, float alpha,
+                          const float* a, ptrdiff_t lda, const float* b,
+                          ptrdiff_t ldb, float beta, float* c, ptrdiff_t ldc,
+                          long deadline_ms, shalom_future** out_future);
+int shalom_submit_timed_d(shalom_stream* stream, char trans_a, char trans_b,
+                          ptrdiff_t m, ptrdiff_t n, ptrdiff_t k,
+                          double alpha, const double* a, ptrdiff_t lda,
+                          const double* b, ptrdiff_t ldb, double beta,
+                          double* c, ptrdiff_t ldc, long deadline_ms,
+                          shalom_future** out_future);
+
 /* Blocks until the request has executed and returns its shalom_status;
- * a failure's detail message becomes this thread's last-error message.
+ * a failure's detail message becomes this thread's last-error message
+ * (SHALOM_DEGRADED is not a failure and leaves it untouched).
  * Idempotent: calling again returns the same status immediately. */
 int shalom_wait(shalom_future* future);
+
+/* shalom_wait bounded by `ms` milliseconds: returns SHALOM_ERR_TIMEOUT
+ * when the request had not resolved in time. The future is untouched by
+ * a timed-out wait - the request keeps running; wait again or cancel. */
+int shalom_wait_for(shalom_future* future, long ms);
+
+/* Cancels a request that is still queued: its future resolves with
+ * SHALOM_ERR_REJECTED and its buffers are guaranteed never to be
+ * touched. Returns 1 when this call cancelled the request, 0 when it
+ * was too late (already executing or resolved) or future is NULL; never
+ * blocks. Safe to race with the stream's drainer and with destruction
+ * of the stream. */
+int shalom_future_cancel(shalom_future* future);
 
 /* Nonzero once the request has executed (then shalom_wait will not
  * block); 0 while pending or when future is NULL. Not a status code. */

@@ -397,8 +397,8 @@ void ThreadPool::watchdog_wait(Round& r, int watchdog_ms,
       // Whatever is still outstanding was claimed by a live-or-wedged
       // worker; only it can finish the task (a mid-task wedge may hold
       // half-written output). No further trips this round.
-      r.cv.wait(lock);
-      continue;
+      while (!r.done) r.cv.wait(lock);
+      break;
     }
     r.cv.wait_for(lock, std::chrono::milliseconds(watchdog_ms));
     if (r.done) break;

@@ -1,0 +1,16 @@
+// Fixture: unbounded-wait - one bare CV wait outside a predicate loop.
+#include <condition_variable>
+#include <mutex>
+
+void bad_wait(std::condition_variable& done_cv,
+              std::unique_lock<std::mutex>& lock) {
+  done_cv.wait(lock);
+}
+
+// Guarded and deadline forms pass.
+void good_waits(std::condition_variable& done_cv,
+                std::unique_lock<std::mutex>& lock, bool& done) {
+  while (!done) done_cv.wait(lock);
+  done_cv.wait(lock, [&] { return done; });
+  done_cv.wait_for(lock, std::chrono::milliseconds(5));
+}

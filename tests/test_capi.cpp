@@ -175,10 +175,12 @@ TEST(CApi, StrerrorCoversEveryCode) {
       {SHALOM_ERR_NUMERIC, "SHALOM_ERR_NUMERIC"},
       {SHALOM_ERR_KERNEL_TRAP, "SHALOM_ERR_KERNEL_TRAP"},
       {SHALOM_ERR_CORRUPTION, "SHALOM_ERR_CORRUPTION"},
+      {SHALOM_ERR_REJECTED, "SHALOM_ERR_REJECTED"},
+      {SHALOM_ERR_TIMEOUT, "SHALOM_ERR_TIMEOUT"},
+      {SHALOM_DEGRADED, "SHALOM_DEGRADED"},
   };
   constexpr std::size_t kCodeCount = sizeof(kCodes) / sizeof(kCodes[0]);
-  static_assert(kCodeCount ==
-                    static_cast<std::size_t>(SHALOM_ERR_CORRUPTION) + 1,
+  static_assert(kCodeCount == static_cast<std::size_t>(SHALOM_DEGRADED) + 1,
                 "status table out of sync with the shalom_status enum: add "
                 "the new code's row (codes are dense and append-only)");
 
@@ -342,7 +344,9 @@ TEST(CApiAsync, SubmitQueueFaultReturnsAllocError) {
   ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
   testing::Problem<float> p({Trans::N, Trans::N}, 8, 8, 8);
 
-  fault::arm(fault::Site::kSubmitQueue, fault::Mode::kOnce);
+  // every-1, not kOnce: a single transient fault would be absorbed by the
+  // submit retry budget; only a persistent one surfaces to the caller.
+  fault::arm(fault::Site::kSubmitQueue, fault::Mode::kEveryN, 1);
   shalom_future* f = nullptr;
   EXPECT_EQ(shalom_submit_s(stream, 'N', 'N', 8, 8, 8, 1.f, p.a.data(),
                             p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
@@ -396,6 +400,188 @@ TEST(CApiAsync, SubmitAfterDegradedPoolStillExecutes) {
   shalom_stream_destroy(stream);
   p.run_reference(1.f, 0.f);
   p.expect_matches("stream on degraded pool");
+}
+
+TEST(CApiAsync, WaitForBoundsTheWait) {
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  testing::Problem<float> p({Trans::N, Trans::N}, 192, 192, 192);
+  shalom_future* f = nullptr;
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 192, 192, 192, 1.f,
+                            p.a.data(), p.a.ld(), p.b.data(), p.b.ld(), 0.f,
+                            p.c.data(), p.c.ld(), &f),
+            0);
+  // A zero-budget wait returns immediately: either the final status or
+  // SHALOM_ERR_TIMEOUT with the future untouched and still waitable.
+  const int rc = shalom_wait_for(f, 0);
+  EXPECT_TRUE(rc == SHALOM_OK || rc == SHALOM_ERR_TIMEOUT) << rc;
+  EXPECT_EQ(shalom_wait(f), 0);
+  EXPECT_EQ(shalom_wait_for(f, 0), 0) << "resolved future returns instantly";
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("wait_for then wait");
+
+  EXPECT_EQ(shalom_wait_for(nullptr, 10), SHALOM_ERR_NULL_POINTER);
+  shalom_future_destroy(f);
+  shalom_stream_destroy(stream);
+}
+
+TEST(CApiAsync, CancelResolvesQueuedFutureExactlyOnce) {
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  // A large request keeps the drainer busy so the small one stays queued
+  // long enough for the cancel to usually win; the test accepts either
+  // outcome of the race, but never a half-resolved future.
+  testing::Problem<float> busy({Trans::N, Trans::N}, 192, 192, 192);
+  testing::Problem<float> p({Trans::N, Trans::N}, 12, 12, 12);
+  const Matrix<float> pristine = p.c;
+  shalom_future* fb = nullptr;
+  shalom_future* f = nullptr;
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 192, 192, 192, 1.f,
+                            busy.a.data(), busy.a.ld(), busy.b.data(),
+                            busy.b.ld(), 0.f, busy.c.data(), busy.c.ld(),
+                            &fb),
+            0);
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 12, 12, 12, 1.f, p.a.data(),
+                            p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                            p.c.ld(), &f),
+            0);
+  const int cancelled = shalom_future_cancel(f);
+  EXPECT_TRUE(cancelled == 0 || cancelled == 1);
+  EXPECT_EQ(shalom_wait(fb), 0);
+  if (cancelled == 1) {
+    EXPECT_EQ(shalom_wait(f), SHALOM_ERR_REJECTED);
+    for (index_t i = 0; i < p.m; ++i)
+      for (index_t j = 0; j < p.n; ++j)
+        ASSERT_EQ(std::memcmp(&p.c(i, j), &pristine(i, j), sizeof(float)), 0)
+            << "a cancelled request must never write to C";
+  } else {
+    EXPECT_EQ(shalom_wait(f), 0);
+    p.run_reference(1.f, 0.f);
+    p.expect_matches("cancel lost the race");
+  }
+  // Whatever happened, the future is now resolved: cancel always loses.
+  EXPECT_EQ(shalom_future_cancel(f), 0);
+  EXPECT_EQ(shalom_future_cancel(nullptr), 0);
+  shalom_future_destroy(fb);
+  shalom_future_destroy(f);
+  shalom_stream_destroy(stream);
+}
+
+TEST(CApiAsync, TimedSubmitCarriesDeadline) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  testing::Problem<float> p({Trans::N, Trans::N}, 10, 10, 10);
+  const Matrix<float> pristine = p.c;
+
+  // engine.deadline expires the swept request deterministically.
+  fault::arm(fault::Site::kEngineDeadline, fault::Mode::kEveryN, 1);
+  shalom_future* f = nullptr;
+  ASSERT_EQ(shalom_submit_timed_s(stream, 'N', 'N', 10, 10, 10, 1.f,
+                                  p.a.data(), p.a.ld(), p.b.data(),
+                                  p.b.ld(), 0.f, p.c.data(), p.c.ld(),
+                                  /*deadline_ms=*/1000, &f),
+            0);
+  EXPECT_EQ(shalom_wait(f), SHALOM_ERR_TIMEOUT);
+  fault::disarm_all();
+  EXPECT_GT(std::strlen(shalom_last_error_message()), 0u);
+  for (index_t i = 0; i < p.m; ++i)
+    for (index_t j = 0; j < p.n; ++j)
+      ASSERT_EQ(std::memcmp(&p.c(i, j), &pristine(i, j), sizeof(float)), 0)
+          << "an expired request must never write to C";
+  shalom_future_destroy(f);
+
+  // Without the fault, a generous deadline executes normally.
+  ASSERT_EQ(shalom_submit_timed_s(stream, 'N', 'N', 10, 10, 10, 1.f,
+                                  p.a.data(), p.a.ld(), p.b.data(),
+                                  p.b.ld(), 0.f, p.c.data(), p.c.ld(),
+                                  /*deadline_ms=*/10000, &f),
+            0);
+  EXPECT_EQ(shalom_wait(f), 0);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("timed submit within deadline");
+  shalom_future_destroy(f);
+  shalom_stream_destroy(stream);
+}
+
+TEST(CApiAsync, StreamHealthAndBoundedFlush) {
+  EXPECT_EQ(shalom_stream_health(nullptr), -1);
+  EXPECT_EQ(shalom_stream_flush_for(nullptr, 10), SHALOM_ERR_NULL_POINTER);
+
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  EXPECT_EQ(shalom_stream_health(stream), SHALOM_STREAM_HEALTH_OK);
+  EXPECT_EQ(shalom_stream_flush_for(stream, 50), 0)
+      << "an idle stream drains instantly";
+
+  testing::Problem<float> busy({Trans::N, Trans::N}, 192, 192, 192);
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 192, 192, 192, 1.f,
+                            busy.a.data(), busy.a.ld(), busy.b.data(),
+                            busy.b.ld(), 0.f, busy.c.data(), busy.c.ld(),
+                            nullptr),
+            0);
+  const int rc = shalom_stream_flush_for(stream, 0);
+  EXPECT_TRUE(rc == SHALOM_OK || rc == SHALOM_ERR_TIMEOUT) << rc;
+  EXPECT_EQ(shalom_stream_flush(stream), 0)
+      << "a timed-out flush is re-waitable";
+  shalom_stream_destroy(stream);
+}
+
+// Satellite regression: a stream whose drainer could not be spawned keeps
+// serving correct results synchronously, but flush reports the distinct
+// SHALOM_DEGRADED status (not plain success) so callers can re-route.
+TEST(CApiAsync, FlushReportsDegradedAfterSpawnFailure) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  fault::arm(fault::Site::kThreadpoolSpawn, fault::Mode::kEveryN, 1);
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  fault::disarm_all();
+  ASSERT_NE(stream, nullptr);
+
+  EXPECT_EQ(shalom_stream_health(stream), SHALOM_STREAM_HEALTH_DEGRADED);
+  testing::Problem<float> p({Trans::N, Trans::N}, 14, 14, 14);
+  shalom_future* f = nullptr;
+  ASSERT_EQ(shalom_submit_s(stream, 'N', 'N', 14, 14, 14, 1.f, p.a.data(),
+                            p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
+                            p.c.ld(), &f),
+            0);
+  // SHALOM_DEGRADED is a non-error status: the wait reports the degraded
+  // path without poisoning the thread's last-error slot semantics.
+  EXPECT_EQ(shalom_wait(f), SHALOM_DEGRADED);
+  p.run_reference(1.f, 0.f);
+  p.expect_matches("degraded stream still computes correctly");
+  EXPECT_EQ(shalom_stream_flush(stream), SHALOM_DEGRADED);
+  EXPECT_EQ(shalom_stream_flush_for(stream, 50), SHALOM_DEGRADED);
+  shalom_future_destroy(f);
+  shalom_stream_destroy(stream);
+}
+
+TEST(CApi, StatsExposeAdmissionCounters) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  shalom_stats before;
+  shalom_get_stats(&before);
+
+  shalom_stream* stream = nullptr;
+  ASSERT_EQ(shalom_stream_create(&stream, 1), 0);
+  testing::Problem<float> p({Trans::N, Trans::N}, 8, 8, 8);
+  fault::arm(fault::Site::kEngineDeadline, fault::Mode::kOnce);
+  shalom_future* f = nullptr;
+  ASSERT_EQ(shalom_submit_timed_s(stream, 'N', 'N', 8, 8, 8, 1.f,
+                                  p.a.data(), p.a.ld(), p.b.data(),
+                                  p.b.ld(), 0.f, p.c.data(), p.c.ld(),
+                                  /*deadline_ms=*/1000, &f),
+            0);
+  EXPECT_EQ(shalom_wait(f), SHALOM_ERR_TIMEOUT);
+  fault::disarm_all();
+  shalom_future_destroy(f);
+  shalom_stream_destroy(stream);
+
+  shalom_stats after;
+  shalom_get_stats(&after);
+  EXPECT_GT(after.requests_expired, before.requests_expired);
 }
 
 TEST(CApi, OverflowingShapesRejected) {

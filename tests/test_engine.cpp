@@ -9,9 +9,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/error.h"
 #include "common/fault.h"
 #include "core/engine.h"
 #include "core/shalom.h"
@@ -383,13 +385,37 @@ TEST_F(EngineTest, StreamSubmitValidatesOnCallingThread) {
       << "a rejected submission must not enter the queue";
 }
 
-TEST_F(EngineTest, SubmitQueueFaultRejectsBeforeQueueing) {
+// A transient enqueue failure (kOnce) is absorbed by the submit retry
+// budget: the caller never sees it, only the retry counters move.
+TEST_F(EngineTest, SubmitQueueFaultAbsorbedByRetry) {
   if (!SHALOM_FAULT_INJECTION)
     GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
   engine::GemmStream stream;
   testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
 
   fault::arm(fault::Site::kSubmitQueue, fault::Mode::kOnce);
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+  fault::disarm_all();
+  EXPECT_EQ(t->wait(), 0);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("submit retried past a transient fault");
+  EXPECT_GE(stream.stats().retries, 1u);
+  EXPECT_GE(robustness_stats().submit_retries, 1u);
+}
+
+// A persistent enqueue failure (every-1) exhausts the retry budget and
+// surfaces as std::bad_alloc with the queue unchanged (strong guarantee).
+TEST_F(EngineTest, SubmitQueueFaultRejectsBeforeQueueing) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  engine::StreamOptions opts;
+  opts.retry_budget = 0;  // no point backing off from a permanent fault
+  engine::GemmStream stream(opts);
+  testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
+
+  fault::arm(fault::Site::kSubmitQueue, fault::Mode::kEveryN, 1);
   EXPECT_THROW(stream.submit<float>(p.mode, p.m, p.n, p.k, 1.0f, p.a.data(),
                                     p.a.ld(), p.b.data(), p.b.ld(), 0.0f,
                                     p.c.data(), p.c.ld()),
@@ -404,6 +430,590 @@ TEST_F(EngineTest, SubmitQueueFaultRejectsBeforeQueueing) {
   EXPECT_EQ(t->wait(), 0);
   p.run_reference(1.0f, 0.0f);
   p.expect_matches("submit after rejected submit");
+}
+
+// ---------------------------------------------------------------------------
+// Admission control, deadlines, cancellation
+// ---------------------------------------------------------------------------
+
+/// A request big enough to keep the single drainer busy for a while, so
+/// later submissions observably queue behind it on any host. Tests that
+/// use it stay tolerant of fast machines: "still queued" outcomes are
+/// asserted only when they actually happened.
+testing::Problem<float> make_busy_problem() {
+  return testing::Problem<float>({Trans::N, Trans::N}, 192, 192, 192);
+}
+
+// The engine.deadline fault site expires swept requests deterministically
+// (no real clock dependence): the ticket resolves SHALOM_ERR_TIMEOUT and
+// the output buffer is never touched.
+TEST_F(EngineTest, DeadlineFaultExpiresQueuedRequestWithoutTouchingC) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  engine::GemmStream stream;
+  testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
+  const Matrix<float> pristine = p.c;
+
+  fault::arm(fault::Site::kEngineDeadline, fault::Mode::kEveryN, 1);
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld(), /*deadline_ms=*/1000);
+  EXPECT_EQ(t->wait(), SHALOM_ERR_TIMEOUT);
+  fault::disarm_all();
+
+  EXPECT_EQ(count_bitwise_diffs(p.c, pristine), 0)
+      << "an expired request must never write to C";
+  EXPECT_NE(t->message(), "");
+  const engine::StreamStats st = stream.stats();
+  EXPECT_EQ(st.submitted, 1u);
+  EXPECT_GE(st.expired, 1u);
+  EXPECT_EQ(st.executed, 0u);
+  EXPECT_GE(robustness_stats().requests_expired, 1u);
+
+  // The stream keeps serving after the expiry.
+  engine::TicketPtr ok = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+  EXPECT_EQ(ok->wait(), SHALOM_OK);
+}
+
+// A real (clock-driven) deadline behind a busy drainer: the request
+// either executed in time (bitwise-correct) or expired - never both,
+// never neither, and the stats reconcile exactly.
+TEST_F(EngineTest, RealDeadlineEitherExecutesOrExpires) {
+  engine::GemmStream stream;
+  testing::Problem<float> busy = make_busy_problem();
+  testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
+  const Matrix<float> pristine = p.c;
+
+  engine::TicketPtr tb = stream.submit<float>(
+      busy.mode, busy.m, busy.n, busy.k, 1.0f, busy.a.data(), busy.a.ld(),
+      busy.b.data(), busy.b.ld(), 0.0f, busy.c.data(), busy.c.ld());
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld(), /*deadline_ms=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  EXPECT_EQ(tb->wait(), SHALOM_OK);
+  const int status = t->wait();
+  if (status == SHALOM_OK) {
+    p.run_reference(1.0f, 0.0f);
+    p.expect_matches("deadline race, executed in time");
+  } else {
+    EXPECT_EQ(status, SHALOM_ERR_TIMEOUT);
+    EXPECT_EQ(count_bitwise_diffs(p.c, pristine), 0);
+  }
+  const engine::StreamStats st = stream.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.executed + st.expired, 2u)
+      << "every accepted request resolves exactly one way";
+}
+
+// The engine.shed fault rejects the incoming submission before queueing.
+TEST_F(EngineTest, EngineShedFaultRejectsSubmission) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  engine::GemmStream stream;
+  testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
+
+  fault::arm(fault::Site::kEngineShed, fault::Mode::kOnce);
+  EXPECT_THROW(stream.submit<float>(p.mode, p.m, p.n, p.k, 1.0f, p.a.data(),
+                                    p.a.ld(), p.b.data(), p.b.ld(), 0.0f,
+                                    p.c.data(), p.c.ld()),
+               rejected_error);
+  fault::disarm_all();
+  EXPECT_EQ(stream.stats().submitted, 0u);
+  EXPECT_EQ(stream.stats().shed, 1u);
+  EXPECT_GE(robustness_stats().requests_shed, 1u);
+
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+  EXPECT_EQ(t->wait(), SHALOM_OK);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("submit after shed");
+}
+
+// shed-newest at capacity: accepted + shed always equals attempts, shed
+// submissions throw rejected_error, and every accepted request still
+// produces the right product.
+TEST_F(EngineTest, ShedNewestPolicyBookkeepsEveryAttempt) {
+  engine::StreamOptions opts;
+  opts.queue_cap = 1;
+  opts.overload_policy = static_cast<int>(engine::OverloadPolicy::kShedNewest);
+  engine::GemmStream stream(opts);
+
+  testing::Problem<float> busy = make_busy_problem();
+  engine::TicketPtr tb = stream.submit<float>(
+      busy.mode, busy.m, busy.n, busy.k, 1.0f, busy.a.data(), busy.a.ld(),
+      busy.b.data(), busy.b.ld(), 0.0f, busy.c.data(), busy.c.ld());
+
+  constexpr int kAttempts = 6;
+  std::vector<testing::Problem<float>> ps;
+  std::vector<engine::TicketPtr> tickets;
+  ps.reserve(kAttempts);
+  int shed = 0;
+  for (int i = 0; i < kAttempts; ++i) {
+    ps.emplace_back(Mode{Trans::N, Trans::N}, 12, 12, 12);
+    testing::Problem<float>& p = ps.back();
+    try {
+      tickets.push_back(stream.submit<float>(
+          p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+          p.b.ld(), 0.0f, p.c.data(), p.c.ld()));
+    } catch (const rejected_error&) {
+      ++shed;
+      tickets.push_back(nullptr);
+    }
+  }
+  EXPECT_EQ(stream.flush(), SHALOM_OK);
+  EXPECT_EQ(tb->wait(), SHALOM_OK);
+
+  const engine::StreamStats st = stream.stats();
+  EXPECT_EQ(st.submitted + st.shed, 1u + kAttempts);
+  EXPECT_EQ(st.shed, static_cast<std::uint64_t>(shed));
+  for (int i = 0; i < kAttempts; ++i) {
+    if (tickets[static_cast<std::size_t>(i)] == nullptr) continue;
+    testing::Problem<float>& p = ps[static_cast<std::size_t>(i)];
+    ASSERT_EQ(tickets[static_cast<std::size_t>(i)]->wait(), SHALOM_OK);
+    p.run_reference(1.0f, 0.0f);
+    p.expect_matches("accepted under shed-newest");
+  }
+}
+
+// shed-oldest at capacity: a queued ticket may be revoked in favor of a
+// newer arrival; it then resolves SHALOM_ERR_REJECTED with C untouched.
+TEST_F(EngineTest, ShedOldestPolicyRevokesQueuedTicket) {
+  engine::StreamOptions opts;
+  opts.queue_cap = 1;
+  opts.overload_policy = static_cast<int>(engine::OverloadPolicy::kShedOldest);
+  engine::GemmStream stream(opts);
+
+  testing::Problem<float> busy = make_busy_problem();
+  const Matrix<float> busy_pristine = busy.c;
+  engine::TicketPtr tb = stream.submit<float>(
+      busy.mode, busy.m, busy.n, busy.k, 1.0f, busy.a.data(), busy.a.ld(),
+      busy.b.data(), busy.b.ld(), 0.0f, busy.c.data(), busy.c.ld());
+
+  constexpr int kAttempts = 4;
+  std::vector<testing::Problem<float>> ps;
+  std::vector<Matrix<float>> pristine;
+  std::vector<engine::TicketPtr> tickets;
+  ps.reserve(kAttempts);
+  for (int i = 0; i < kAttempts; ++i) {
+    ps.emplace_back(Mode{Trans::N, Trans::N}, 12, 12, 12);
+    testing::Problem<float>& p = ps.back();
+    pristine.push_back(p.c);
+    tickets.push_back(stream.submit<float>(
+        p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+        p.b.ld(), 0.0f, p.c.data(), p.c.ld()));
+  }
+  EXPECT_EQ(stream.flush(), SHALOM_OK);
+
+  // The busy ticket itself may be the "oldest" shed if the drainer had not
+  // claimed it before the first small submission hit the cap.
+  int executed = 0;
+  const int tb_status = tb->wait();
+  if (tb_status == SHALOM_OK) {
+    ++executed;
+    busy.run_reference(1.0f, 0.0f);
+    busy.expect_matches("busy survivor under shed-oldest");
+  } else {
+    EXPECT_EQ(tb_status, SHALOM_ERR_REJECTED);
+    EXPECT_EQ(count_bitwise_diffs(busy.c, busy_pristine), 0)
+        << "a shed request must never write to C";
+  }
+  for (int i = 0; i < kAttempts; ++i) {
+    testing::Problem<float>& p = ps[static_cast<std::size_t>(i)];
+    const int status = tickets[static_cast<std::size_t>(i)]->wait();
+    if (status == SHALOM_OK) {
+      ++executed;
+      p.run_reference(1.0f, 0.0f);
+      p.expect_matches("survivor under shed-oldest");
+    } else {
+      EXPECT_EQ(status, SHALOM_ERR_REJECTED);
+      EXPECT_EQ(count_bitwise_diffs(p.c, pristine[static_cast<std::size_t>(i)]),
+                0)
+          << "a shed request must never write to C";
+    }
+  }
+  // shed-oldest never rejects the submitter, so every attempt was accepted,
+  // and everything accepted either executed or was shed while queued. The
+  // last arrival has nothing after it to shed it, so at least one executes.
+  EXPECT_GE(executed, 1);
+  const engine::StreamStats st = stream.stats();
+  EXPECT_EQ(st.submitted, 1u + kAttempts);
+  EXPECT_EQ(st.executed, static_cast<std::uint64_t>(executed));
+  EXPECT_EQ(st.shed, 1u + kAttempts - static_cast<std::uint64_t>(executed));
+}
+
+// Caller-side cancellation: revoke() wins only while the request is still
+// queued (C stays untouched); once the drainer claimed it, revoke fails
+// and the request completes normally. Exactly one side resolves.
+TEST_F(EngineTest, CancelQueuedRequestResolvesExactlyOnce) {
+  engine::GemmStream stream;
+  testing::Problem<float> busy = make_busy_problem();
+  testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
+  const Matrix<float> pristine = p.c;
+
+  engine::TicketPtr tb = stream.submit<float>(
+      busy.mode, busy.m, busy.n, busy.k, 1.0f, busy.a.data(), busy.a.ld(),
+      busy.b.data(), busy.b.ld(), 0.0f, busy.c.data(), busy.c.ld());
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+
+  const bool cancelled = t->revoke(SHALOM_ERR_REJECTED, "cancelled by test");
+  EXPECT_EQ(tb->wait(), SHALOM_OK);
+  if (cancelled) {
+    EXPECT_EQ(t->wait(), SHALOM_ERR_REJECTED);
+    EXPECT_EQ(count_bitwise_diffs(p.c, pristine), 0)
+        << "a cancelled request must never write to C";
+  } else {
+    EXPECT_EQ(t->wait(), SHALOM_OK);
+    p.run_reference(1.0f, 0.0f);
+    p.expect_matches("cancel lost the race, request executed");
+  }
+  // After resolution both handshake sides always lose.
+  EXPECT_FALSE(t->revoke(SHALOM_ERR_REJECTED, "second cancel"));
+  EXPECT_FALSE(t->try_claim());
+}
+
+TEST_F(EngineTest, WaitForBoundsTheWaitWithoutConsumingTheTicket) {
+  engine::GemmStream stream;
+  testing::Problem<float> busy = make_busy_problem();
+  engine::TicketPtr t = stream.submit<float>(
+      busy.mode, busy.m, busy.n, busy.k, 1.0f, busy.a.data(), busy.a.ld(),
+      busy.b.data(), busy.b.ld(), 0.0f, busy.c.data(), busy.c.ld());
+  // A zero-budget wait returns immediately; whichever way it resolved,
+  // the ticket stays usable and the final wait still succeeds.
+  const bool early = t->wait_for(0);
+  if (early) EXPECT_TRUE(t->done());
+  EXPECT_EQ(t->wait(), SHALOM_OK);
+  EXPECT_TRUE(t->wait_for(0)) << "wait_for after done() must not block";
+  busy.run_reference(1.0f, 0.0f);
+  busy.expect_matches("wait_for then wait");
+}
+
+// ---------------------------------------------------------------------------
+// Degraded modes: spawn failure and the circuit breaker
+// ---------------------------------------------------------------------------
+
+// threadpool.spawn failing on every attempt: the stream constructs anyway,
+// latches synchronous-degraded, reports kDegraded health, and serves
+// bitwise-correct results whose tickets resolve SHALOM_DEGRADED.
+TEST_F(EngineTest, SpawnFaultDegradesStreamToSynchronous) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  engine::StreamOptions opts;
+  opts.retry_budget = 0;  // skip the backoff sleeps; the fault is permanent
+  fault::arm(fault::Site::kThreadpoolSpawn, fault::Mode::kEveryN, 1);
+  engine::GemmStream stream(opts);
+  fault::disarm_all();
+
+  EXPECT_EQ(stream.health(), engine::StreamHealth::kDegraded);
+  testing::Problem<float> p({Trans::N, Trans::N}, 24, 24, 24);
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+  ASSERT_TRUE(t->done()) << "degraded streams execute inside submit()";
+  EXPECT_EQ(t->wait(), SHALOM_DEGRADED);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("degraded synchronous execution");
+  EXPECT_EQ(stream.flush(), SHALOM_DEGRADED)
+      << "flush must advertise the degraded path even though work completed";
+  EXPECT_EQ(stream.stats().executed, 1u);
+}
+
+// Retry-exhausted submits trip the circuit breaker after
+// breaker_threshold consecutive failures; the latched stream bypasses the
+// failing queue entirely and keeps serving inline.
+TEST_F(EngineTest, CircuitBreakerLatchesAfterConsecutiveFailures) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  engine::StreamOptions opts;
+  opts.retry_budget = 0;
+  opts.breaker_threshold = 3;
+  engine::GemmStream stream(opts);
+  testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
+
+  fault::arm(fault::Site::kSubmitQueue, fault::Mode::kEveryN, 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(stream.submit<float>(p.mode, p.m, p.n, p.k, 1.0f,
+                                      p.a.data(), p.a.ld(), p.b.data(),
+                                      p.b.ld(), 0.0f, p.c.data(), p.c.ld()),
+                 std::bad_alloc);
+  }
+  EXPECT_EQ(stream.health(), engine::StreamHealth::kDegraded);
+  // Still armed: the latched inline path never touches submit.queue.
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+  fault::disarm_all();
+  EXPECT_EQ(t->wait(), SHALOM_DEGRADED);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("served inline after breaker trip");
+  EXPECT_GE(robustness_stats().breaker_trips, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: close, bounded flush, teardown races
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, CloseDrainsThenRejectsNewWork) {
+  engine::GemmStream stream;
+  testing::Problem<float> p({Trans::N, Trans::N}, 20, 20, 20);
+  engine::TicketPtr t = stream.submit<float>(
+      p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(), p.b.data(),
+      p.b.ld(), 0.0f, p.c.data(), p.c.ld());
+
+  EXPECT_EQ(stream.close(), SHALOM_OK);
+  ASSERT_TRUE(t->done()) << "close() must drain accepted work";
+  EXPECT_EQ(t->wait(), SHALOM_OK);
+  p.run_reference(1.0f, 0.0f);
+  p.expect_matches("drained by close");
+
+  EXPECT_EQ(stream.health(), engine::StreamHealth::kDraining);
+  EXPECT_THROW(stream.submit<float>(p.mode, p.m, p.n, p.k, 1.0f, p.a.data(),
+                                    p.a.ld(), p.b.data(), p.b.ld(), 0.0f,
+                                    p.c.data(), p.c.ld()),
+               rejected_error);
+  EXPECT_EQ(stream.close(), SHALOM_OK) << "close() is idempotent";
+}
+
+TEST_F(EngineTest, FlushForBoundsTheFlush) {
+  engine::GemmStream stream;
+  EXPECT_EQ(stream.flush_for(50), SHALOM_OK) << "idle stream drains instantly";
+
+  testing::Problem<float> busy = make_busy_problem();
+  engine::TicketPtr t = stream.submit<float>(
+      busy.mode, busy.m, busy.n, busy.k, 1.0f, busy.a.data(), busy.a.ld(),
+      busy.b.data(), busy.b.ld(), 0.0f, busy.c.data(), busy.c.ld());
+  const int rc = stream.flush_for(0);
+  EXPECT_TRUE(rc == SHALOM_OK || rc == SHALOM_ERR_TIMEOUT) << rc;
+  EXPECT_EQ(stream.flush(), SHALOM_OK) << "a timed-out flush is re-waitable";
+  EXPECT_EQ(t->wait(), SHALOM_OK);
+}
+
+// Teardown under fire: waiters and cancellers race stream destruction.
+// Every ticket must resolve to exactly one terminal status and nothing
+// may deadlock, leak, or touch freed stream state (TSan-checked in tier1).
+TEST_F(EngineTest, TeardownRacesWaitersAndCancellers) {
+  constexpr int kIters = 6;
+  constexpr int kSubmitters = 3;
+  constexpr int kPerSubmitter = 4;
+  for (int iter = 0; iter < kIters; ++iter) {
+    // Problem storage outlives the stream: buffers must stay valid until
+    // each ticket resolves, and resolution can happen inside the dtor.
+    std::vector<std::vector<testing::Problem<float>>> ps(kSubmitters);
+    std::vector<std::vector<engine::TicketPtr>> tickets(kSubmitters);
+    std::thread waiter, canceller;
+    {
+      engine::StreamOptions opts;
+      opts.queue_cap = 4;
+      opts.overload_policy =
+          static_cast<int>(engine::OverloadPolicy::kShedNewest);
+      engine::GemmStream stream(opts);
+      std::vector<std::thread> submitters;
+      for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+          for (int i = 0; i < kPerSubmitter; ++i) {
+            ps[static_cast<std::size_t>(s)].emplace_back(
+                Mode{Trans::N, Trans::N}, 10 + 2 * i, 12, 14);
+            testing::Problem<float>& p = ps[static_cast<std::size_t>(s)].back();
+            try {
+              tickets[static_cast<std::size_t>(s)].push_back(
+                  stream.submit<float>(p.mode, p.m, p.n, p.k, 1.0f,
+                                       p.a.data(), p.a.ld(), p.b.data(),
+                                       p.b.ld(), 0.0f, p.c.data(), p.c.ld()));
+            } catch (const rejected_error&) {
+              // Shed under pressure: no ticket to track.
+            }
+          }
+        });
+      }
+      for (auto& t : submitters) t.join();
+      // Race the destructor: one thread waits on every ticket, another
+      // tries to cancel every ticket, while the stream is torn down.
+      waiter = std::thread([&] {
+        for (auto& per : tickets)
+          for (auto& t : per) t->wait();
+      });
+      canceller = std::thread([&] {
+        for (auto& per : tickets)
+          for (auto& t : per) t->revoke(SHALOM_ERR_REJECTED, "race cancel");
+      });
+    }  // ~GemmStream while waiter + canceller run
+    waiter.join();
+    canceller.join();
+    for (auto& per : tickets)
+      for (auto& t : per) {
+        ASSERT_TRUE(t->done()) << "ticket leaked by teardown (iter " << iter
+                               << ")";
+        const int status = t->status();
+        EXPECT_TRUE(status == SHALOM_OK || status == SHALOM_ERR_REJECTED ||
+                    status == SHALOM_DEGRADED)
+            << "unexpected terminal status " << status;
+      }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Env knobs (driven by the EngineEnv* ctest wrappers in CMakeLists.txt)
+// ---------------------------------------------------------------------------
+
+// Wrapper sets SHALOM_QUEUE_CAP=3 SHALOM_OVERLOAD_POLICY=shed-oldest
+// SHALOM_RETRY_BUDGET=5; skipped in a plain run (knobs unset / different).
+TEST(EngineEnv, KnobsParseGoodValues) {
+  const char* cap = env::raw("SHALOM_QUEUE_CAP");
+  if (cap == nullptr || std::string(cap) != "3")
+    GTEST_SKIP() << "run via the engine_env_good ctest wrapper";
+  EXPECT_EQ(engine::env_queue_cap(), 3);
+  EXPECT_EQ(engine::env_overload_policy(),
+            engine::OverloadPolicy::kShedOldest);
+  EXPECT_EQ(engine::env_retry_budget(), 5);
+}
+
+// Wrapper sets SHALOM_QUEUE_CAP=0 (a cap of zero would reject everything
+// - never what an operator meant), SHALOM_OVERLOAD_POLICY=bogus and
+// SHALOM_RETRY_BUDGET=-5: each warns once and falls back to its default.
+TEST(EngineEnv, MalformedKnobsWarnOnceAndFallBack) {
+  const char* cap = env::raw("SHALOM_QUEUE_CAP");
+  if (cap == nullptr || std::string(cap) != "0")
+    GTEST_SKIP() << "run via the engine_env_malformed ctest wrapper";
+  EXPECT_EQ(engine::env_queue_cap(), 0) << "fallback: unbounded";
+  EXPECT_EQ(engine::env_overload_policy(), engine::OverloadPolicy::kBlock);
+  EXPECT_EQ(engine::env_retry_budget(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Overload chaos (the PR 7 acceptance test; tier1 re-runs it with faults
+// and a small SHALOM_QUEUE_CAP injected via the environment)
+// ---------------------------------------------------------------------------
+
+// 8 clients burst into a capped stream with deadlines and faults armed.
+// Invariants checked: no deadlock (the test finishes), no leaked tickets
+// (every future resolves to exactly one of ok / rejected / timeout /
+// degraded-ok), and every accepted-and-executed product is BITWISE equal
+// to the same call run in isolation before any fault was armed.
+TEST(EngineChaos, OverloadBurst) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 8;
+  struct Shape {
+    index_t m, n, k;
+  };
+  const Shape kShapes[4] = {{8, 12, 16}, {24, 8, 8}, {16, 16, 32}, {5, 31, 17}};
+
+  // Oracle pass first, with whatever fault state the driver armed still
+  // untouched by us and no stream in sight: pure isolated gemm() calls.
+  std::vector<std::vector<testing::Problem<float>>> ps(kClients);
+  std::vector<std::vector<Matrix<float>>> oracle(kClients);
+  Config cfg;  // same execution config the stream resolves (defaults)
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const Shape& s = kShapes[(c + i) % 4];
+      ps[static_cast<std::size_t>(c)].emplace_back(
+          Mode{Trans::N, Trans::N}, s.m, s.n, s.k);
+      testing::Problem<float>& p = ps[static_cast<std::size_t>(c)].back();
+      Matrix<float> want = p.c;
+      gemm(Trans::N, Trans::N, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(),
+           p.b.data(), p.b.ld(), 0.0f, want.data(), want.ld(), cfg);
+      oracle[static_cast<std::size_t>(c)].push_back(std::move(want));
+    }
+  }
+
+  // Self-arm a default chaos mix only when the driver armed nothing (the
+  // tier1 overload stage injects SHALOM_FAULT + SHALOM_QUEUE_CAP itself).
+  const bool self_armed = !fault::armed(fault::Site::kSubmitQueue) &&
+                          !fault::armed(fault::Site::kEngineDeadline) &&
+                          !fault::armed(fault::Site::kAllocPackArena);
+  if (self_armed) {
+    fault::arm(fault::Site::kAllocPackArena, fault::Mode::kEveryN, 7);
+    fault::arm(fault::Site::kSubmitQueue, fault::Mode::kEveryN, 5);
+    fault::arm(fault::Site::kEngineDeadline, fault::Mode::kEveryN, 3);
+  }
+
+  engine::StreamOptions opts;
+  opts.queue_cap = engine::env_queue_cap() > 0 ? -1 : 4;
+  opts.overload_policy =
+      env::raw("SHALOM_OVERLOAD_POLICY") != nullptr
+          ? -1
+          : static_cast<int>(engine::OverloadPolicy::kShedNewest);
+
+  std::atomic<int> n_ok{0}, n_degraded{0}, n_rejected{0}, n_timeout{0};
+  std::atomic<int> n_shed_throws{0}, n_alloc_throws{0}, n_other{0};
+  std::atomic<int> mismatches{0};
+  engine::StreamStats st;
+  {
+    engine::GemmStream stream(opts);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<engine::TicketPtr> tickets(kPerClient);
+        for (int i = 0; i < kPerClient; ++i) {
+          testing::Problem<float>& p =
+              ps[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)];
+          const long deadline_ms = (i % 3 == 0) ? 5 : 0;
+          try {
+            tickets[static_cast<std::size_t>(i)] = stream.submit<float>(
+                p.mode, p.m, p.n, p.k, 1.0f, p.a.data(), p.a.ld(),
+                p.b.data(), p.b.ld(), 0.0f, p.c.data(), p.c.ld(),
+                deadline_ms);
+          } catch (const rejected_error&) {
+            n_shed_throws.fetch_add(1, std::memory_order_relaxed);
+          } catch (const timeout_error&) {
+            n_timeout.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::bad_alloc&) {
+            n_alloc_throws.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        for (int i = 0; i < kPerClient; ++i) {
+          engine::TicketPtr& t = tickets[static_cast<std::size_t>(i)];
+          if (t == nullptr) continue;
+          const int status = t->wait();
+          if (status == SHALOM_OK || status == SHALOM_DEGRADED) {
+            (status == SHALOM_OK ? n_ok : n_degraded)
+                .fetch_add(1, std::memory_order_relaxed);
+            const Matrix<float>& want =
+                oracle[static_cast<std::size_t>(c)]
+                      [static_cast<std::size_t>(i)];
+            const testing::Problem<float>& p =
+                ps[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)];
+            mismatches.fetch_add(count_bitwise_diffs(p.c, want),
+                                 std::memory_order_relaxed);
+          } else if (status == SHALOM_ERR_REJECTED) {
+            n_rejected.fetch_add(1, std::memory_order_relaxed);
+          } else if (status == SHALOM_ERR_TIMEOUT) {
+            n_timeout.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            n_other.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    st = stream.stats();
+  }
+  if (self_armed) fault::disarm_all();
+
+  EXPECT_EQ(n_other.load(std::memory_order_relaxed), 0)
+      << "a future resolved outside {ok, rejected, timeout, degraded-ok}";
+  EXPECT_EQ(mismatches.load(std::memory_order_relaxed), 0)
+      << "an accepted request's product differs bitwise from isolation";
+  // Total reconciliation: every attempt is accounted for exactly once.
+  const int resolved = n_ok.load(std::memory_order_relaxed) +
+                       n_degraded.load(std::memory_order_relaxed) +
+                       n_rejected.load(std::memory_order_relaxed) +
+                       n_timeout.load(std::memory_order_relaxed) +
+                       n_shed_throws.load(std::memory_order_relaxed) +
+                       n_alloc_throws.load(std::memory_order_relaxed);
+  EXPECT_EQ(resolved, kClients * kPerClient);
+  EXPECT_EQ(st.executed,
+            static_cast<std::uint64_t>(
+                n_ok.load(std::memory_order_relaxed) +
+                n_degraded.load(std::memory_order_relaxed)));
 }
 
 }  // namespace

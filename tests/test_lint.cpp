@@ -128,6 +128,15 @@ TEST(Lint, SignalHandlerFixture) {
   EXPECT_NE(r.output.find("fixture_handler"), std::string::npos) << r.output;
 }
 
+TEST(Lint, UnboundedWaitFixture) {
+  const std::string f = fixture("unbounded_wait.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 1) << r.output;
+  expect_finding(r, f, 7, "unbounded-wait");  // bare done_cv.wait(lock)
+  EXPECT_NE(r.output.find("done_cv"), std::string::npos) << r.output;
+}
+
 TEST(Lint, SuppressionCommentSilencesFinding) {
   const std::string f = fixture("suppressed.cpp");
   const LintRun r = run_lint(design_flag() + " " + f);
@@ -137,11 +146,12 @@ TEST(Lint, SuppressionCommentSilencesFinding) {
 
 TEST(Lint, WholeFixtureDirectoryFindingCount) {
   // 1 atomic + 2 raw-alloc + 1 env + 1 fault-site + 2 nondeterminism +
-  // 1 capi + 2 signal-handler + 0 suppressed = 10 findings.
+  // 1 capi + 2 signal-handler + 1 unbounded-wait + 0 suppressed = 11
+  // findings.
   const LintRun r =
       run_lint(design_flag() + " " + std::string(SHALOM_LINT_FIXTURES));
   EXPECT_EQ(r.exit_code, 1);
-  EXPECT_EQ(count_lines(r.output), 10) << r.output;
+  EXPECT_EQ(count_lines(r.output), 11) << r.output;
 }
 
 TEST(Lint, JsonFormatCarriesRuleAndLine) {
@@ -160,7 +170,8 @@ TEST(Lint, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"atomic-memory-order", "raw-alloc", "env-access",
         "fault-site-documented", "nondeterminism",
-        "capi-exception-boundary", "signal-handler-safety"}) {
+        "capi-exception-boundary", "signal-handler-safety",
+        "unbounded-wait"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

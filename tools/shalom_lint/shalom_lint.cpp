@@ -34,6 +34,16 @@
 //                            direct `extern "C" <definition>` form is
 //                            recognized; declarations and extern "C" {}
 //                            blocks (headers) are out of scope.
+//   unbounded-wait           every bare condition-variable wait (a
+//                            one-argument `<...cv...>.wait(lock)` call)
+//                            is the direct body of a `while (pred)` loop
+//                            or replaced by a predicate/deadline form
+//                            (two-argument wait, wait_for, wait_until):
+//                            a bare wait outside a predicate loop hangs
+//                            forever on a missed or spurious notify.
+//                            Applies to receivers whose identifier
+//                            contains "cv" (the repo's CV naming
+//                            convention: submit_cv, r.cv, cv_).
 //   signal-handler-safety    code reachable from a signal handler (an
 //                            identifier assigned to .sa_handler or
 //                            .sa_sigaction, or passed as the handler
@@ -739,6 +749,103 @@ void rule_signal_handler_safety(const SourceFile& f,
   }
 }
 
+/// True when the whole-word token ending at (exclusive) `end` is `word`.
+bool word_ends_at(const std::string& code, std::size_t end,
+                  const char* word) {
+  const std::size_t len = std::strlen(word);
+  if (end < len) return false;
+  const std::size_t start = end - len;
+  if (code.compare(start, len, word) != 0) return false;
+  return start == 0 || !is_ident(code[start - 1]);
+}
+
+void rule_unbounded_wait(const SourceFile& f, std::vector<Finding>& out) {
+  std::size_t p = find_word(f.code, "wait", 0);
+  while (p != std::string::npos) {
+    const std::size_t at = p;
+    p = find_word(f.code, "wait", p + 1);
+    // Member-call context only: `.wait(` or `->wait(`.
+    const bool member =
+        (at >= 1 && f.code[at - 1] == '.') ||
+        (at >= 2 && f.code[at - 2] == '-' && f.code[at - 1] == '>');
+    if (!member) continue;
+    const std::size_t open = skip_ws(f.code, at + 4);
+    if (open >= f.code.size() || f.code[open] != '(') continue;
+    const std::size_t close = match_paren(f.code, open);
+    if (close == std::string::npos) continue;
+    // Arity: a second top-level argument is a predicate - that form
+    // re-checks its condition internally and is always safe.
+    int depth = 0;
+    int commas = 0;
+    bool any_arg = false;
+    for (std::size_t q = open + 1; q + 1 < close; ++q) {
+      const char c = f.code[q];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth == 0 && c == ',') ++commas;
+      if (!std::isspace(static_cast<unsigned char>(c))) any_arg = true;
+    }
+    if (!any_arg || commas > 0) continue;
+    // Receiver: the immediate identifier before `.wait` must contain
+    // "cv" (this repo's condition-variable naming convention), so
+    // future.wait()-style calls on unrelated types stay out of scope.
+    std::size_t recv_end = at - 1;  // at the '.' (or '>')
+    if (f.code[recv_end] == '>') --recv_end;  // `->`: skip to the '-'
+    std::size_t ident_end = recv_end;
+    std::size_t ident_start = ident_end;
+    while (ident_start > 0 && is_ident(f.code[ident_start - 1]))
+      --ident_start;
+    const std::string ident =
+        f.code.substr(ident_start, ident_end - ident_start);
+    if (ident.find("cv") == std::string::npos) continue;
+    // Walk to the start of the full receiver expression
+    // (`impl_->space_cv`, `r.cv`) so the while-check looks before it.
+    std::size_t expr_start = ident_start;
+    while (expr_start > 0) {
+      const char c = f.code[expr_start - 1];
+      if (is_ident(c) || c == '.' || c == ':') {
+        --expr_start;
+      } else if (c == '>' && expr_start >= 2 &&
+                 f.code[expr_start - 2] == '-') {
+        expr_start -= 2;
+      } else {
+        break;
+      }
+    }
+    // Allowed form: the wait is the direct statement of a while loop -
+    // the previous token is the `)` closing a `while (...)` condition.
+    std::size_t before = expr_start;
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(f.code[before - 1])))
+      --before;
+    bool guarded = false;
+    if (before > 0 && f.code[before - 1] == ')') {
+      int bdepth = 0;
+      std::size_t q = before - 1;
+      for (;;) {
+        if (f.code[q] == ')') ++bdepth;
+        if (f.code[q] == '(' && --bdepth == 0) break;
+        if (q == 0) break;
+        --q;
+      }
+      if (bdepth == 0) {
+        std::size_t w = q;
+        while (w > 0 &&
+               std::isspace(static_cast<unsigned char>(f.code[w - 1])))
+          --w;
+        guarded = word_ends_at(f.code, w, "while");
+      }
+    }
+    if (guarded) continue;
+    out.push_back(
+        {f.path, line_of(f, at), "unbounded-wait",
+         "bare condition-variable wait on '" + ident +
+             "' outside a `while (pred)` loop - a missed or spurious "
+             "notify hangs it forever; guard it with the predicate "
+             "loop or use a deadline form (wait_for/wait_until)"});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -748,7 +855,7 @@ const std::set<std::string>& all_rules() {
       "atomic-memory-order",   "raw-alloc",
       "env-access",            "fault-site-documented",
       "nondeterminism",        "capi-exception-boundary",
-      "signal-handler-safety"};
+      "signal-handler-safety", "unbounded-wait"};
   return kRules;
 }
 
@@ -870,6 +977,7 @@ int main(int argc, char** argv) {
     rule_nondeterminism(f, file_findings);
     rule_capi_exception_boundary(f, file_findings);
     rule_signal_handler_safety(f, file_findings);
+    rule_unbounded_wait(f, file_findings);
 
     for (Finding& fnd : file_findings)
       if (!suppressed(f, fnd)) findings.push_back(std::move(fnd));
