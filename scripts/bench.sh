@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Serving-mix benchmark driver (PR 7): builds the bench binaries and runs
-# the pinned server-mix matrix (bench/srv_mix.cpp) - 8-client warm small,
-# cold irregular burst, and the overload burst at 2x queue_cap - emitting
-# BENCH_7.json in the repo root with aggregate GFLOPS, per-request latency
-# percentiles, and shed/timeout counts per scenario.
+# Benchmark driver (PR 8): builds the bench binaries and runs the pinned
+# serving matrix - the PR 7 server-mix scenarios (bench/srv_mix.cpp) plus
+# the PR 8 warm-restart comparison (bench/warm_restart.cpp, cold vs
+# tuned-table-preseeded start) - merging both JSON documents into
+# BENCH_8.json in the repo root.
+#
+# Gates: all pinned scenario names present, and the preseeded restart's
+# first-request latency strictly below the cold restart's (the tuned
+# table must actually buy the warm start it exists for).
 #
 # Usage: scripts/bench.sh [--full]
 #   --full  paper-scale request counts (4x); default is a quick pass.
@@ -17,19 +21,46 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 cmake -B build -S .
-cmake --build build -j "${JOBS}" --target srv_mix
+cmake --build build -j "${JOBS}" --target srv_mix warm_restart
 
-OUT=BENCH_7.json
-./build/bench/srv_mix ${FULL_FLAG} > "${OUT}"
+OUT=BENCH_8.json
+SRV_JSON=$(./build/bench/srv_mix ${FULL_FLAG})
+RESTART_JSON=$(./build/bench/warm_restart ${FULL_FLAG})
 
-# Sanity-gate the emitted JSON: all three pinned scenarios present, and
-# the overload scenario actually resolved every request (requests > 0).
-for scenario in warm_small_8clients cold_irregular_burst overload_burst_2x_cap; do
+{
+  echo '{'
+  echo '  "bench": "pr8",'
+  echo '  "srv_mix":'
+  printf '%s,\n' "${SRV_JSON}" | sed 's/^/  /'
+  echo '  "warm_restart":'
+  printf '%s\n' "${RESTART_JSON}" | sed 's/^/  /'
+  echo '}'
+} > "${OUT}"
+
+# Sanity-gate the emitted JSON: every pinned scenario present.
+for scenario in warm_small_8clients cold_irregular_burst \
+                overload_burst_2x_cap cold_start preseeded_start; do
   grep -q "\"name\": \"${scenario}\"" "${OUT}" || {
     echo "bench.sh: scenario ${scenario} missing from ${OUT}" >&2
     exit 1
   }
 done
+
+# Acceptance gate: pre-seeded first-request latency strictly below cold.
+cold_us=$(grep '"name": "cold_start"' "${OUT}" |
+          sed 's/.*"first_request_us": \([0-9.]*\).*/\1/')
+warm_us=$(grep '"name": "preseeded_start"' "${OUT}" |
+          sed 's/.*"first_request_us": \([0-9.]*\).*/\1/')
+if [[ -z "${cold_us}" || -z "${warm_us}" ]]; then
+  echo "bench.sh: could not extract first_request_us from ${OUT}" >&2
+  exit 1
+fi
+awk -v c="${cold_us}" -v w="${warm_us}" 'BEGIN { exit !(w < c) }' || {
+  echo "bench.sh: preseeded first-request latency (${warm_us}us) is not" \
+       "below cold (${cold_us}us)" >&2
+  exit 1
+}
+echo "bench.sh: warm-restart gate OK (preseeded ${warm_us}us < cold ${cold_us}us)"
 
 echo "bench.sh: wrote ${OUT}"
 cat "${OUT}"

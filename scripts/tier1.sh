@@ -4,8 +4,10 @@
 # probed against the scalar reference), then AddressSanitizer,
 # UndefinedBehaviorSanitizer and ThreadSanitizer configurations running
 # the labels where each earns its keep: ASan/UBSan over fault-injection,
-# stress and differential-fuzz (allocator edge cases, cross-thread
-# teardown, kernel-boundary arithmetic), TSan over stress and the
+# stress, differential-fuzz and the tuned-table corruption battery
+# (allocator edge cases, cross-thread teardown, kernel-boundary
+# arithmetic, file parsing of attacker-shaped bytes), TSan over stress
+# and the
 # concurrency-engine battery (overlapping work-stealing rounds, sharded
 # plan-cache races, async stream submission).
 set -euo pipefail
@@ -68,6 +70,20 @@ SHALOM_QUEUE_CAP=4 SHALOM_OVERLOAD_POLICY=shed-newest \
 SHALOM_FAULT=alloc.pack_arena:every-7,submit.queue:every-5,engine.deadline:every-3 \
   ctest --test-dir build --output-on-failure -j "${JOBS}" -R EngineChaos
 
+echo "=== tier1: persistence chaos (tuned-table I/O faults armed) ==="
+# The PR 8 acceptance scenario: the tuned-table battery with the table
+# I/O fault sites firing ambiently. Every save must be all-or-nothing
+# (a failed commit leaves the previous table byte-identical and
+# loadable), every load must be SHALOM_OK or a clean cold start, and
+# nothing may crash or seed invalid plans. Two arming profiles: steady
+# every-N failures across the write path, then a fail-after-N profile
+# where I/O works until the process has done some real commits and the
+# open/read path starts dying mid-run.
+SHALOM_FAULT=table.write:every-2,table.rename:every-3,table.fsync:every-2 \
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -L table
+SHALOM_FAULT=table.open:fail-after-2,table.read:fail-after-3 \
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -L table
+
 echo "=== tier1: ASan build, fault + stress + fuzz labels ==="
 cmake -B build-asan -S . \
       -DSHALOM_SANITIZE=address \
@@ -76,7 +92,7 @@ cmake -B build-asan -S . \
       -DSHALOM_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
-      -L 'fault|stress|fuzz'
+      -L 'fault|stress|fuzz|table'
 
 echo "=== tier1: UBSan build, fault + stress + fuzz labels ==="
 cmake -B build-ubsan -S . \
@@ -86,7 +102,7 @@ cmake -B build-ubsan -S . \
       -DSHALOM_BUILD_EXAMPLES=OFF
 cmake --build build-ubsan -j "${JOBS}"
 ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
-      -L 'fault|stress|fuzz'
+      -L 'fault|stress|fuzz|table'
 
 echo "=== tier1: TSan build, stress + engine labels ==="
 # The data-race hunt for the concurrent-server machinery: overlapping

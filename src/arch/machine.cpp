@@ -146,6 +146,32 @@ MachineDescriptor detect_host() {
 
 }  // namespace
 
+std::uint64_t fingerprint(const MachineDescriptor& m) {
+  // FNV-1a over the model-relevant fields, mirroring the plan-cache's
+  // by-value machine hash: the same quantities that feed solve_tile /
+  // solve_blocking / solve_partition, and nothing else. Field order is
+  // part of the persisted tuned-table format - append-only.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(m.vector_registers));
+  mix(static_cast<std::uint64_t>(m.vector_bits));
+  mix(static_cast<std::uint64_t>(m.fma_pipes));
+  mix(static_cast<std::uint64_t>(m.load_pipes));
+  mix(static_cast<std::uint64_t>(m.cores));
+  mix(static_cast<std::uint64_t>(m.l1d.size_bytes));
+  mix(static_cast<std::uint64_t>(m.l1d.line_bytes));
+  mix(static_cast<std::uint64_t>(m.l1d.associativity));
+  mix(static_cast<std::uint64_t>(m.l2.size_bytes));
+  mix(static_cast<std::uint64_t>(m.l2.associativity));
+  mix(static_cast<std::uint64_t>(m.l2.shared_by_cores));
+  mix(static_cast<std::uint64_t>(m.l3.size_bytes));
+  mix(static_cast<std::uint64_t>(m.l3.shared_by_cores));
+  return h;
+}
+
 const MachineDescriptor& host_machine() {
   static const MachineDescriptor m = detect_host();
   return m;

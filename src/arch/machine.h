@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace shalom::arch {
@@ -75,6 +76,16 @@ MachineDescriptor thunderx2();
 /// Descriptor probed from the machine this process runs on (sysfs /
 /// sysconf); falls back to conservative defaults when probing fails.
 const MachineDescriptor& host_machine();
+
+/// Stable 64-bit fingerprint of the model-relevant fields of a machine
+/// descriptor: vector file, core count and cache geometry - exactly the
+/// quantities the analytic blocking/tile solvers consume. Two machines
+/// with equal fingerprints produce identical tuned blockings, so the
+/// fingerprint guards persisted tuned tables (tuning/table.h) against
+/// replay on foreign hardware. Deliberately excludes `name`, clock
+/// frequency and bandwidth: those shift model *scores*, never the legal
+/// blocking space.
+std::uint64_t fingerprint(const MachineDescriptor& m);
 
 /// All paper presets plus the host, for platform-sweep benches.
 struct NamedMachines {

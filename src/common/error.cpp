@@ -40,6 +40,9 @@ const char* status_string(int code) noexcept {
     case SHALOM_DEGRADED:
       return "completed with correct results on a degraded (synchronous) "
              "path";
+    case SHALOM_ERR_TABLE:
+      return "persistent tuned-table operation failed (corrupt, skewed, or "
+             "unwritable table file); degraded to a cold start";
     default:
       return "unknown status code";
   }

@@ -46,6 +46,13 @@ typedef enum shalom_status {
                                       path (stream latched synchronous by
                                       its circuit breaker or drainer-spawn
                                       failure) */
+  SHALOM_ERR_TABLE = 13,           /* persistent tuned-table operation
+                                      failed (unreadable, corrupt, or
+                                      version/fingerprint-skewed file; I/O
+                                      failure during an atomic save) - the
+                                      process degrades to a cold start and
+                                      the previous on-disk table, if any,
+                                      is untouched */
 } shalom_status;
 
 #ifdef __cplusplus

@@ -29,6 +29,8 @@ std::atomic<std::uint64_t> g_requests_expired{0};
 std::atomic<std::uint64_t> g_requests_cancelled{0};
 std::atomic<std::uint64_t> g_submit_retries{0};
 std::atomic<std::uint64_t> g_breaker_trips{0};
+std::atomic<std::uint64_t> g_table_records_rejected{0};
+std::atomic<std::uint64_t> g_table_load_failures{0};
 // Reset offset for the injected counters: the per-site counters are
 // monotonic (tests rely on fault::injected), so reset only rebases the
 // aggregate view.
@@ -64,6 +66,10 @@ RobustnessStats robustness_stats() noexcept {
       g_requests_cancelled.load(std::memory_order_relaxed);
   s.submit_retries = g_submit_retries.load(std::memory_order_relaxed);
   s.breaker_trips = g_breaker_trips.load(std::memory_order_relaxed);
+  s.table_records_rejected =
+      g_table_records_rejected.load(std::memory_order_relaxed);
+  s.table_load_failures =
+      g_table_load_failures.load(std::memory_order_relaxed);
   const std::uint64_t rebase =
       g_injected_rebase.load(std::memory_order_relaxed);
   const std::uint64_t total = injected_sum();
@@ -87,6 +93,8 @@ void robustness_stats_reset() noexcept {
   g_requests_cancelled.store(0, std::memory_order_relaxed);
   g_submit_retries.store(0, std::memory_order_relaxed);
   g_breaker_trips.store(0, std::memory_order_relaxed);
+  g_table_records_rejected.store(0, std::memory_order_relaxed);
+  g_table_load_failures.store(0, std::memory_order_relaxed);
   g_injected_rebase.store(injected_sum(), std::memory_order_relaxed);
 }
 
@@ -140,6 +148,12 @@ void note_submit_retry() noexcept {
 }
 void note_breaker_trip() noexcept {
   g_breaker_trips.fetch_add(1, std::memory_order_relaxed);
+}
+void note_table_record_rejected() noexcept {
+  g_table_records_rejected.fetch_add(1, std::memory_order_relaxed);
+}
+void note_table_load_failure() noexcept {
+  g_table_load_failures.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace telemetry
 
@@ -207,6 +221,16 @@ const char* site_name(Site site) noexcept {
       return "engine.deadline";
     case Site::kEngineShed:
       return "engine.shed";
+    case Site::kTableOpen:
+      return "table.open";
+    case Site::kTableRead:
+      return "table.read";
+    case Site::kTableWrite:
+      return "table.write";
+    case Site::kTableRename:
+      return "table.rename";
+    case Site::kTableFsync:
+      return "table.fsync";
   }
   return "unknown";
 }

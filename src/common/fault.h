@@ -53,6 +53,23 @@
 //                        SHALOM_ERR_REJECTED) regardless of queue depth
 //                        or overload policy, so shed handling is testable
 //                        without filling the queue
+//   table.open           opening the tuned-table file (tuning/table.h),
+//                        either side (load or the temp file of a save); an
+//                        injected failure reports the open as failed, so
+//                        load degrades to a cold start and save fails with
+//                        the previous table untouched
+//   table.read           one checked fread from the tuned-table file; an
+//                        injected failure truncates the load at that point
+//                        (cold start, table_load_failures)
+//   table.write          one checked fwrite to the temp file of an atomic
+//                        save; an injected failure aborts the save before
+//                        the rename, leaving the previous table intact
+//   table.rename         the rename(tmp, final) commit step of a save; an
+//                        injected failure discards the temp file - the
+//                        previous table stays byte-identical
+//   table.fsync          the fsync barrier before the commit rename; an
+//                        injected failure aborts the save (a table that
+//                        might not be durable is never renamed in)
 //
 // The telemetry half (RobustnessStats) is always compiled: the degradation
 // paths are real production behaviour - injection is only one way to reach
@@ -129,6 +146,15 @@ struct RobustnessStats {
   /// Circuit-breaker trips: streams latched into synchronous-degraded
   /// mode after N consecutive retry-exhausted failures.
   std::uint64_t breaker_trips = 0;
+  /// Tuned-table records skipped during a load because their checksum,
+  /// dtype/trans flags, dimensions, or blocking failed validation against
+  /// the kernel contracts (tuning/table.h); rejected records never reach
+  /// the plan cache.
+  std::uint64_t table_records_rejected = 0;
+  /// Tuned-table operations that failed as a whole: unreadable/corrupt/
+  /// version-skewed/fingerprint-skewed files at load (degrades to a cold
+  /// start) and aborted atomic saves (previous table left intact).
+  std::uint64_t table_load_failures = 0;
 };
 
 RobustnessStats robustness_stats() noexcept;
@@ -153,6 +179,8 @@ void note_request_expired() noexcept;
 void note_request_cancelled() noexcept;
 void note_submit_retry() noexcept;
 void note_breaker_trip() noexcept;
+void note_table_record_rejected() noexcept;
+void note_table_load_failure() noexcept;
 }  // namespace telemetry
 
 // ---------------------------------------------------------------------------
@@ -176,8 +204,13 @@ enum class Site : int {
   kSubmitQueue = 9,
   kEngineDeadline = 10,
   kEngineShed = 11,
+  kTableOpen = 12,
+  kTableRead = 13,
+  kTableWrite = 14,
+  kTableRename = 15,
+  kTableFsync = 16,
 };
-inline constexpr int kSiteCount = 12;
+inline constexpr int kSiteCount = 17;
 
 /// Trigger modes (see the header comment for semantics).
 enum class Mode : std::uint32_t {

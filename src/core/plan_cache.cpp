@@ -1,5 +1,6 @@
 #include "core/plan_cache.h"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <list>
@@ -373,6 +374,21 @@ std::uint64_t PlanCache<T>::generation() const {
 template <typename T>
 void PlanCache<T>::note_memo_hit() {
   impl_->memo_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <typename T>
+std::vector<HotShape> PlanCache<T>::hot(std::size_t k) const {
+  std::vector<HotShape> all;
+  for (const auto& sh : impl_->shards) {
+    MutexLock lock(sh.mu);
+    for (const auto& entry : sh.lru)
+      all.push_back(HotShape{entry.key, entry.tick});
+  }
+  std::sort(all.begin(), all.end(), [](const HotShape& a, const HotShape& b) {
+    return a.last_use_tick > b.last_use_tick;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
 }
 
 template class PlanCache<float>;

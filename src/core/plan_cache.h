@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/plan.h"
 
@@ -65,6 +66,13 @@ struct PlanCacheStats {
   std::uint64_t evictions = 0;
   std::size_t size = 0;
   std::size_t capacity = 0;
+};
+
+/// One entry of a hot-shape snapshot (PlanCache::hot): a cached key plus
+/// the global use tick of its most recent touch. Higher tick = hotter.
+struct HotShape {
+  PlanKey key;
+  std::uint64_t last_use_tick = 0;
 };
 
 /// Thread-safe LRU plan cache, one instance per element type.
@@ -129,6 +137,15 @@ class PlanCache {
   /// Accounts a hit served from a per-thread memo without touching the
   /// lock (folded into stats().hits).
   void note_memo_hit();
+
+  /// Snapshot of the up-to-`k` most recently used entries, hottest first
+  /// (descending global use tick). Locks shards one at a time, so the
+  /// snapshot is consistent per shard but only approximately consistent
+  /// across shards under concurrent traffic - exactly the fidelity a
+  /// re-tuner sampling "what's hot" needs. The single source of truth for
+  /// both the background re-tuner (tuning/table.h) and operators
+  /// (shalom_plan_cache_hot).
+  std::vector<HotShape> hot(std::size_t k) const;
 
  private:
   struct Impl;

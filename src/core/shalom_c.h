@@ -27,6 +27,11 @@
  *  12  SHALOM_DEGRADED             not an error: the work completed with
  *                                  correct results on a degraded synchronous
  *                                  path (see shalom_stream_health)
+ *  13  SHALOM_ERR_TABLE            persistent tuned-table operation failed
+ *                                  (corrupt/skewed/unreadable file, or an
+ *                                  aborted atomic save); the process runs
+ *                                  cold and any previous on-disk table is
+ *                                  untouched
  * No exception ever crosses this boundary. shalom_strerror() names a
  * code; shalom_last_error_message() returns the calling thread's detail
  * message for its most recent failed call.
@@ -93,6 +98,10 @@ typedef struct shalom_stats {
   uint64_t requests_cancelled; /* requests cancelled before execution */
   uint64_t submit_retries;     /* transient-failure backoff retries spent */
   uint64_t breaker_trips;      /* streams latched synchronous-degraded */
+  uint64_t table_records_rejected; /* tuned-table records skipped by
+                                      checksum/contract validation */
+  uint64_t table_load_failures;    /* tuned-table files rejected as a whole
+                                      plus aborted atomic saves */
 } shalom_stats;
 
 /* Snapshot of the counters; `out` may not be NULL. */
@@ -288,6 +297,64 @@ int shalom_future_done(const shalom_future* future);
  * its buffers must still outlive it (use shalom_stream_flush or
  * shalom_stream_destroy to rendezvous). */
 void shalom_future_destroy(shalom_future* future);
+
+/* ------------------------------------------------------------------------
+ * Plan-cache hot-shape snapshot: the top-k most recently used cached
+ * shapes, hottest first, merged across the float and double caches. The
+ * same snapshot the background re-tuner promotes from, exposed so
+ * operators and the re-tuner share one source of truth.
+ * ---------------------------------------------------------------------- */
+
+typedef struct shalom_hot_shape {
+  char dtype;              /* 's' or 'd' */
+  char trans_a;            /* 'N' or 'T' */
+  char trans_b;            /* 'N' or 'T' */
+  ptrdiff_t m, n, k;
+  int threads;             /* resolved worker count in the cache key */
+  uint64_t last_use_tick;  /* global LRU tick of the most recent touch;
+                              higher = hotter (per-dtype counters, so
+                              ordering is exact within a dtype and
+                              approximate across them) */
+} shalom_hot_shape;
+
+/* Fills `out` with up to `capacity` hot shapes and returns the number
+ * written (>= 0), or the NEGATED error code (-SHALOM_ERR_NULL_POINTER)
+ * when out is NULL with capacity > 0 - negation keeps a small count and
+ * a small error code unambiguous. capacity <= 0 returns 0. */
+int shalom_plan_cache_hot(shalom_hot_shape* out, int capacity);
+
+/* ------------------------------------------------------------------------
+ * Persistent tuned-table store (tuning/table.h). These entry points live
+ * in the shalom_tuning library - link it (in addition to the core) to
+ * use them. Setting SHALOM_TUNED_TABLE=<path> in the environment loads
+ * the table automatically at startup in binaries linking the store.
+ * ---------------------------------------------------------------------- */
+
+/* Loads a tuned-table file and pre-seeds the plan cache with every
+ * record that passes checksum + kernel-contract validation. Invalid
+ * records are skipped (shalom_stats.table_records_rejected); a missing,
+ * truncated, corrupt or version/fingerprint-skewed file returns
+ * SHALOM_ERR_TABLE (shalom_stats.table_load_failures) and the process
+ * simply stays cold. Never crashes on any input. */
+int shalom_table_load(const char* path);
+
+/* Atomically saves the registered tuned records to `path` (write temp
+ * file, fsync, rename). On failure - including armed table.* fault
+ * sites - returns SHALOM_ERR_TABLE and a previous table at `path` is
+ * left byte-identical. */
+int shalom_table_save(const char* path);
+
+typedef struct shalom_table_stats {
+  uint64_t records_loaded;   /* records validated + seeded by loads */
+  uint64_t records_rejected; /* records skipped by validation */
+  uint64_t load_failures;    /* whole-file load failures + aborted saves */
+  uint64_t saves;            /* atomic commits completed */
+  uint64_t save_failures;    /* saves aborted (previous table kept) */
+  uint64_t size;             /* records currently registered in memory */
+} shalom_table_stats;
+
+/* Snapshot of the table counters; `out` may not be NULL. */
+int shalom_table_get_stats(shalom_table_stats* out);
 
 #ifdef __cplusplus
 }

@@ -1,0 +1,66 @@
+// C ABI for the persistent tuned-table store. Lives in the tuning
+// library (not core/shalom_c.cpp) because the store sits above the core:
+// shalom_tuning links shalom_core, never the reverse. The declarations
+// stay in core/shalom_c.h so C callers see one header.
+#include "core/shalom_c.h"
+
+#include "common/error.h"
+#include "tuning/table.h"
+
+namespace {
+
+using shalom::detail::clear_last_error;
+using shalom::detail::set_last_error;
+
+int fail(int code, const char* message = nullptr) {
+  set_last_error(code, message);
+  return code;
+}
+
+}  // namespace
+
+extern "C" int shalom_table_load(const char* path) {
+  clear_last_error();
+  if (path == nullptr) return fail(SHALOM_ERR_NULL_POINTER, "path is NULL");
+  try {
+    const shalom_status status = shalom::tuning::table_load(path);
+    if (status != SHALOM_OK)
+      return fail(status,
+                  "tuned-table load failed; continuing with a cold start");
+    return status;
+  } catch (...) {
+    // table_load is noexcept; this is belt-and-braces for the C boundary.
+    return fail(SHALOM_ERR_INTERNAL);
+  }
+}
+
+extern "C" int shalom_table_save(const char* path) {
+  clear_last_error();
+  if (path == nullptr) return fail(SHALOM_ERR_NULL_POINTER, "path is NULL");
+  try {
+    const shalom_status status = shalom::tuning::table_save(path);
+    if (status != SHALOM_OK)
+      return fail(status,
+                  "tuned-table save aborted; any previous table is intact");
+    return status;
+  } catch (...) {
+    return fail(SHALOM_ERR_INTERNAL);
+  }
+}
+
+extern "C" int shalom_table_get_stats(shalom_table_stats* out) {
+  clear_last_error();
+  if (out == nullptr) return fail(SHALOM_ERR_NULL_POINTER, "out is NULL");
+  try {
+    const shalom::tuning::TableStats s = shalom::tuning::table_stats();
+    out->records_loaded = s.records_loaded;
+    out->records_rejected = s.records_rejected;
+    out->load_failures = s.load_failures;
+    out->saves = s.saves;
+    out->save_failures = s.save_failures;
+    out->size = s.size;
+    return SHALOM_OK;
+  } catch (...) {
+    return fail(SHALOM_ERR_INTERNAL);
+  }
+}

@@ -1,0 +1,23 @@
+// Fixture: unchecked-io - discarded libc I/O results.
+#include <cstdio>
+
+void bad_io(std::FILE* f, const char* from, const char* to) {
+  std::fwrite(from, 1, 4, f);
+  std::fclose(f);
+  if (f != nullptr) std::rename(from, to);
+}
+
+// Consumed or deliberately discarded results pass; member calls and
+// non-std qualifiers are repo wrappers, not libc.
+struct FakeFile {
+  bool fclose() { return true; }
+};
+
+bool good_io(std::FILE* f, const char* from, const char* to, FakeFile& ff) {
+  char buf[4];
+  if (std::fwrite(buf, 1, 4, f) != 4) return false;
+  const bool renamed = std::rename(from, to) == 0;
+  (void)std::fclose(f);
+  ff.fclose();
+  return renamed && std::fread(buf, 1, 4, f) == 4;
+}

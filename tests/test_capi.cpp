@@ -178,9 +178,10 @@ TEST(CApi, StrerrorCoversEveryCode) {
       {SHALOM_ERR_REJECTED, "SHALOM_ERR_REJECTED"},
       {SHALOM_ERR_TIMEOUT, "SHALOM_ERR_TIMEOUT"},
       {SHALOM_DEGRADED, "SHALOM_DEGRADED"},
+      {SHALOM_ERR_TABLE, "SHALOM_ERR_TABLE"},
   };
   constexpr std::size_t kCodeCount = sizeof(kCodes) / sizeof(kCodes[0]);
-  static_assert(kCodeCount == static_cast<std::size_t>(SHALOM_DEGRADED) + 1,
+  static_assert(kCodeCount == static_cast<std::size_t>(SHALOM_ERR_TABLE) + 1,
                 "status table out of sync with the shalom_status enum: add "
                 "the new code's row (codes are dense and append-only)");
 

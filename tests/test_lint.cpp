@@ -137,6 +137,16 @@ TEST(Lint, UnboundedWaitFixture) {
   EXPECT_NE(r.output.find("done_cv"), std::string::npos) << r.output;
 }
 
+TEST(Lint, UncheckedIoFixture) {
+  const std::string f = fixture("unchecked_io.cpp");
+  const LintRun r = run_lint(design_flag() + " " + f);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.output), 3) << r.output;
+  expect_finding(r, f, 5, "unchecked-io");  // bare std::fwrite statement
+  expect_finding(r, f, 6, "unchecked-io");  // bare std::fclose statement
+  expect_finding(r, f, 7, "unchecked-io");  // if-body std::rename discard
+}
+
 TEST(Lint, SuppressionCommentSilencesFinding) {
   const std::string f = fixture("suppressed.cpp");
   const LintRun r = run_lint(design_flag() + " " + f);
@@ -146,12 +156,12 @@ TEST(Lint, SuppressionCommentSilencesFinding) {
 
 TEST(Lint, WholeFixtureDirectoryFindingCount) {
   // 1 atomic + 2 raw-alloc + 1 env + 1 fault-site + 2 nondeterminism +
-  // 1 capi + 2 signal-handler + 1 unbounded-wait + 0 suppressed = 11
-  // findings.
+  // 1 capi + 2 signal-handler + 1 unbounded-wait + 3 unchecked-io +
+  // 0 suppressed = 14 findings.
   const LintRun r =
       run_lint(design_flag() + " " + std::string(SHALOM_LINT_FIXTURES));
   EXPECT_EQ(r.exit_code, 1);
-  EXPECT_EQ(count_lines(r.output), 11) << r.output;
+  EXPECT_EQ(count_lines(r.output), 14) << r.output;
 }
 
 TEST(Lint, JsonFormatCarriesRuleAndLine) {
@@ -171,7 +181,7 @@ TEST(Lint, ListRulesNamesEveryRule) {
        {"atomic-memory-order", "raw-alloc", "env-access",
         "fault-site-documented", "nondeterminism",
         "capi-exception-boundary", "signal-handler-safety",
-        "unbounded-wait"}) {
+        "unbounded-wait", "unchecked-io"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -44,6 +44,16 @@
 //                            Applies to receivers whose identifier
 //                            contains "cv" (the repo's CV naming
 //                            convention: submit_cv, r.cv, cv_).
+//   unchecked-io             every fread/fwrite/rename/fsync/fclose call
+//                            uses its return value (assigned, compared,
+//                            returned, negated, or passed as an
+//                            argument). A bare statement call discards
+//                            the only error signal the libc I/O API
+//                            has; an explicit `(void)` cast is accepted
+//                            as a visible, deliberate discard. Member
+//                            calls and non-std-qualified names (repo
+//                            wrappers that merely share a libc name)
+//                            are out of scope.
 //   signal-handler-safety    code reachable from a signal handler (an
 //                            identifier assigned to .sa_handler or
 //                            .sa_sigaction, or passed as the handler
@@ -846,6 +856,84 @@ void rule_unbounded_wait(const SourceFile& f, std::vector<Finding>& out) {
   }
 }
 
+void rule_unchecked_io(const SourceFile& f, std::vector<Finding>& out) {
+  static const char* kFns[] = {"fread", "fwrite", "rename", "fsync",
+                               "fclose"};
+  for (const char* fn : kFns) {
+    std::size_t p = find_word(f.code, fn, 0);
+    while (p != std::string::npos) {
+      const std::size_t at = p;
+      p = find_word(f.code, fn, at + 1);
+      const std::size_t open = skip_ws(f.code, at + std::strlen(fn));
+      if (open >= f.code.size() || f.code[open] != '(') continue;
+      // Member calls (`file.rename(`) are repo types, not libc.
+      if ((at >= 1 && f.code[at - 1] == '.') ||
+          (at >= 2 && f.code[at - 2] == '-' && f.code[at - 1] == '>'))
+        continue;
+      // Skip a std:: or global :: qualifier; any other qualifier
+      // (`fs::rename`, `Io::fsync`) is a repo-defined name.
+      std::size_t start = at;
+      if (start >= 2 && f.code[start - 2] == ':' &&
+          f.code[start - 1] == ':') {
+        const std::size_t qe = start - 2;
+        std::size_t qs = qe;
+        while (qs > 0 && is_ident(f.code[qs - 1])) --qs;
+        const std::string qual = f.code.substr(qs, qe - qs);
+        if (!qual.empty() && qual != "std") continue;
+        start = qs;
+      }
+      // The significant token before the call decides whether the
+      // result is consumed.
+      std::size_t b = start;
+      while (b > 0 &&
+             std::isspace(static_cast<unsigned char>(f.code[b - 1])))
+        --b;
+      bool unchecked = false;
+      if (b == 0) {
+        unchecked = true;  // call is the first token of the file
+      } else if (const char c = f.code[b - 1];
+                 c == ';' || c == '{' || c == '}') {
+        unchecked = true;  // bare statement: result dropped on the floor
+      } else if (c == ')') {
+        // Preceded by a close paren: either a cast (only `(void)` is a
+        // sanctioned deliberate discard) or an unparenthesized
+        // `if (...) fclose(f);` body - both discard unless (void).
+        int depth = 0;
+        std::size_t q = b - 1;
+        for (;;) {
+          if (f.code[q] == ')') ++depth;
+          if (f.code[q] == '(' && --depth == 0) break;
+          if (q == 0) break;
+          --q;
+        }
+        std::string norm;
+        for (std::size_t i = q; i < b; ++i)
+          if (!std::isspace(static_cast<unsigned char>(f.code[i])))
+            norm += f.code[i];
+        unchecked = (norm != "(void)");
+      } else if (is_ident(c)) {
+        // `return fclose(f)` consumes the result; `else fclose(f);`
+        // and `do fclose(f);` do not.
+        std::size_t ws = b;
+        while (ws > 0 && is_ident(f.code[ws - 1])) --ws;
+        const std::string word = f.code.substr(ws, b - ws);
+        unchecked = (word == "else" || word == "do");
+      }
+      // Everything else (`=`, `(`, `!`, `,`, comparison, `&&`, `||`,
+      // `?`, `:`) feeds the result into an expression: checked.
+      if (unchecked) {
+        out.push_back(
+            {f.path, line_of(f, at), "unchecked-io",
+             std::string(fn) +
+                 "() result is discarded - the return value is the only "
+                 "error signal this I/O call has; check it (route file "
+                 "I/O through a checked helper) or cast to (void) as a "
+                 "deliberate, visible discard"});
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -855,7 +943,8 @@ const std::set<std::string>& all_rules() {
       "atomic-memory-order",   "raw-alloc",
       "env-access",            "fault-site-documented",
       "nondeterminism",        "capi-exception-boundary",
-      "signal-handler-safety", "unbounded-wait"};
+      "signal-handler-safety", "unbounded-wait",
+      "unchecked-io"};
   return kRules;
 }
 
@@ -978,6 +1067,7 @@ int main(int argc, char** argv) {
     rule_capi_exception_boundary(f, file_findings);
     rule_signal_handler_safety(f, file_findings);
     rule_unbounded_wait(f, file_findings);
+    rule_unchecked_io(f, file_findings);
 
     for (Finding& fnd : file_findings)
       if (!suppressed(f, fnd)) findings.push_back(std::move(fnd));
