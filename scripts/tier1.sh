@@ -22,8 +22,15 @@ SHALOM_SELFTEST=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo "=== tier1: static verification (shalom_lint + clang-tidy + TSA) ==="
 # shalom_lint is self-contained C++17 and gates tier-1 unconditionally:
-# zero findings allowed over the library and benchmark sources.
-./build/tools/shalom_lint --design=DESIGN.md src bench
+# zero findings allowed over the library, benchmark AND tool sources
+# (the analyzer lints itself). The whole-program families compare the
+# code against the real docs/tests/CI artifacts, so deleting a fault-site
+# row from DESIGN.md, a strerror case, an API.md row or the arming of a
+# site fails right here. The analyzer's stderr summary reports the
+# scanned-file count (an empty scan exits 2) and per-rule finding counts,
+# so CI logs show which family fired.
+./build/tools/shalom_lint --design=DESIGN.md --api=API.md --tests=tests \
+    --tier1=scripts/tier1.sh src bench tools
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L lint
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --build build --target lint

@@ -811,8 +811,9 @@ void set_probe_body_for_testing(bool (*fn)(Variant)) noexcept {
 }
 
 void reset_for_testing() noexcept {
-  for (auto& s : g_state)
-    s.store(static_cast<int>(Status::kUnknown), std::memory_order_release);
+  for (int i = 0; i < kVariantCount; ++i)
+    g_state[i].store(static_cast<int>(Status::kUnknown),
+                     std::memory_order_release);
 }
 
 namespace {

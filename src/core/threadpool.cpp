@@ -585,22 +585,22 @@ void ThreadPool::reap_retired_locked(
 }
 
 ThreadPool& ThreadPool::global(int threads) {
-  PoolRegistry& r = registry();
-  MutexLock lock(r.mu);
-  ensure_width_locked(r, threads);
-  return *r.pools.back();
+  PoolRegistry& preg = registry();
+  MutexLock lock(preg.mu);
+  ensure_width_locked(preg, threads);
+  return *preg.pools.back();
 }
 
 ThreadPool::Handle::Handle(int threads) {
-  PoolRegistry& r = registry();
-  MutexLock lock(r.mu);
-  ensure_width_locked(r, threads);
-  pool_ = r.pools.back().get();
+  PoolRegistry& preg = registry();
+  MutexLock lock(preg.mu);
+  ensure_width_locked(preg, threads);
+  pool_ = preg.pools.back().get();
   pool_->pins_.fetch_add(1, std::memory_order_acq_rel);
   // Piggyback the reap pass on acquisition: the registry only grows on
   // acquisition too, so this bounds the retired list without a dedicated
   // maintenance thread.
-  reap_retired_locked(r.pools);
+  reap_retired_locked(preg.pools);
 }
 
 ThreadPool::Handle::~Handle() {
@@ -608,9 +608,9 @@ ThreadPool::Handle::~Handle() {
 }
 
 int ThreadPool::retired_pool_count_for_testing() {
-  PoolRegistry& r = registry();
-  MutexLock lock(r.mu);
-  return r.pools.empty() ? 0 : static_cast<int>(r.pools.size()) - 1;
+  PoolRegistry& preg = registry();
+  MutexLock lock(preg.mu);
+  return preg.pools.empty() ? 0 : static_cast<int>(preg.pools.size()) - 1;
 }
 
 void pool_run(int tasks, const std::function<void(int)>& fn,

@@ -1,0 +1,12 @@
+// Fixture: atomic-pairing - a release store nobody acquires, an acquire
+// load nobody releases, and a correctly paired flag for contrast.
+#include <atomic>
+std::atomic<int> fix_unpaired_flag{0};
+std::atomic<int> fix_orphan_reader{0};
+std::atomic<int> fix_paired{0};
+void fixture_atomics(int v) {
+  fix_unpaired_flag.store(v, std::memory_order_release);
+  (void)fix_orphan_reader.load(std::memory_order_acquire);
+  fix_paired.store(v, std::memory_order_release);
+  (void)fix_paired.load(std::memory_order_acquire);
+}

@@ -1,0 +1,11 @@
+// Fake test blob for the registry-drift fixture. The analyzer reads the
+// --tests directory as raw text, so mentions in comments count as
+// coverage - and a comment-only file stays clean when this directory is
+// itself swept as lint input.
+//
+//   arms fault site drift.armed_site via chaos injection
+//   asserts SHALOM_DRIFT_TESTED round-trips through the C API
+//   asserts SHALOM_DRIFT_NO_STRERROR is returned on overflow
+//   asserts SHALOM_DRIFT_NO_APIROW is returned on a bad handle
+//
+// The orphan site and the untested status code are deliberately absent.

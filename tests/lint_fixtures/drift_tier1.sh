@@ -1,0 +1,4 @@
+#!/bin/sh
+# Fake tier1 script for the registry-drift fixture: arms nothing, so
+# arming coverage must come from the fake test blob alone.
+exit 0

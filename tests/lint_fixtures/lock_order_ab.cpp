@@ -1,0 +1,11 @@
+// Fixture: lock-order - acquires fix_mu_a then fix_mu_b; the sibling
+// fixture TU (lock_order_ba.cpp) acquires them in the opposite order,
+// closing a cross-TU cycle the analyzer must report with a witness path.
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex&) {} };
+extern Mutex fix_mu_a;
+extern Mutex fix_mu_b;
+void fixture_hold_a_then_b() {
+  MutexLock hold_a(fix_mu_a);
+  MutexLock hold_b(fix_mu_b);
+}

@@ -1,0 +1,10 @@
+// Fixture: lock-order - the reverse acquisition order of
+// lock_order_ab.cpp; together the two TUs deadlock under contention.
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex&) {} };
+extern Mutex fix_mu_a;
+extern Mutex fix_mu_b;
+void fixture_hold_b_then_a() {
+  MutexLock hold_b(fix_mu_b);
+  MutexLock hold_a(fix_mu_a);
+}

@@ -1,0 +1,11 @@
+// Fixture: lock-order - a declared hierarchy edge contradicted by the
+// observed acquisition order below (no full cycle needed).
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex&) {} };
+extern Mutex fix_declared_a;
+extern Mutex fix_declared_b;
+// shalom-lint: lock-order(fix_declared_a before fix_declared_b)
+void fixture_declared_backwards() {
+  MutexLock hold_b(fix_declared_b);
+  MutexLock hold_a(fix_declared_a);
+}

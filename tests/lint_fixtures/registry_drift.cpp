@@ -1,0 +1,31 @@
+// Fixture: registry-drift - registries that drift from the fake docs
+// (drift_design.md, drift_api.md), fake tests (drift_tests/) and fake
+// tier1 script (drift_tier1.sh) the lint tests point the analyzer at.
+namespace fault { enum class Site : int { kDriftArmed, kDriftOrphan }; }
+const char* site_name(fault::Site s) {
+  switch (s) {
+    case fault::Site::kDriftArmed: return "drift.armed_site";
+    case fault::Site::kDriftOrphan: return "drift.orphan_site";
+  }
+  return "unreachable";
+}
+typedef enum shalom_status {
+  SHALOM_DRIFT_TESTED = 0,
+  SHALOM_DRIFT_NO_STRERROR = 1,
+  SHALOM_DRIFT_NO_APIROW = 2,
+  SHALOM_DRIFT_NO_TEST = 3
+} shalom_status;
+const char* status_string(int code) {
+  switch (code) {
+    case SHALOM_DRIFT_TESTED: return "ok";
+    case SHALOM_DRIFT_NO_APIROW: return "missing api row";
+    case SHALOM_DRIFT_NO_TEST: return "untested";
+  }
+  return "unknown";
+}
+struct RobustnessStats {
+  uint64_t drift_documented_counter;
+  uint64_t drift_orphan_counter;
+};
+const char* fixture_env_keys[] = {"SHALOM_DRIFT_DOCUMENTED_KEY",
+                                  "SHALOM_DRIFT_ORPHAN_KEY"};

@@ -1,0 +1,252 @@
+// Cross-TU rule families over the merged Program registries
+// (lint_model.h): lock-order, atomic-pairing, registry-drift.
+#include "lint_model.h"
+
+#include <map>
+
+namespace shalom_lint {
+
+namespace {
+
+std::string loc(const std::string& file, int line) {
+  return file + ":" + std::to_string(line);
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+/// Enumerates every elementary cycle of the acquisition graph exactly
+/// once (each cycle is discovered from its lexicographically smallest
+/// node, and (outer, inner) edges are unique, so no rotation duplicates)
+/// and reports it with the full witness path.
+struct CycleFinder {
+  const std::map<std::string, std::vector<const LockEdge*>>& adj;
+  std::vector<Finding>& out;
+  std::string start;
+  std::vector<const LockEdge*> path;
+  std::set<std::string> on_path;
+
+  void report() {
+    std::string chain = start;
+    std::string witness;
+    for (const LockEdge* e : path) {
+      chain += " -> " + e->inner;
+      if (!witness.empty()) witness += "; ";
+      witness += loc(e->file, e->inner_line) + " acquires '" + e->inner +
+                 "' while '" + e->outer + "' is held (since " +
+                 loc(e->file, e->outer_line) + ")";
+    }
+    out.push_back(
+        {path.front()->file, path.front()->inner_line, "lock-order",
+         "potential deadlock: mutex acquisition cycle " + chain +
+             "; witness: " + witness +
+             "; break an edge, or suppress the intended inner "
+             "acquisition with // shalom-lint: allow(lock-order)"});
+  }
+
+  void dfs(const std::string& node) {
+    auto it = adj.find(node);
+    if (it == adj.end()) return;
+    for (const LockEdge* e : it->second) {
+      if (e->inner == start) {
+        path.push_back(e);
+        report();
+        path.pop_back();
+      } else if (e->inner > start && on_path.insert(e->inner).second) {
+        path.push_back(e);
+        dfs(e->inner);
+        path.pop_back();
+        on_path.erase(e->inner);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void rule_lock_order(const Program& p, std::vector<Finding>& out) {
+  // Observed acquisitions that contradict a declared hierarchy: the
+  // declaration pins intent, so a reverse edge is a finding even when no
+  // full cycle exists yet.
+  for (const LockOrderDecl& d : p.lock_decls) {
+    for (const LockEdge& e : p.lock_edges) {
+      if (e.outer == d.after && e.inner == d.before) {
+        out.push_back(
+            {e.file, e.inner_line, "lock-order",
+             "'" + e.inner + "' acquired while '" + e.outer +
+                 "' is held contradicts the declared hierarchy "
+                 "lock-order(" +
+                 d.before + " before " + d.after + ") from " +
+                 loc(d.file, d.line)});
+      }
+    }
+  }
+  std::map<std::string, std::vector<const LockEdge*>> adj;
+  std::set<std::string> nodes;
+  for (const LockEdge& e : p.lock_edges) {
+    adj[e.outer].push_back(&e);
+    nodes.insert(e.outer);
+    nodes.insert(e.inner);
+  }
+  for (const std::string& start : nodes) {
+    CycleFinder cf{adj, out, start, {}, {start}};
+    cf.dfs(start);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// atomic-pairing
+// ---------------------------------------------------------------------------
+
+void rule_atomic_pairing(const Program& p, std::vector<Finding>& out) {
+  std::map<std::string, std::vector<const AtomicOp*>> groups;
+  for (const AtomicOp& op : p.atomics) groups[op.var].push_back(&op);
+  for (const auto& g : groups) {
+    bool any_release_write = false;
+    bool any_acquire_read = false;
+    for (const AtomicOp* op : g.second) {
+      any_release_write = any_release_write || op->write_release;
+      any_acquire_read = any_acquire_read || op->read_acquire;
+    }
+    for (const AtomicOp* op : g.second) {
+      if (op->write_release && !any_acquire_read) {
+        out.push_back(
+            {op->file, op->line, "atomic-pairing",
+             "release-side " + op->method + "() of atomic '" + op->var +
+                 "' has no matching acquire/seq_cst read of '" + op->var +
+                 "' anywhere in the scanned program - the release fence "
+                 "publishes to nobody; add the acquire-side read or "
+                 "relax this write"});
+      }
+      if (op->is_load && op->read_acquire && !any_release_write) {
+        out.push_back(
+            {op->file, op->line, "atomic-pairing",
+             "acquire load of atomic '" + op->var +
+                 "' has no matching release/seq_cst write of '" + op->var +
+                 "' anywhere in the scanned program - the acquire fence "
+                 "synchronizes with nothing; add the release-side write "
+                 "or relax this load"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// registry-drift
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool armed_in(const std::string& blob, const SiteDef& site) {
+  if (text_mentions(blob, site.name)) return true;
+  return !site.enum_name.empty() && text_mentions(blob, site.enum_name);
+}
+
+}  // namespace
+
+void rule_registry_drift(const Program& p, const DriftInputs& in,
+                         std::vector<Finding>& out) {
+  // Fault sites: defined => armed somewhere chaos can reach it.
+  if (!p.fault_sites.empty()) {
+    if (!in.tests_ok && !in.tier1_ok) {
+      const SiteDef& s = p.fault_sites.front();
+      out.push_back({s.file, s.line, "registry-drift",
+                     "fault-site arming cannot be checked: neither the "
+                     "test sources ('" +
+                         in.tests_path + "') nor the tier1 script ('" +
+                         in.tier1_path + "') could be read"});
+    } else {
+      for (const SiteDef& s : p.fault_sites) {
+        const bool armed = (in.tests_ok && armed_in(in.tests_text, s)) ||
+                           (in.tier1_ok && armed_in(in.tier1_text, s));
+        if (armed) continue;
+        std::string label = "\"" + s.name + "\"";
+        if (!s.enum_name.empty()) label += " (Site::" + s.enum_name + ")";
+        out.push_back({s.file, s.line, "registry-drift",
+                       "fault site " + label +
+                           " is defined but never armed in the tests (" +
+                           in.tests_path + ") or tier1 script (" +
+                           in.tier1_path +
+                           "): arm it in a chaos/unit test so its "
+                           "documented fallback is exercised"});
+      }
+    }
+  }
+  // Status codes: strerror entry + API row + test mention.
+  if (!p.status_codes.empty()) {
+    for (const CodeDef& c : p.status_codes) {
+      if (!p.strerror_codes.count(c.name)) {
+        out.push_back({c.file, c.line, "registry-drift",
+                       "status code " + c.name +
+                           " has no strerror entry: add its case to the "
+                           "status_string()/shalom_strerror() switch"});
+      }
+    }
+    if (!in.api_ok) {
+      const CodeDef& c = p.status_codes.front();
+      out.push_back({c.file, c.line, "registry-drift",
+                     "status-code API documentation cannot be checked: "
+                     "API doc ('" +
+                         in.api_path + "') is missing or unreadable"});
+    } else {
+      for (const CodeDef& c : p.status_codes) {
+        if (text_mentions(in.api_text, c.name)) continue;
+        out.push_back({c.file, c.line, "registry-drift",
+                       "status code " + c.name +
+                           " has no row in the API doc (" + in.api_path +
+                           "): document when it is returned"});
+      }
+    }
+    if (!in.tests_ok) {
+      const CodeDef& c = p.status_codes.front();
+      out.push_back({c.file, c.line, "registry-drift",
+                     "status-code test coverage cannot be checked: test "
+                     "sources ('" +
+                         in.tests_path + "') are missing or unreadable"});
+    } else {
+      for (const CodeDef& c : p.status_codes) {
+        if (text_mentions(in.tests_text, c.name)) continue;
+        out.push_back({c.file, c.line, "registry-drift",
+                       "status code " + c.name +
+                           " is never mentioned in the tests (" +
+                           in.tests_path +
+                           "): assert at least one path that returns it"});
+      }
+    }
+  }
+  // Stats counters and env keys: documented in the API doc.
+  if (!p.stats_counters.empty() || !p.env_keys.empty()) {
+    if (!in.api_ok) {
+      const std::string file = p.stats_counters.empty()
+                                   ? p.env_keys.front().file
+                                   : p.stats_counters.front().file;
+      const int line = p.stats_counters.empty()
+                           ? p.env_keys.front().line
+                           : p.stats_counters.front().line;
+      out.push_back({file, line, "registry-drift",
+                     "counter/env-key documentation cannot be checked: "
+                     "API doc ('" +
+                         in.api_path + "') is missing or unreadable"});
+    } else {
+      for (const CounterDef& c : p.stats_counters) {
+        if (text_mentions(in.api_text, c.name)) continue;
+        out.push_back({c.file, c.line, "registry-drift",
+                       "stats counter '" + c.name +
+                           "' is not documented in the API doc (" +
+                           in.api_path +
+                           "): every RobustnessStats field needs a row"});
+      }
+      for (const EnvKeyUse& k : p.env_keys) {
+        if (text_mentions(in.api_text, k.name)) continue;
+        out.push_back({k.file, k.line, "registry-drift",
+                       "environment key " + k.name +
+                           " is not documented in the API doc (" +
+                           in.api_path +
+                           "): every knob needs a row in the env table"});
+      }
+    }
+  }
+}
+
+}  // namespace shalom_lint

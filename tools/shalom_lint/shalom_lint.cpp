@@ -1,950 +1,74 @@
 // shalom_lint: the repo-specific static analyzer.
 //
-// A standalone C++17 token/line-level scanner (deliberately no libclang:
-// the rules below are lexical properties of this codebase's conventions,
-// and a zero-dependency tool can run in every environment the library
-// builds in, including the GCC-only CI image where clang-tidy cannot).
+// A standalone C++17 whole-program scanner (deliberately no libclang:
+// the rules are lexical properties of this codebase's conventions, and a
+// zero-dependency tool can run in every environment the library builds
+// in, including the GCC-only CI image where clang-tidy cannot).
 //
-// Rules (each suppressible per line via `// shalom-lint: allow(<rule>)`
-// on the offending line or the line directly above):
+// The analyzer first runs a shared extraction pass over every input file
+// (lint_model.cpp), materializing program-wide registries - mutex
+// acquisitions with their lexical nesting, atomic operations with their
+// memory orders, fault sites, status codes, strerror entries, stats
+// counters, env keys - then runs two rule layers:
 //
-//   atomic-memory-order      every std::atomic load/store/exchange/
-//                            fetch_*/compare_exchange_* call names an
-//                            explicit std::memory_order.
-//   raw-alloc                no malloc/calloc/realloc/posix_memalign/
-//                            aligned_alloc/valloc/memalign and no array
-//                            new[] outside common/aligned_buffer.* (the
-//                            single sanctioned allocation site).
-//   env-access               no direct getenv: every environment read
-//                            goes through the env:: helpers defined in
-//                            common/error.cpp (the only exempt file).
-//   fault-site-documented    every fault-site name string literal (the
-//                            dotted "group.site" literals in files that
-//                            mention fault::Site or define site_name)
-//                            appears in DESIGN.md's site->fallback
-//                            matrix.
-//   nondeterminism           no rand/srand/rand_r/drand48/random and no
-//                            time(nullptr|NULL|0) seeding: runs must be
-//                            reproducible (use common/rng.h).
-//   capi-exception-boundary  every `extern "C"` function definition
-//                            returning int/shalom_status either contains
-//                            the catch-all status translator (a `catch`
-//                            or fail_current_exception) or delegates to
-//                            a same-file helper that does. Only the
-//                            direct `extern "C" <definition>` form is
-//                            recognized; declarations and extern "C" {}
-//                            blocks (headers) are out of scope.
-//   unbounded-wait           every bare condition-variable wait (a
-//                            one-argument `<...cv...>.wait(lock)` call)
-//                            is the direct body of a `while (pred)` loop
-//                            or replaced by a predicate/deadline form
-//                            (two-argument wait, wait_for, wait_until):
-//                            a bare wait outside a predicate loop hangs
-//                            forever on a missed or spurious notify.
-//                            Applies to receivers whose identifier
-//                            contains "cv" (the repo's CV naming
-//                            convention: submit_cv, r.cv, cv_).
-//   unchecked-io             every fread/fwrite/rename/fsync/fclose call
-//                            uses its return value (assigned, compared,
-//                            returned, negated, or passed as an
-//                            argument). A bare statement call discards
-//                            the only error signal the libc I/O API
-//                            has; an explicit `(void)` cast is accepted
-//                            as a visible, deliberate discard. Member
-//                            calls and non-std-qualified names (repo
-//                            wrappers that merely share a libc name)
-//                            are out of scope.
-//   signal-handler-safety    code reachable from a signal handler (an
-//                            identifier assigned to .sa_handler or
-//                            .sa_sigaction, or passed as the handler
-//                            argument of signal()) performs only
-//                            async-signal-safe operations: no stdio, no
-//                            allocation (malloc family, new/delete), no
-//                            locks, no throw. One level of same-file
-//                            callees is followed; signal/raise/
-//                            siglongjmp are allowed (they are the
-//                            sanctioned handler vocabulary).
+//   per-file rules (lint_rules_file.cpp):
+//     atomic-memory-order, raw-alloc, env-access, fault-site-documented,
+//     nondeterminism, capi-exception-boundary, signal-handler-safety,
+//     unbounded-wait, unchecked-io
+//
+//   whole-program rules (lint_rules_program.cpp):
+//     lock-order        cycles in the cross-TU mutex acquisition graph
+//                       (reported with a full file:line witness path) and
+//                       acquisitions contradicting a declared
+//                       `// shalom-lint: lock-order(A before B)` edge.
+//     atomic-pairing    every release-side atomic write has a matching
+//                       acquire/seq_cst read of the same atomic somewhere
+//                       in the program, and vice versa.
+//     registry-drift    every fault site is armed in tests or the tier1
+//                       script; every status code has a strerror entry,
+//                       an API doc row and a test mention; every stats
+//                       counter and env key is documented in the API doc.
+//
+// Every rule is suppressible per line via `// shalom-lint: allow(<rule>)`
+// on the offending line or the line directly above; for lock-order the
+// annotation on an inner acquisition also removes that edge from the
+// graph, so one allow() can silence a whole cycle.
 //
 // Usage:
-//   shalom_lint [--format=text|json] [--design=PATH] [--list-rules]
-//               <file-or-directory>...
+//   shalom_lint [--format=text|json] [--design=PATH] [--api=PATH]
+//               [--tests=PATH] [--tier1=PATH] [--list-rules]
+//               [--selftest-json] <file-or-directory>...
 //
-// Exit codes: 0 no findings, 1 findings reported, 2 usage/IO error.
+// Exit codes: 0 no findings, 1 findings reported, 2 usage/IO error
+// (including an input set that contains no scannable file: an empty scan
+// must not look like a clean one).
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint_model.h"
+
 namespace {
 
 namespace fs = std::filesystem;
+using shalom_lint::DriftInputs;
+using shalom_lint::Finding;
+using shalom_lint::Program;
+using shalom_lint::SourceFile;
 
-// ---------------------------------------------------------------------------
-// Model
-// ---------------------------------------------------------------------------
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct StringLiteral {
-  int line = 0;
-  std::string value;
-};
-
-struct SourceFile {
-  std::string path;
-  std::string text;  // raw bytes
-  std::string code;  // comments and literal contents blanked with spaces
-  std::vector<std::size_t> line_start;        // offset of each line
-  std::vector<StringLiteral> strings;         // recorded literal values
-  std::map<int, std::set<std::string>> allow; // line -> suppressed rules
-};
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-int line_of(const SourceFile& f, std::size_t pos) {
-  auto it = std::upper_bound(f.line_start.begin(), f.line_start.end(), pos);
-  return static_cast<int>(it - f.line_start.begin());
-}
-
-// ---------------------------------------------------------------------------
-// Scanner: builds the blanked `code` view, records string literals and
-// suppression comments. Handles //, /* */, "..." (with escapes), '...',
-// and raw string literals R"delim(...)delim".
-// ---------------------------------------------------------------------------
-
-void parse_allow(SourceFile& f, const std::string& comment, int line) {
-  const std::string marker = "shalom-lint: allow(";
-  std::size_t at = comment.find(marker);
-  while (at != std::string::npos) {
-    std::size_t p = at + marker.size();
-    std::string name;
-    for (; p < comment.size() && comment[p] != ')'; ++p) {
-      const char c = comment[p];
-      if (c == ',' ) {
-        if (!name.empty()) f.allow[line].insert(name);
-        name.clear();
-      } else if (!std::isspace(static_cast<unsigned char>(c))) {
-        name += c;
-      }
-    }
-    if (!name.empty()) f.allow[line].insert(name);
-    at = comment.find(marker, p);
-  }
-}
-
-void scan_file(SourceFile& f) {
-  const std::string& s = f.text;
-  f.code.assign(s.size(), ' ');
-  f.line_start.push_back(0);
-  for (std::size_t i = 0; i < s.size(); ++i)
-    if (s[i] == '\n') {
-      f.code[i] = '\n';
-      if (i + 1 < s.size()) f.line_start.push_back(i + 1);
-    }
-
-  std::size_t i = 0;
-  while (i < s.size()) {
-    const char c = s[i];
-    // Line comment.
-    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-      std::size_t j = i;
-      while (j < s.size() && s[j] != '\n') ++j;
-      parse_allow(f, s.substr(i, j - i), line_of(f, i));
-      i = j;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-      std::size_t j = s.find("*/", i + 2);
-      if (j == std::string::npos) j = s.size(); else j += 2;
-      // A block comment may span lines; register the allow() on the line
-      // it starts on.
-      parse_allow(f, s.substr(i, j - i), line_of(f, i));
-      i = j;
-      continue;
-    }
-    // Raw string literal: (optional prefix)R"delim( ... )delim".
-    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"' &&
-        (i == 0 || !is_ident(s[i - 1]))) {
-      std::size_t dstart = i + 2;
-      std::size_t dend = dstart;
-      while (dend < s.size() && s[dend] != '(') ++dend;
-      const std::string delim = s.substr(dstart, dend - dstart);
-      const std::string close = ")" + delim + "\"";
-      const std::size_t at = s.find(close, dend + 1);
-      const std::size_t vend = (at == std::string::npos) ? s.size() : at;
-      f.strings.push_back({line_of(f, i), s.substr(dend + 1,
-                                                   vend - (dend + 1))});
-      i = (at == std::string::npos) ? s.size() : at + close.size();
-      continue;
-    }
-    // Ordinary string literal.
-    if (c == '"') {
-      std::size_t j = i + 1;
-      std::string value;
-      while (j < s.size() && s[j] != '"' && s[j] != '\n') {
-        if (s[j] == '\\' && j + 1 < s.size()) {
-          value += s[j];
-          value += s[j + 1];
-          j += 2;
-        } else {
-          value += s[j];
-          ++j;
-        }
-      }
-      f.strings.push_back({line_of(f, i), value});
-      f.code[i] = '"';
-      // Keep a literal "C" visible so `extern "C"` stays recognizable in
-      // the blanked view; all other literal content is blanked.
-      if (value == "C" && j == i + 2) f.code[i + 1] = 'C';
-      if (j < s.size() && s[j] == '"') {
-        f.code[j] = '"';
-        ++j;
-      }
-      i = j;
-      continue;
-    }
-    // Character literal (skip so '"' or '//' inside cannot confuse us).
-    if (c == '\'') {
-      std::size_t j = i + 1;
-      while (j < s.size() && s[j] != '\'' && s[j] != '\n') {
-        if (s[j] == '\\') ++j;
-        ++j;
-      }
-      i = (j < s.size()) ? j + 1 : j;
-      continue;
-    }
-    f.code[i] = c;
-    ++i;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Matching helpers over the blanked view
-// ---------------------------------------------------------------------------
-
-/// Finds the next whole-word occurrence of `word` at or after `from`.
-std::size_t find_word(const std::string& code, const std::string& word,
-                      std::size_t from) {
-  std::size_t p = code.find(word, from);
-  while (p != std::string::npos) {
-    const bool left_ok = p == 0 || !is_ident(code[p - 1]);
-    const std::size_t end = p + word.size();
-    const bool right_ok = end >= code.size() || !is_ident(code[end]);
-    if (left_ok && right_ok) return p;
-    p = code.find(word, p + 1);
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_ws(const std::string& code, std::size_t p) {
-  while (p < code.size() &&
-         std::isspace(static_cast<unsigned char>(code[p])))
-    ++p;
-  return p;
-}
-
-/// With code[open] == '(' (or '{'), returns the index one past the
-/// matching closer, or npos.
-std::size_t match_paren(const std::string& code, std::size_t open,
-                        char oc = '(', char cc = ')') {
-  int depth = 0;
-  for (std::size_t p = open; p < code.size(); ++p) {
-    if (code[p] == oc) ++depth;
-    if (code[p] == cc && --depth == 0) return p + 1;
-  }
-  return std::string::npos;
-}
-
-std::string basename_of(const std::string& path) {
-  return fs::path(path).filename().string();
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-void rule_atomic_memory_order(const SourceFile& f,
-                              std::vector<Finding>& out) {
-  static const char* kMethods[] = {
-      "load",          "store",         "exchange",
-      "fetch_add",     "fetch_sub",     "fetch_and",
-      "fetch_or",      "fetch_xor",     "compare_exchange_weak",
-      "compare_exchange_strong"};
-  for (const char* m : kMethods) {
-    std::size_t p = find_word(f.code, m, 0);
-    while (p != std::string::npos) {
-      // Member-call context only: `.load(` or `->load(`.
-      const bool member =
-          (p >= 1 && f.code[p - 1] == '.') ||
-          (p >= 2 && f.code[p - 2] == '-' && f.code[p - 1] == '>');
-      std::size_t open = skip_ws(f.code, p + std::strlen(m));
-      if (member && open < f.code.size() && f.code[open] == '(') {
-        const std::size_t close = match_paren(f.code, open);
-        const std::string args =
-            close == std::string::npos
-                ? f.code.substr(open)
-                : f.code.substr(open, close - open);
-        if (args.find("memory_order") == std::string::npos) {
-          out.push_back({f.path, line_of(f, p), "atomic-memory-order",
-                         std::string("atomic ") + m +
-                             "() without an explicit std::memory_order "
-                             "(implicit seq_cst; state and justify the "
-                             "required order instead)"});
-        }
-      }
-      p = find_word(f.code, m, p + 1);
-    }
-  }
-}
-
-void rule_raw_alloc(const SourceFile& f, std::vector<Finding>& out) {
-  const std::string base = basename_of(f.path);
-  if (base.rfind("aligned_buffer", 0) == 0) return;  // sanctioned site
-  static const char* kFns[] = {"malloc",         "calloc",  "realloc",
-                               "posix_memalign", "aligned_alloc",
-                               "valloc",         "memalign"};
-  for (const char* fn : kFns) {
-    std::size_t p = find_word(f.code, fn, 0);
-    while (p != std::string::npos) {
-      const std::size_t after = skip_ws(f.code, p + std::strlen(fn));
-      if (after < f.code.size() && f.code[after] == '(') {
-        out.push_back({f.path, line_of(f, p), "raw-alloc",
-                       std::string(fn) +
-                           "() outside common/aligned_buffer.*: all "
-                           "allocations go through AlignedBuffer"});
-      }
-      p = find_word(f.code, fn, p + 1);
-    }
-  }
-  // Array new: `new T[n]` (placement parens are skipped first).
-  std::size_t p = find_word(f.code, "new", 0);
-  while (p != std::string::npos) {
-    std::size_t q = skip_ws(f.code, p + 3);
-    if (q < f.code.size() && f.code[q] == '(') {  // placement arguments
-      const std::size_t close = match_paren(f.code, q);
-      if (close == std::string::npos) break;
-      q = skip_ws(f.code, close);
-    }
-    while (q < f.code.size() &&
-           (is_ident(f.code[q]) || f.code[q] == ':' || f.code[q] == '<' ||
-            f.code[q] == '>' || f.code[q] == ',' || f.code[q] == '*' ||
-            f.code[q] == ' '))
-      ++q;
-    if (q < f.code.size() && f.code[q] == '[') {
-      out.push_back({f.path, line_of(f, p), "raw-alloc",
-                     "array new[] outside common/aligned_buffer.*: all "
-                     "allocations go through AlignedBuffer"});
-    }
-    p = find_word(f.code, "new", p + 1);
-  }
-}
-
-void rule_env_access(const SourceFile& f, std::vector<Finding>& out) {
-  if (basename_of(f.path) == "error.cpp") return;  // env:: helpers live here
-  for (const char* fn : {"getenv", "secure_getenv"}) {
-    std::size_t p = find_word(f.code, fn, 0);
-    while (p != std::string::npos) {
-      out.push_back({f.path, line_of(f, p), "env-access",
-                     std::string(fn) +
-                         " outside common/error.cpp: read the environment "
-                         "through the shalom::env:: helpers so malformed "
-                         "values warn once and fall back"});
-      p = find_word(f.code, fn, p + 1);
-    }
-  }
-}
-
-/// True when the identifier at `p` is member-accessed (`x.rand(`) or
-/// qualified by something other than std:: (`BsrMatrix<T>::random(`): a
-/// repo-defined function that merely shares a libc name, not libc itself
-/// (libc functions appear bare or std::-qualified).
-bool non_libc_context(const std::string& code, std::size_t p) {
-  if (p >= 1 && code[p - 1] == '.') return true;
-  if (p >= 2 && code[p - 2] == '-' && code[p - 1] == '>') return true;
-  if (p >= 2 && code[p - 2] == ':' && code[p - 1] == ':') {
-    std::size_t e = p - 2;
-    std::size_t s = e;
-    while (s > 0 && is_ident(code[s - 1])) --s;
-    return code.substr(s, e - s) != "std";
-  }
-  return false;
-}
-
-void rule_nondeterminism(const SourceFile& f, std::vector<Finding>& out) {
-  for (const char* fn : {"rand", "srand", "rand_r", "drand48", "random"}) {
-    std::size_t p = find_word(f.code, fn, 0);
-    while (p != std::string::npos) {
-      const std::size_t after = skip_ws(f.code, p + std::strlen(fn));
-      if (after < f.code.size() && f.code[after] == '(' &&
-          !non_libc_context(f.code, p)) {
-        out.push_back({f.path, line_of(f, p), "nondeterminism",
-                       std::string(fn) +
-                           "() is nondeterministic across runs; use the "
-                           "seeded generators in common/rng.h"});
-      }
-      p = find_word(f.code, fn, p + 1);
-    }
-  }
-  std::size_t p = find_word(f.code, "time", 0);
-  while (p != std::string::npos) {
-    const std::size_t open = skip_ws(f.code, p + 4);
-    if (open < f.code.size() && f.code[open] == '(') {
-      const std::size_t close = match_paren(f.code, open);
-      if (close != std::string::npos) {
-        std::string arg = f.code.substr(open + 1, close - open - 2);
-        arg.erase(std::remove_if(arg.begin(), arg.end(),
-                                 [](unsigned char c) {
-                                   return std::isspace(c);
-                                 }),
-                  arg.end());
-        if (arg == "nullptr" || arg == "NULL" || arg == "0") {
-          out.push_back({f.path, line_of(f, p), "nondeterminism",
-                         "time(" + arg +
-                             ") seeding is nondeterministic across runs; "
-                             "use the seeded generators in common/rng.h"});
-        }
-      }
-    }
-    p = find_word(f.code, "time", p + 1);
-  }
-}
-
-bool looks_like_site_name(const std::string& v) {
-  // group.site[.sub]: lowercase identifiers joined by dots.
-  bool saw_dot = false;
-  bool part_empty = true;
-  for (char c : v) {
-    if (c == '.') {
-      if (part_empty) return false;
-      saw_dot = true;
-      part_empty = true;
-    } else if ((c >= 'a' && c <= 'z') || c == '_') {
-      part_empty = false;
-    } else {
-      return false;
-    }
-  }
-  return saw_dot && !part_empty;
-}
-
-void rule_fault_site_documented(const SourceFile& f,
-                                const std::string& design_text,
-                                const std::string& design_path,
-                                std::vector<Finding>& out) {
-  if (f.code.find("fault::Site") == std::string::npos &&
-      find_word(f.code, "site_name", 0) == std::string::npos)
-    return;
-  for (const StringLiteral& lit : f.strings) {
-    if (!looks_like_site_name(lit.value)) continue;
-    if (design_text.empty()) {
-      out.push_back({f.path, lit.line, "fault-site-documented",
-                     "fault site \"" + lit.value +
-                         "\" cannot be checked: design file '" +
-                         design_path + "' is missing or unreadable"});
-    } else if (design_text.find(lit.value) == std::string::npos) {
-      out.push_back({f.path, lit.line, "fault-site-documented",
-                     "fault site \"" + lit.value +
-                         "\" is not documented in the site->fallback "
-                         "matrix of " +
-                         design_path});
-    }
-  }
-}
-
-/// [begin, end) offsets of a function body inside SourceFile::code
-/// (begin == npos when no definition was found). Keeping offsets instead
-/// of an extracted string lets callers report line numbers inside the
-/// body.
-struct BodyRange {
-  std::size_t begin = std::string::npos;
-  std::size_t end = std::string::npos;
-  bool found() const { return begin != std::string::npos; }
-};
-
-/// Locates the body of a function named `name` defined in this file (the
-/// first occurrence of `name(...)` whose parameter list is followed by a
-/// brace, skipping trailing specifiers such as noexcept/const).
-BodyRange local_definition_range(const SourceFile& f,
-                                 const std::string& name) {
-  std::size_t p = find_word(f.code, name, 0);
-  while (p != std::string::npos) {
-    std::size_t open = skip_ws(f.code, p + name.size());
-    if (open < f.code.size() && f.code[open] == '(') {
-      const std::size_t close = match_paren(f.code, open);
-      if (close != std::string::npos) {
-        std::size_t q = skip_ws(f.code, close);
-        // Skip trailing specifiers (noexcept, const, ...) including a
-        // noexcept(...) argument.
-        while (q < f.code.size() && is_ident(f.code[q])) {
-          while (q < f.code.size() && is_ident(f.code[q])) ++q;
-          q = skip_ws(f.code, q);
-          if (q < f.code.size() && f.code[q] == '(') {
-            const std::size_t c2 = match_paren(f.code, q);
-            if (c2 == std::string::npos) break;
-            q = skip_ws(f.code, c2);
-          }
-        }
-        if (q < f.code.size() && f.code[q] == '{') {
-          const std::size_t bend = match_paren(f.code, q, '{', '}');
-          if (bend != std::string::npos) return BodyRange{q, bend};
-        }
-      }
-    }
-    p = find_word(f.code, name, p + 1);
-  }
-  return BodyRange{};
-}
-
-/// Returns the body of a function named `name` defined in this file, or
-/// "" when no definition is found.
-std::string local_definition_body(const SourceFile& f,
-                                  const std::string& name) {
-  const BodyRange r = local_definition_range(f, name);
-  return r.found() ? f.code.substr(r.begin, r.end - r.begin) : "";
-}
-
-bool body_has_translator(const std::string& body) {
-  return body.find("fail_current_exception") != std::string::npos ||
-         find_word(body, "catch", 0) != std::string::npos;
-}
-
-void rule_capi_exception_boundary(const SourceFile& f,
-                                  std::vector<Finding>& out) {
-  std::size_t p = f.code.find("extern \"C\"");
-  while (p != std::string::npos) {
-    std::size_t q = skip_ws(f.code, p + 10);
-    // Collect the declarator up to the parameter list.
-    const std::size_t decl_start = q;
-    while (q < f.code.size() && f.code[q] != '(' && f.code[q] != ';' &&
-           f.code[q] != '{')
-      ++q;
-    if (q >= f.code.size() || f.code[q] != '(') {
-      p = f.code.find("extern \"C\"", p + 1);
-      continue;  // extern "C" { ... } block or variable: out of scope
-    }
-    const std::string decl = f.code.substr(decl_start, q - decl_start);
-    const std::size_t close = match_paren(f.code, q);
-    if (close == std::string::npos) break;
-    std::size_t r = skip_ws(f.code, close);
-    while (r < f.code.size() && is_ident(f.code[r])) {  // noexcept etc.
-      while (r < f.code.size() && is_ident(f.code[r])) ++r;
-      r = skip_ws(f.code, r);
-    }
-    if (r < f.code.size() && f.code[r] == '{') {
-      // Definition. Return type = declarator minus the trailing name.
-      std::size_t name_end = decl.size();
-      while (name_end > 0 &&
-             std::isspace(static_cast<unsigned char>(decl[name_end - 1])))
-        --name_end;
-      std::size_t name_start = name_end;
-      while (name_start > 0 && is_ident(decl[name_start - 1])) --name_start;
-      const std::string name = decl.substr(name_start, name_end - name_start);
-      std::string ret = decl.substr(0, name_start);
-      // Normalize whitespace.
-      std::string ret_norm;
-      for (char c : ret)
-        if (!std::isspace(static_cast<unsigned char>(c))) ret_norm += c;
-      if (ret_norm == "int" || ret_norm == "shalom_status") {
-        const std::size_t bend = match_paren(f.code, r, '{', '}');
-        const std::string body =
-            bend == std::string::npos ? f.code.substr(r)
-                                      : f.code.substr(r, bend - r);
-        bool ok = body_has_translator(body);
-        if (!ok) {
-          // One level of delegation: a body that calls a same-file
-          // helper containing the translator is wrapped transitively
-          // (the shalom_sgemm -> gemm_c pattern).
-          std::size_t cp = 0;
-          while (!ok && cp < body.size()) {
-            if (is_ident(body[cp]) && (cp == 0 || !is_ident(body[cp - 1]))) {
-              std::size_t ce = cp;
-              while (ce < body.size() && is_ident(body[ce])) ++ce;
-              const std::string callee = body.substr(cp, ce - cp);
-              const std::size_t paren = skip_ws(body, ce);
-              if (paren < body.size() && body[paren] == '(' &&
-                  callee != name && callee != "if" && callee != "while" &&
-                  callee != "for" && callee != "switch" &&
-                  callee != "return" && callee != "sizeof") {
-                const std::string def = local_definition_body(f, callee);
-                if (!def.empty() && body_has_translator(def)) ok = true;
-              }
-              cp = ce;
-            } else {
-              ++cp;
-            }
-          }
-        }
-        if (!ok) {
-          out.push_back(
-              {f.path, line_of(f, p), "capi-exception-boundary",
-               "extern \"C\" entry point '" + name +
-                   "' returns a status but is not wrapped in the "
-                   "catch-all status translator (fail_current_exception) "
-                   "- an exception here would cross the C ABI"});
-        }
-      }
-    }
-    p = f.code.find("extern \"C\"", p + 1);
-  }
-}
-
-/// Trailing identifier of a handler expression (`trap_handler`,
-/// `&trap_handler`, `ns::handler` -> `handler`); "" when the expression
-/// is a sentinel disposition (SIG_DFL/SIG_IGN/nullptr/NULL) or not an
-/// identifier at all.
-std::string handler_root_of(const std::string& expr) {
-  std::size_t end = expr.size();
-  while (end > 0 && std::isspace(static_cast<unsigned char>(expr[end - 1])))
-    --end;
-  std::size_t start = end;
-  while (start > 0 && is_ident(expr[start - 1])) --start;
-  const std::string name = expr.substr(start, end - start);
-  if (name.empty() || name == "SIG_DFL" || name == "SIG_IGN" ||
-      name == "nullptr" || name == "NULL" ||
-      std::isdigit(static_cast<unsigned char>(name[0])))
-    return "";
-  return name;
-}
-
-/// Handler roots registered in this file: identifiers assigned to a
-/// .sa_handler/.sa_sigaction field or passed as the second argument of
-/// signal().
-std::set<std::string> handler_roots(const SourceFile& f) {
-  std::set<std::string> roots;
-  for (const char* field : {"sa_handler", "sa_sigaction"}) {
-    std::size_t p = find_word(f.code, field, 0);
-    while (p != std::string::npos) {
-      const std::size_t q = skip_ws(f.code, p + std::strlen(field));
-      if (q < f.code.size() && f.code[q] == '=' &&
-          (q + 1 >= f.code.size() || f.code[q + 1] != '=')) {
-        std::size_t sc = f.code.find(';', q);
-        if (sc == std::string::npos) sc = f.code.size();
-        const std::string name =
-            handler_root_of(f.code.substr(q + 1, sc - q - 1));
-        if (!name.empty()) roots.insert(name);
-      }
-      p = find_word(f.code, field, p + 1);
-    }
-  }
-  std::size_t p = find_word(f.code, "signal", 0);
-  while (p != std::string::npos) {
-    const std::size_t open = skip_ws(f.code, p + 6);
-    if (open < f.code.size() && f.code[open] == '(') {
-      const std::size_t close = match_paren(f.code, open);
-      if (close != std::string::npos) {
-        // Second top-level argument of signal(sig, handler).
-        std::size_t comma = std::string::npos;
-        int depth = 0;
-        for (std::size_t i = open + 1; i + 1 < close; ++i) {
-          const char c = f.code[i];
-          if (c == '(') ++depth;
-          if (c == ')') --depth;
-          if (c == ',' && depth == 0) {
-            comma = i;
-            break;
-          }
-        }
-        if (comma != std::string::npos) {
-          const std::string name = handler_root_of(
-              f.code.substr(comma + 1, (close - 1) - (comma + 1)));
-          if (!name.empty()) roots.insert(name);
-        }
-      }
-    }
-    p = find_word(f.code, "signal", p + 1);
-  }
-  return roots;
-}
-
-/// Reports non-async-signal-safe constructs inside [begin, end) of
-/// f.code, attributing each to the handler root it is reachable from.
-void scan_handler_range(const SourceFile& f, const std::string& root,
-                        std::size_t begin, std::size_t end,
-                        std::vector<Finding>& out) {
-  // Functions POSIX does not list as async-signal-safe that this codebase
-  // could plausibly reach: the malloc family, stdio, and exit. raise,
-  // signal and siglongjmp are deliberately absent - they are the
-  // sanctioned handler vocabulary (see common/guard.cpp).
-  static const char* kBannedCalls[] = {
-      "malloc", "calloc",   "realloc",   "free",   "printf",
-      "fprintf", "sprintf", "snprintf",  "vsnprintf", "puts",
-      "fputs",  "fwrite",   "fflush",    "fopen",  "fclose",
-      "exit",   "lock",     "unlock",    "try_lock"};
-  for (const char* fn : kBannedCalls) {
-    std::size_t p = find_word(f.code, fn, begin);
-    while (p != std::string::npos && p < end) {
-      const std::size_t after = skip_ws(f.code, p + std::strlen(fn));
-      if (after < end && f.code[after] == '(') {
-        out.push_back(
-            {f.path, line_of(f, p), "signal-handler-safety",
-             std::string("call to ") + fn +
-                 "() is not async-signal-safe but is reachable from "
-                 "signal handler '" +
-                 root +
-                 "': handlers may only use sig_atomic_t stores, "
-                 "siglongjmp and re-raise"});
-      }
-      p = find_word(f.code, fn, p + 1);
-    }
-  }
-  // Keywords that allocate or unwind, and locking primitives whose mere
-  // presence (RAII construction) can self-deadlock under a handler.
-  static const char* kBannedWords[] = {"new",         "delete",
-                                       "throw",       "lock_guard",
-                                       "unique_lock", "MutexLock",
-                                       "Mutex",       "mutex"};
-  for (const char* w : kBannedWords) {
-    std::size_t p = find_word(f.code, w, begin);
-    while (p != std::string::npos && p < end) {
-      out.push_back(
-          {f.path, line_of(f, p), "signal-handler-safety",
-           std::string("'") + w +
-               "' allocates, unwinds or locks inside code reachable "
-               "from signal handler '" +
-               root + "': handlers must stay async-signal-safe"});
-      p = find_word(f.code, w, p + 1);
-    }
-  }
-}
-
-void rule_signal_handler_safety(const SourceFile& f,
-                                std::vector<Finding>& out) {
-  const std::set<std::string> roots = handler_roots(f);
-  if (roots.empty()) return;
-  static const std::set<std::string> kNotCallees = {
-      "if",     "while",  "for", "switch", "return",
-      "sizeof", "new",    "delete", "throw"};
-  std::set<std::size_t> visited;  // body offsets already scanned
-  for (const std::string& root : roots) {
-    const BodyRange body = local_definition_range(f, root);
-    if (!body.found()) continue;
-    if (visited.insert(body.begin).second)
-      scan_handler_range(f, root, body.begin, body.end, out);
-    // One level of same-file callee expansion: a helper the handler calls
-    // is handler code too (deeper chains are out of lexical reach).
-    std::size_t cp = body.begin;
-    while (cp < body.end) {
-      if (is_ident(f.code[cp]) && (cp == 0 || !is_ident(f.code[cp - 1]))) {
-        std::size_t ce = cp;
-        while (ce < body.end && is_ident(f.code[ce])) ++ce;
-        const std::string callee = f.code.substr(cp, ce - cp);
-        const std::size_t paren = skip_ws(f.code, ce);
-        if (paren < body.end && f.code[paren] == '(' && callee != root &&
-            kNotCallees.count(callee) == 0) {
-          const BodyRange cb = local_definition_range(f, callee);
-          if (cb.found() && cb.begin != body.begin &&
-              visited.insert(cb.begin).second)
-            scan_handler_range(f, root, cb.begin, cb.end, out);
-        }
-        cp = ce;
-      } else {
-        ++cp;
-      }
-    }
-  }
-}
-
-/// True when the whole-word token ending at (exclusive) `end` is `word`.
-bool word_ends_at(const std::string& code, std::size_t end,
-                  const char* word) {
-  const std::size_t len = std::strlen(word);
-  if (end < len) return false;
-  const std::size_t start = end - len;
-  if (code.compare(start, len, word) != 0) return false;
-  return start == 0 || !is_ident(code[start - 1]);
-}
-
-void rule_unbounded_wait(const SourceFile& f, std::vector<Finding>& out) {
-  std::size_t p = find_word(f.code, "wait", 0);
-  while (p != std::string::npos) {
-    const std::size_t at = p;
-    p = find_word(f.code, "wait", p + 1);
-    // Member-call context only: `.wait(` or `->wait(`.
-    const bool member =
-        (at >= 1 && f.code[at - 1] == '.') ||
-        (at >= 2 && f.code[at - 2] == '-' && f.code[at - 1] == '>');
-    if (!member) continue;
-    const std::size_t open = skip_ws(f.code, at + 4);
-    if (open >= f.code.size() || f.code[open] != '(') continue;
-    const std::size_t close = match_paren(f.code, open);
-    if (close == std::string::npos) continue;
-    // Arity: a second top-level argument is a predicate - that form
-    // re-checks its condition internally and is always safe.
-    int depth = 0;
-    int commas = 0;
-    bool any_arg = false;
-    for (std::size_t q = open + 1; q + 1 < close; ++q) {
-      const char c = f.code[q];
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      if (c == ')' || c == ']' || c == '}') --depth;
-      if (depth == 0 && c == ',') ++commas;
-      if (!std::isspace(static_cast<unsigned char>(c))) any_arg = true;
-    }
-    if (!any_arg || commas > 0) continue;
-    // Receiver: the immediate identifier before `.wait` must contain
-    // "cv" (this repo's condition-variable naming convention), so
-    // future.wait()-style calls on unrelated types stay out of scope.
-    std::size_t recv_end = at - 1;  // at the '.' (or '>')
-    if (f.code[recv_end] == '>') --recv_end;  // `->`: skip to the '-'
-    std::size_t ident_end = recv_end;
-    std::size_t ident_start = ident_end;
-    while (ident_start > 0 && is_ident(f.code[ident_start - 1]))
-      --ident_start;
-    const std::string ident =
-        f.code.substr(ident_start, ident_end - ident_start);
-    if (ident.find("cv") == std::string::npos) continue;
-    // Walk to the start of the full receiver expression
-    // (`impl_->space_cv`, `r.cv`) so the while-check looks before it.
-    std::size_t expr_start = ident_start;
-    while (expr_start > 0) {
-      const char c = f.code[expr_start - 1];
-      if (is_ident(c) || c == '.' || c == ':') {
-        --expr_start;
-      } else if (c == '>' && expr_start >= 2 &&
-                 f.code[expr_start - 2] == '-') {
-        expr_start -= 2;
-      } else {
-        break;
-      }
-    }
-    // Allowed form: the wait is the direct statement of a while loop -
-    // the previous token is the `)` closing a `while (...)` condition.
-    std::size_t before = expr_start;
-    while (before > 0 &&
-           std::isspace(static_cast<unsigned char>(f.code[before - 1])))
-      --before;
-    bool guarded = false;
-    if (before > 0 && f.code[before - 1] == ')') {
-      int bdepth = 0;
-      std::size_t q = before - 1;
-      for (;;) {
-        if (f.code[q] == ')') ++bdepth;
-        if (f.code[q] == '(' && --bdepth == 0) break;
-        if (q == 0) break;
-        --q;
-      }
-      if (bdepth == 0) {
-        std::size_t w = q;
-        while (w > 0 &&
-               std::isspace(static_cast<unsigned char>(f.code[w - 1])))
-          --w;
-        guarded = word_ends_at(f.code, w, "while");
-      }
-    }
-    if (guarded) continue;
-    out.push_back(
-        {f.path, line_of(f, at), "unbounded-wait",
-         "bare condition-variable wait on '" + ident +
-             "' outside a `while (pred)` loop - a missed or spurious "
-             "notify hangs it forever; guard it with the predicate "
-             "loop or use a deadline form (wait_for/wait_until)"});
-  }
-}
-
-void rule_unchecked_io(const SourceFile& f, std::vector<Finding>& out) {
-  static const char* kFns[] = {"fread", "fwrite", "rename", "fsync",
-                               "fclose"};
-  for (const char* fn : kFns) {
-    std::size_t p = find_word(f.code, fn, 0);
-    while (p != std::string::npos) {
-      const std::size_t at = p;
-      p = find_word(f.code, fn, at + 1);
-      const std::size_t open = skip_ws(f.code, at + std::strlen(fn));
-      if (open >= f.code.size() || f.code[open] != '(') continue;
-      // Member calls (`file.rename(`) are repo types, not libc.
-      if ((at >= 1 && f.code[at - 1] == '.') ||
-          (at >= 2 && f.code[at - 2] == '-' && f.code[at - 1] == '>'))
-        continue;
-      // Skip a std:: or global :: qualifier; any other qualifier
-      // (`fs::rename`, `Io::fsync`) is a repo-defined name.
-      std::size_t start = at;
-      if (start >= 2 && f.code[start - 2] == ':' &&
-          f.code[start - 1] == ':') {
-        const std::size_t qe = start - 2;
-        std::size_t qs = qe;
-        while (qs > 0 && is_ident(f.code[qs - 1])) --qs;
-        const std::string qual = f.code.substr(qs, qe - qs);
-        if (!qual.empty() && qual != "std") continue;
-        start = qs;
-      }
-      // The significant token before the call decides whether the
-      // result is consumed.
-      std::size_t b = start;
-      while (b > 0 &&
-             std::isspace(static_cast<unsigned char>(f.code[b - 1])))
-        --b;
-      bool unchecked = false;
-      if (b == 0) {
-        unchecked = true;  // call is the first token of the file
-      } else if (const char c = f.code[b - 1];
-                 c == ';' || c == '{' || c == '}') {
-        unchecked = true;  // bare statement: result dropped on the floor
-      } else if (c == ')') {
-        // Preceded by a close paren: either a cast (only `(void)` is a
-        // sanctioned deliberate discard) or an unparenthesized
-        // `if (...) fclose(f);` body - both discard unless (void).
-        int depth = 0;
-        std::size_t q = b - 1;
-        for (;;) {
-          if (f.code[q] == ')') ++depth;
-          if (f.code[q] == '(' && --depth == 0) break;
-          if (q == 0) break;
-          --q;
-        }
-        std::string norm;
-        for (std::size_t i = q; i < b; ++i)
-          if (!std::isspace(static_cast<unsigned char>(f.code[i])))
-            norm += f.code[i];
-        unchecked = (norm != "(void)");
-      } else if (is_ident(c)) {
-        // `return fclose(f)` consumes the result; `else fclose(f);`
-        // and `do fclose(f);` do not.
-        std::size_t ws = b;
-        while (ws > 0 && is_ident(f.code[ws - 1])) --ws;
-        const std::string word = f.code.substr(ws, b - ws);
-        unchecked = (word == "else" || word == "do");
-      }
-      // Everything else (`=`, `(`, `!`, `,`, comparison, `&&`, `||`,
-      // `?`, `:`) feeds the result into an expression: checked.
-      if (unchecked) {
-        out.push_back(
-            {f.path, line_of(f, at), "unchecked-io",
-             std::string(fn) +
-                 "() result is discarded - the return value is the only "
-                 "error signal this I/O call has; check it (route file "
-                 "I/O through a checked helper) or cast to (void) as a "
-                 "deliberate, visible discard"});
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-const std::set<std::string>& all_rules() {
-  static const std::set<std::string> kRules = {
-      "atomic-memory-order",   "raw-alloc",
-      "env-access",            "fault-site-documented",
-      "nondeterminism",        "capi-exception-boundary",
-      "signal-handler-safety", "unbounded-wait",
-      "unchecked-io"};
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "atomic-memory-order",   "atomic-pairing",
+      "capi-exception-boundary", "env-access",
+      "fault-site-documented", "lock-order",
+      "nondeterminism",        "raw-alloc",
+      "registry-drift",        "signal-handler-safety",
+      "unbounded-wait",        "unchecked-io"};
   return kRules;
 }
 
@@ -966,10 +90,14 @@ std::string json_escape(const std::string& s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;
@@ -985,10 +113,44 @@ bool scannable(const fs::path& p) {
          ext == ".c";
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Loads a drift artifact: a regular file is read whole; a directory
+/// (the tests input) is the concatenation of every scannable file in it.
+bool read_artifact(const std::string& path, std::string& out) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<std::string> parts;
+    for (auto it = fs::recursive_directory_iterator(path, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it)
+      if (it->is_regular_file() && scannable(it->path()))
+        parts.push_back(it->path().string());
+    std::sort(parts.begin(), parts.end());
+    out.clear();
+    for (const std::string& part : parts) {
+      std::string text;
+      if (read_file(part, text)) {
+        out += text;
+        out += '\n';
+      }
+    }
+    return !parts.empty();
+  }
+  return read_file(path, out);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: shalom_lint [--format=text|json] [--design=PATH] "
-               "[--list-rules] <file-or-dir>...\n");
+               "[--api=PATH] [--tests=PATH] [--tier1=PATH] [--list-rules] "
+               "[--selftest-json] <file-or-dir>...\n");
   return 2;
 }
 
@@ -997,6 +159,11 @@ int usage() {
 int main(int argc, char** argv) {
   std::string format = "text";
   std::string design_path = "DESIGN.md";
+  DriftInputs drift;
+  drift.api_path = "API.md";
+  drift.tests_path = "tests";
+  drift.tier1_path = "scripts/tier1.sh";
+  bool selftest_json = false;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -1006,6 +173,14 @@ int main(int argc, char** argv) {
       if (format != "text" && format != "json") return usage();
     } else if (arg.rfind("--design=", 0) == 0) {
       design_path = arg.substr(9);
+    } else if (arg.rfind("--api=", 0) == 0) {
+      drift.api_path = arg.substr(6);
+    } else if (arg.rfind("--tests=", 0) == 0) {
+      drift.tests_path = arg.substr(8);
+    } else if (arg.rfind("--tier1=", 0) == 0) {
+      drift.tier1_path = arg.substr(8);
+    } else if (arg == "--selftest-json") {
+      selftest_json = true;
     } else if (arg == "--list-rules") {
       for (const std::string& r : all_rules()) std::printf("%s\n", r.c_str());
       return 0;
@@ -1015,7 +190,7 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (inputs.empty()) return usage();
+  if (inputs.empty() && !selftest_json) return usage();
 
   std::vector<std::string> files;
   for (const std::string& in : inputs) {
@@ -1033,44 +208,60 @@ int main(int argc, char** argv) {
     }
   }
   std::sort(files.begin(), files.end());
-
-  std::string design_text;
-  {
-    std::ifstream d(design_path);
-    if (d) {
-      std::ostringstream ss;
-      ss << d.rdbuf();
-      design_text = ss.str();
-    }
+  if (files.empty() && !inputs.empty()) {
+    // An input set that expands to nothing must fail loudly: a mistyped
+    // directory would otherwise pass every gate with a silent no-op scan.
+    std::fprintf(stderr,
+                 "shalom_lint: no scannable files under the given inputs\n");
+    return 2;
   }
 
-  std::vector<Finding> findings;
+  std::string design_text;
+  read_file(design_path, design_text);
+  drift.design_path = design_path;
+  drift.design_text = design_text;
+  drift.design_ok = !design_text.empty();
+  drift.api_ok = read_artifact(drift.api_path, drift.api_text);
+  drift.tests_ok = read_artifact(drift.tests_path, drift.tests_text);
+  drift.tier1_ok = read_artifact(drift.tier1_path, drift.tier1_text);
+
+  Program program;
+  std::vector<Finding> raw;
   for (const std::string& path : files) {
     SourceFile f;
     f.path = path;
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    if (!read_file(path, f.text)) {
       std::fprintf(stderr, "shalom_lint: cannot read '%s'\n", path.c_str());
       return 2;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    f.text = ss.str();
-    scan_file(f);
+    shalom_lint::scan_file(f);
+    shalom_lint::run_file_rules(f, design_text, design_path, raw);
+    program.files.push_back(std::move(f));
+  }
+  shalom_lint::extract_program(program);
+  shalom_lint::rule_lock_order(program, raw);
+  shalom_lint::rule_atomic_pairing(program, raw);
+  shalom_lint::rule_registry_drift(program, drift, raw);
 
-    std::vector<Finding> file_findings;
-    rule_atomic_memory_order(f, file_findings);
-    rule_raw_alloc(f, file_findings);
-    rule_env_access(f, file_findings);
-    rule_fault_site_documented(f, design_text, design_path, file_findings);
-    rule_nondeterminism(f, file_findings);
-    rule_capi_exception_boundary(f, file_findings);
-    rule_signal_handler_safety(f, file_findings);
-    rule_unbounded_wait(f, file_findings);
-    rule_unchecked_io(f, file_findings);
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : program.files) by_path[f.path] = &f;
 
-    for (Finding& fnd : file_findings)
-      if (!suppressed(f, fnd)) findings.push_back(std::move(fnd));
+  std::vector<Finding> findings;
+  for (Finding& fnd : raw) {
+    auto it = by_path.find(fnd.file);
+    if (it != by_path.end() && suppressed(*it->second, fnd)) continue;
+    findings.push_back(std::move(fnd));
+  }
+
+  if (selftest_json) {
+    // Synthetic finding whose fields exercise every JSON escape class;
+    // the regression test round-trips it through --format=json.
+    Finding probe;
+    probe.file = "self\"test\\dir/probe\t.cpp";
+    probe.line = 1;
+    probe.rule = "selftest-json";
+    probe.message = "quote:\" backslash:\\ newline:\n control:\x01 end";
+    findings.push_back(std::move(probe));
   }
 
   std::sort(findings.begin(), findings.end(),
@@ -1095,8 +286,17 @@ int main(int argc, char** argv) {
     for (const Finding& fnd : findings)
       std::printf("%s:%d: [%s] %s\n", fnd.file.c_str(), fnd.line,
                   fnd.rule.c_str(), fnd.message.c_str());
-    if (!findings.empty())
-      std::fprintf(stderr, "shalom_lint: %zu finding(s)\n", findings.size());
   }
+
+  // Summary (stderr, both formats): the scanned-file count proves the
+  // gate actually covered something, and per-rule counts show CI logs
+  // which family fired.
+  std::map<std::string, int> per_rule;
+  for (const Finding& fnd : findings) ++per_rule[fnd.rule];
+  std::string counts;
+  for (const auto& pr : per_rule)
+    counts += " " + pr.first + "=" + std::to_string(pr.second);
+  std::fprintf(stderr, "shalom_lint: scanned %zu file(s); %zu finding(s)%s\n",
+               files.size(), findings.size(), counts.c_str());
   return findings.empty() ? 0 : 1;
 }
