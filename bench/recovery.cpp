@@ -1,0 +1,248 @@
+// Recovery benchmark (PR 10): the price of a degradation round-trip.
+//
+// The self-healing layer exists so a transient fault costs a dip, not a
+// permanently slower process. This bench measures exactly that contract
+// on the steady-state serving regime (the warm-small mix from
+// bench/srv_mix.cpp) and emits machine-readable JSON (scripts/bench.sh
+// captures it into BENCH_10.json):
+//
+//   baseline  - 4 closed-loop clients over warm small shapes, healthy.
+//   faulted   - the same load with the hot FP32 kernel families
+//               quarantined (cause: injected): dispatch re-routes to the
+//               verified fallback, throughput dips.
+//   recovered - the same load again after health::recover_now() walks
+//               every quarantined family through clean probation.
+//
+// restoration_ratio = recovered_gflops / baseline_gflops is the headline
+// number; scripts/bench.sh gates it at >= 0.9 (a healed process must
+// serve within 10% of one that never faulted). A second loop measures
+// time-to-recover: repeated single-family quarantines, each timed from
+// injection to health::all_healthy(), reported as p50/p95/p99 - the
+// probation probes themselves are the cost, so this is microseconds, not
+// the cool-down wait (recover_now() expires cool-downs first, exactly
+// like an operator forcing recovery).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util/runner.h"
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/health.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/selfcheck.h"
+#include "core/engine.h"
+#include "core/shalom.h"
+
+namespace {
+
+using namespace shalom;
+
+struct Shape {
+  index_t m, n, k;
+};
+
+double percentile(std::vector<double>& sorted_in_place, double q) {
+  if (sorted_in_place.empty()) return 0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const double pos = q * static_cast<double>(sorted_in_place.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_in_place.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_in_place[lo] * (1 - frac) + sorted_in_place[hi] * frac;
+}
+
+/// Per-client operand pool, one problem per shape (the server regime:
+/// many products over resident operands).
+struct Operands {
+  std::vector<Matrix<float>> a, b, c;
+  explicit Operands(const std::vector<Shape>& shapes, int seed) {
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      a.emplace_back(shapes[i].m, shapes[i].k);
+      b.emplace_back(shapes[i].k, shapes[i].n);
+      c.emplace_back(shapes[i].m, shapes[i].n);
+      fill_random(a.back(), seed + static_cast<int>(3 * i));
+      fill_random(b.back(), seed + static_cast<int>(3 * i) + 1);
+      fill_random(c.back(), seed + static_cast<int>(3 * i) + 2);
+    }
+  }
+};
+
+struct Phase {
+  double seconds = 0;
+  double gflops = 0;
+  std::uint64_t ok = 0, degraded = 0, failed = 0;
+};
+
+/// One client's closed loop: submit, wait, repeat.
+void client_loop(engine::GemmStream& stream, const std::vector<Shape>& shapes,
+                 Operands& ops, int reqs, double& flops_done,
+                 std::uint64_t& ok, std::uint64_t& degraded,
+                 std::uint64_t& failed) {
+  for (int i = 0; i < reqs; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i) % shapes.size();
+    const Shape& s = shapes[si];
+    int status = SHALOM_ERR_REJECTED;
+    try {
+      status = stream
+                   .submit<float>(Mode{Trans::N, Trans::N}, s.m, s.n, s.k,
+                                  1.0f, ops.a[si].data(), ops.a[si].ld(),
+                                  ops.b[si].data(), ops.b[si].ld(), 0.0f,
+                                  ops.c[si].data(), ops.c[si].ld())
+                   ->wait();
+    } catch (const std::exception&) {
+      status = SHALOM_ERR_REJECTED;
+    }
+    if (status == SHALOM_OK || status == SHALOM_DEGRADED) {
+      (status == SHALOM_OK ? ok : degraded) += 1;
+      flops_done += 2.0 * s.m * s.n * s.k;
+    } else {
+      failed += 1;
+    }
+  }
+}
+
+/// The warm-small serving mix: 4 closed-loop clients on a shared stream,
+/// one untimed warm pass, then `reqs` requests each, timed.
+Phase run_warm_small(int scale) {
+  const std::vector<Shape> shapes = {{16, 16, 16}, {24, 24, 24}, {32, 32, 32}};
+  constexpr int kClients = 4;
+  const int reqs = 60 * scale;
+  std::vector<Operands> ops;
+  for (int c = 0; c < kClients; ++c) ops.emplace_back(shapes, 1001 + c);
+  engine::GemmStream stream;
+  Phase r;
+  {
+    double warm_flops = 0;
+    std::uint64_t w0 = 0, w1 = 0, w2 = 0;
+    for (int c = 0; c < kClients; ++c)
+      client_loop(stream, shapes, ops[static_cast<std::size_t>(c)],
+                  static_cast<int>(shapes.size()), warm_flops, w0, w1, w2);
+  }
+  std::vector<double> flops(kClients, 0);
+  std::vector<std::uint64_t> ok(kClients, 0), degraded(kClients, 0),
+      failed(kClients, 0);
+  bench::Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      client_loop(stream, shapes, ops[ci], reqs, flops[ci], ok[ci],
+                  degraded[ci], failed[ci]);
+    });
+  for (auto& t : clients) t.join();
+  r.seconds = timer.elapsed_s();
+  stream.flush();
+  double total_flops = 0;
+  for (int c = 0; c < kClients; ++c) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    total_flops += flops[ci];
+    r.ok += ok[ci];
+    r.degraded += degraded[ci];
+    r.failed += failed[ci];
+  }
+  r.gflops = r.seconds > 0 ? total_flops / r.seconds * 1e-9 : 0;
+  return r;
+}
+
+/// The kernel families the warm-small FP32 mix actually dispatches to;
+/// quarantining these forces the fallback path.
+const selfcheck::Variant kHotFamilies[] = {
+    selfcheck::Variant::kMainF32DirectDirect,
+    selfcheck::Variant::kMainF32DirectPacked,
+    selfcheck::Variant::kMainF32PackedDirect,
+    selfcheck::Variant::kMainF32PackedPacked,
+    selfcheck::Variant::kEdgeF32PackedPacked,
+    selfcheck::Variant::kFusedNnF32,
+    selfcheck::Variant::kWide128,
+    selfcheck::Variant::kWide256,
+    selfcheck::Variant::kWide512,
+};
+
+/// Forces full recovery the way an operator would: recover_now() expires
+/// cool-downs and runs every registered hook until the registry is clean.
+/// Returns false if the registry did not converge (bounded, never spins).
+bool heal() {
+  for (int i = 0; i < 64; ++i) {
+    if (health::all_healthy()) return true;
+    (void)health::recover_now();
+  }
+  return health::all_healthy();
+}
+
+void emit_phase(const char* name, const Phase& p, const char* trailing) {
+  std::printf(
+      "    \"%s\": {\"seconds\": %.6f, \"gflops\": %.4f, \"ok\": %llu, "
+      "\"degraded\": %llu, \"failed\": %llu}%s\n",
+      name, p.seconds, p.gflops, static_cast<unsigned long long>(p.ok),
+      static_cast<unsigned long long>(p.degraded),
+      static_cast<unsigned long long>(p.failed), trailing);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = shalom::bench::BenchOptions::parse(argc, argv);
+  const int scale = opt.full ? 4 : 1;
+  if (!health::recovery_enabled()) {
+    std::fprintf(stderr,
+                 "recovery: self-healing is disabled in this environment "
+                 "(recovery window is 0); nothing to measure\n");
+    return 1;
+  }
+  robustness_stats_reset();
+
+  const Phase baseline = run_warm_small(scale);
+
+  for (selfcheck::Variant v : kHotFamilies)
+    selfcheck::quarantine(v, health::Cause::kInjected);
+  const Phase faulted = run_warm_small(scale);
+
+  if (!heal()) {
+    std::fprintf(stderr, "recovery: registry did not converge to HEALTHY\n");
+    return 1;
+  }
+  const Phase recovered = run_warm_small(scale);
+  const double ratio =
+      baseline.gflops > 0 ? recovered.gflops / baseline.gflops : 0;
+
+  // Time-to-recover: single-family quarantines, timed from injection to
+  // an all-HEALTHY registry (probation probes are the cost measured).
+  const int trials = 20 * scale;
+  std::vector<double> ttr_us;
+  ttr_us.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const selfcheck::Variant v =
+        kHotFamilies[static_cast<std::size_t>(t) %
+                     (sizeof(kHotFamilies) / sizeof(kHotFamilies[0]))];
+    selfcheck::quarantine(v, health::Cause::kInjected);
+    bench::Timer timer;
+    if (!heal()) {
+      std::fprintf(stderr, "recovery: trial %d did not converge\n", t);
+      return 1;
+    }
+    ttr_us.push_back(timer.elapsed_s() * 1e6);
+  }
+  const RobustnessStats stats = robustness_stats();
+
+  std::printf("{\n  \"bench\": \"recovery\",\n  \"phases\": {\n");
+  emit_phase("baseline", baseline, ",");
+  emit_phase("faulted", faulted, ",");
+  emit_phase("recovered", recovered, "");
+  std::printf("  },\n");
+  std::printf("  \"restoration_ratio\": %.4f,\n", ratio);
+  std::printf(
+      "  \"recovery\": {\"trials\": %d, \"recoveries\": %llu, "
+      "\"probation_probes\": %llu, \"ttr_p50_us\": %.1f, "
+      "\"ttr_p95_us\": %.1f, \"ttr_p99_us\": %.1f}\n",
+      trials, static_cast<unsigned long long>(stats.recoveries),
+      static_cast<unsigned long long>(stats.probation_probes),
+      percentile(ttr_us, 0.50), percentile(ttr_us, 0.95),
+      percentile(ttr_us, 0.99));
+  std::printf("}\n");
+  return 0;
+}

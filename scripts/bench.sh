@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Benchmark driver (PR 8): builds the bench binaries and runs the pinned
-# serving matrix - the PR 7 server-mix scenarios (bench/srv_mix.cpp) plus
-# the PR 8 warm-restart comparison (bench/warm_restart.cpp, cold vs
-# tuned-table-preseeded start) - merging both JSON documents into
-# BENCH_8.json in the repo root.
+# Benchmark driver (PR 10): builds the bench binaries and runs the pinned
+# serving matrix - the PR 7 server-mix scenarios (bench/srv_mix.cpp), the
+# PR 8 warm-restart comparison (bench/warm_restart.cpp, cold vs
+# tuned-table-preseeded start) and the PR 10 recovery round-trip
+# (bench/recovery.cpp, baseline vs faulted vs healed throughput plus
+# time-to-recover percentiles) - merging the JSON documents into
+# BENCH_10.json in the repo root.
 #
-# Gates: all pinned scenario names present, and the preseeded restart's
+# Gates: all pinned scenario names present; the preseeded restart's
 # first-request latency strictly below the cold restart's (the tuned
-# table must actually buy the warm start it exists for).
+# table must actually buy the warm start it exists for); the recovery
+# restoration ratio at least 0.9 with at least one recovery observed (a
+# healed process must serve within 10% of one that never faulted, and
+# the healing path must actually have run).
 #
 # Usage: scripts/bench.sh [--full]
 #   --full  paper-scale request counts (4x); default is a quick pass.
@@ -21,19 +26,22 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 cmake -B build -S .
-cmake --build build -j "${JOBS}" --target srv_mix warm_restart
+cmake --build build -j "${JOBS}" --target srv_mix warm_restart recovery
 
-OUT=BENCH_8.json
+OUT=BENCH_10.json
 SRV_JSON=$(./build/bench/srv_mix ${FULL_FLAG})
 RESTART_JSON=$(./build/bench/warm_restart ${FULL_FLAG})
+RECOVERY_JSON=$(./build/bench/recovery ${FULL_FLAG})
 
 {
   echo '{'
-  echo '  "bench": "pr8",'
+  echo '  "bench": "pr10",'
   echo '  "srv_mix":'
   printf '%s,\n' "${SRV_JSON}" | sed 's/^/  /'
   echo '  "warm_restart":'
-  printf '%s\n' "${RESTART_JSON}" | sed 's/^/  /'
+  printf '%s,\n' "${RESTART_JSON}" | sed 's/^/  /'
+  echo '  "recovery":'
+  printf '%s\n' "${RECOVERY_JSON}" | sed 's/^/  /'
   echo '}'
 } > "${OUT}"
 
@@ -45,6 +53,10 @@ for scenario in warm_small_8clients cold_irregular_burst \
     exit 1
   }
 done
+grep -q '"bench": "recovery"' "${OUT}" || {
+  echo "bench.sh: recovery section missing from ${OUT}" >&2
+  exit 1
+}
 
 # Acceptance gate: pre-seeded first-request latency strictly below cold.
 cold_us=$(grep '"name": "cold_start"' "${OUT}" |
@@ -61,6 +73,28 @@ awk -v c="${cold_us}" -v w="${warm_us}" 'BEGIN { exit !(w < c) }' || {
   exit 1
 }
 echo "bench.sh: warm-restart gate OK (preseeded ${warm_us}us < cold ${cold_us}us)"
+
+# Acceptance gate (PR 10): recovered throughput within 10% of the
+# never-faulted baseline, and the healing path actually ran.
+ratio=$(grep '"restoration_ratio"' "${OUT}" |
+        sed 's/.*"restoration_ratio": \([0-9.]*\).*/\1/')
+recoveries=$(grep '"trials"' "${OUT}" |
+             sed 's/.*"recoveries": \([0-9]*\).*/\1/')
+if [[ -z "${ratio}" || -z "${recoveries}" ]]; then
+  echo "bench.sh: could not extract recovery metrics from ${OUT}" >&2
+  exit 1
+fi
+awk -v r="${ratio}" 'BEGIN { exit !(r >= 0.9) }' || {
+  echo "bench.sh: restoration ratio ${ratio} is below the 0.9 gate:" \
+       "a healed process must serve within 10% of baseline" >&2
+  exit 1
+}
+awk -v n="${recoveries}" 'BEGIN { exit !(n > 0) }' || {
+  echo "bench.sh: no recoveries observed: the healing path never ran" >&2
+  exit 1
+}
+echo "bench.sh: recovery gate OK (restoration ratio ${ratio}," \
+     "${recoveries} recoveries)"
 
 echo "bench.sh: wrote ${OUT}"
 cat "${OUT}"

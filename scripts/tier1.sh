@@ -6,10 +6,10 @@
 # the labels where each earns its keep: ASan/UBSan over fault-injection,
 # stress, differential-fuzz and the tuned-table corruption battery
 # (allocator edge cases, cross-thread teardown, kernel-boundary
-# arithmetic, file parsing of attacker-shaped bytes), TSan over stress
-# and the
-# concurrency-engine battery (overlapping work-stealing rounds, sharded
-# plan-cache races, async stream submission).
+# arithmetic, file parsing of attacker-shaped bytes), TSan over stress,
+# the concurrency-engine battery (overlapping work-stealing rounds,
+# sharded plan-cache races, async stream submission) and the
+# self-healing battery (prober teardown races, registry churn).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -91,6 +91,20 @@ SHALOM_FAULT=table.write:every-2,table.rename:every-3,table.fsync:every-2 \
 SHALOM_FAULT=table.open:fail-after-2,table.read:fail-after-3 \
   ctest --test-dir build --output-on-failure -j "${JOBS}" -L table
 
+echo "=== tier1: recovery chaos (degrade under an ambient storm, then heal) ==="
+# The PR 10 acceptance scenario: serve through an ambient fault storm
+# (kernel probes failing every 3rd evaluation, worker spawns every 4th,
+# submit enqueues every 5th), then disarm and require the process to
+# heal itself completely: robustness_stats().recoveries must go
+# positive, shalom_health_report must end all-HEALTHY, and every result
+# accepted mid-storm or post-heal must match the oracle. The health
+# battery proper (registry state machine, breaker half-open trials,
+# pool respawn, prober lifecycle, env wrappers) runs under -L health in
+# the full suite above; this stage is specifically the storm-then-heal
+# end-to-end pass.
+SHALOM_FAULT=selfcheck.probe:every-3,threadpool.spawn:every-4,submit.queue:every-5 \
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -R RecoveryChaos
+
 echo "=== tier1: ASan build, fault + stress + fuzz labels ==="
 cmake -B build-asan -S . \
       -DSHALOM_SANITIZE=address \
@@ -111,13 +125,14 @@ cmake --build build-ubsan -j "${JOBS}"
 ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" \
       -L 'fault|stress|fuzz|table'
 
-echo "=== tier1: TSan build, stress + engine labels ==="
+echo "=== tier1: TSan build, stress + engine + health labels ==="
 # The data-race hunt for the concurrent-server machinery: overlapping
 # fork-join rounds with stealing, the sharded plan cache under racing
 # inserts, and GemmStream submission from many client threads. These
 # tests must be TSan-clean; the scheduler uses explicit seq_cst atomic
 # operations (never fences) precisely so TSan models every ordering it
-# relies on.
+# relies on. The health label rides along for the recovery layer's
+# races: prober teardown against live submitters and registry churn.
 cmake -B build-tsan -S . \
       -DSHALOM_SANITIZE=thread \
       -DSHALOM_FAULT_INJECTION=ON \
@@ -125,6 +140,6 @@ cmake -B build-tsan -S . \
       -DSHALOM_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-      -L 'stress|engine'
+      -L 'stress|engine|health'
 
 echo "tier1: OK"

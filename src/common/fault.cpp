@@ -31,6 +31,10 @@ std::atomic<std::uint64_t> g_submit_retries{0};
 std::atomic<std::uint64_t> g_breaker_trips{0};
 std::atomic<std::uint64_t> g_table_records_rejected{0};
 std::atomic<std::uint64_t> g_table_load_failures{0};
+std::atomic<std::uint64_t> g_recoveries{0};
+std::atomic<std::uint64_t> g_probation_probes{0};
+std::atomic<std::uint64_t> g_probation_failures{0};
+std::atomic<std::uint64_t> g_breaker_half_opens{0};
 // Reset offset for the injected counters: the per-site counters are
 // monotonic (tests rely on fault::injected), so reset only rebases the
 // aggregate view.
@@ -70,6 +74,12 @@ RobustnessStats robustness_stats() noexcept {
       g_table_records_rejected.load(std::memory_order_relaxed);
   s.table_load_failures =
       g_table_load_failures.load(std::memory_order_relaxed);
+  s.recoveries = g_recoveries.load(std::memory_order_relaxed);
+  s.probation_probes = g_probation_probes.load(std::memory_order_relaxed);
+  s.probation_failures =
+      g_probation_failures.load(std::memory_order_relaxed);
+  s.breaker_half_opens =
+      g_breaker_half_opens.load(std::memory_order_relaxed);
   const std::uint64_t rebase =
       g_injected_rebase.load(std::memory_order_relaxed);
   const std::uint64_t total = injected_sum();
@@ -95,6 +105,10 @@ void robustness_stats_reset() noexcept {
   g_breaker_trips.store(0, std::memory_order_relaxed);
   g_table_records_rejected.store(0, std::memory_order_relaxed);
   g_table_load_failures.store(0, std::memory_order_relaxed);
+  g_recoveries.store(0, std::memory_order_relaxed);
+  g_probation_probes.store(0, std::memory_order_relaxed);
+  g_probation_failures.store(0, std::memory_order_relaxed);
+  g_breaker_half_opens.store(0, std::memory_order_relaxed);
   g_injected_rebase.store(injected_sum(), std::memory_order_relaxed);
 }
 
@@ -154,6 +168,18 @@ void note_table_record_rejected() noexcept {
 }
 void note_table_load_failure() noexcept {
   g_table_load_failures.fetch_add(1, std::memory_order_relaxed);
+}
+void note_recovery() noexcept {
+  g_recoveries.fetch_add(1, std::memory_order_relaxed);
+}
+void note_probation_probe() noexcept {
+  g_probation_probes.fetch_add(1, std::memory_order_relaxed);
+}
+void note_probation_failure() noexcept {
+  g_probation_failures.fetch_add(1, std::memory_order_relaxed);
+}
+void note_breaker_half_open() noexcept {
+  g_breaker_half_opens.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace telemetry
 
@@ -231,6 +257,10 @@ const char* site_name(Site site) noexcept {
       return "table.rename";
     case Site::kTableFsync:
       return "table.fsync";
+    case Site::kHealthProbe:
+      return "health.probe";
+    case Site::kHealthRespawn:
+      return "health.respawn";
   }
   return "unknown";
 }

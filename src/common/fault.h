@@ -70,6 +70,16 @@
 //   table.fsync          the fsync barrier before the commit rename; an
 //                        injected failure aborts the save (a table that
 //                        might not be durable is never renamed in)
+//   health.probe         one recovery probation probe (common/health.h);
+//                        an injected failure makes the probe report the
+//                        component as still unhealthy, so the probation
+//                        streak resets and the cool-down doubles - the
+//                        component stays degraded, never corrupts
+//   health.respawn       a degraded thread pool's worker re-spawn attempt
+//                        during recovery; an injected failure keeps the
+//                        pool at its narrowed width until the next
+//                        cool-down elapses (recovery itself degrades
+//                        gracefully back to the latched state)
 //
 // The telemetry half (RobustnessStats) is always compiled: the degradation
 // paths are real production behaviour - injection is only one way to reach
@@ -155,6 +165,21 @@ struct RobustnessStats {
   /// version-skewed/fingerprint-skewed files at load (degrades to a cold
   /// start) and aborted atomic saves (previous table left intact).
   std::uint64_t table_load_failures = 0;
+  /// Degraded components restored to full service by the recovery layer
+  /// (common/health.h): an un-quarantined kernel variant, a re-expanded
+  /// thread pool, or a circuit breaker closed after a clean half-open
+  /// trial streak.
+  std::uint64_t recoveries = 0;
+  /// Probation probes attempted by the recovery layer (active Prober
+  /// ticks plus passive on-path cool-down checks), successful or not.
+  std::uint64_t probation_probes = 0;
+  /// Probation probes that failed: the component re-latches into its
+  /// degraded state and its recovery cool-down doubles.
+  std::uint64_t probation_failures = 0;
+  /// Latched circuit breakers that entered the half-open trial state
+  /// after their cool-down elapsed (core/engine.h); each trial streak
+  /// ends in either a recovery or a probation failure.
+  std::uint64_t breaker_half_opens = 0;
 };
 
 RobustnessStats robustness_stats() noexcept;
@@ -181,6 +206,10 @@ void note_submit_retry() noexcept;
 void note_breaker_trip() noexcept;
 void note_table_record_rejected() noexcept;
 void note_table_load_failure() noexcept;
+void note_recovery() noexcept;
+void note_probation_probe() noexcept;
+void note_probation_failure() noexcept;
+void note_breaker_half_open() noexcept;
 }  // namespace telemetry
 
 // ---------------------------------------------------------------------------
@@ -209,8 +238,10 @@ enum class Site : int {
   kTableWrite = 14,
   kTableRename = 15,
   kTableFsync = 16,
+  kHealthProbe = 17,
+  kHealthRespawn = 18,
 };
-inline constexpr int kSiteCount = 17;
+inline constexpr int kSiteCount = 19;
 
 /// Trigger modes (see the header comment for semantics).
 enum class Mode : std::uint32_t {

@@ -1,0 +1,398 @@
+#include "common/health.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/thread_annotations.h"
+
+namespace shalom {
+namespace health {
+
+namespace {
+
+/// Hard cap on the exponential backoff: 64x the base cool-down. A
+/// component that keeps failing probation converges to one probe per
+/// capped window instead of doubling without bound (which would turn a
+/// recoverable fault into a de-facto permanent latch).
+constexpr std::uint64_t kBackoffCapFactor = 64;
+
+/// One registry row. All fields are lock-free atomics with explicit
+/// memory orders (outside the capability annotations of
+/// common/thread_annotations.h, same discipline as the fault-site table):
+/// `state` transitions use acq_rel CAS so the cause/backoff written
+/// before a transition are visible to whoever observes the new state;
+/// the scalar bookkeeping fields are relaxed (statistics and deadlines,
+/// tolerant of benign races by design).
+struct Slot {
+  std::atomic<int> state{static_cast<int>(State::kHealthy)};
+  std::atomic<int> cause{static_cast<int>(Cause::kNone)};
+  std::atomic<std::uint64_t> backoff_ms{0};
+  std::atomic<std::uint64_t> deadline_ms{0};
+  std::atomic<RecoverHook> hook{nullptr};
+};
+
+Slot g_slots[kComponentCount];
+
+Slot& slot(Component c) noexcept { return g_slots[static_cast<int>(c)]; }
+
+std::uint64_t base_backoff_ms() noexcept {
+  const long ms = env_recovery_ms();
+  return ms > 0 ? static_cast<std::uint64_t>(ms) : 0;
+}
+
+}  // namespace
+
+const char* component_name(Component c) noexcept {
+  switch (c) {
+    case Component::kKernels:
+      return "kernels";
+    case Component::kThreadPool:
+      return "threadpool";
+    case Component::kStreamBreaker:
+      return "stream_breaker";
+    case Component::kPlanCache:
+      return "plan_cache";
+    case Component::kTunedTable:
+      return "tuned_table";
+  }
+  return "unknown";
+}
+
+const char* state_name(State s) noexcept {
+  switch (s) {
+    case State::kHealthy:
+      return "HEALTHY";
+    case State::kDegraded:
+      return "DEGRADED";
+    case State::kProbation:
+      return "PROBATION";
+    case State::kQuarantined:
+      return "QUARANTINED";
+  }
+  return "unknown";
+}
+
+const char* cause_name(Cause c) noexcept {
+  switch (c) {
+    case Cause::kNone:
+      return "none";
+    case Cause::kMismatch:
+      return "mismatch";
+    case Cause::kTrap:
+      return "trap";
+    case Cause::kInjected:
+      return "injected";
+    case Cause::kOverload:
+      return "overload";
+  }
+  return "unknown";
+}
+
+long env_recovery_ms() noexcept {
+  static const long v = env::get_long("SHALOM_RECOVERY_MS", 250, 0, 3600000);
+  return v;
+}
+
+long env_probation_n() noexcept {
+  static const long v = env::get_long("SHALOM_PROBATION_N", 3, 1, 64);
+  return v;
+}
+
+bool recovery_enabled() noexcept { return env_recovery_ms() > 0; }
+
+std::uint64_t now_ms() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void report_degraded(Component c, Cause cause) noexcept {
+  Slot& s = slot(c);
+  if (s.state.load(std::memory_order_acquire) ==
+      static_cast<int>(State::kQuarantined))
+    return;  // terminal evidence outranks any later degradation report
+  s.cause.store(static_cast<int>(cause), std::memory_order_relaxed);
+  int expected = static_cast<int>(State::kHealthy);
+  if (s.state.compare_exchange_strong(
+          expected, static_cast<int>(State::kDegraded),
+          std::memory_order_acq_rel, std::memory_order_acquire)) {
+    const std::uint64_t base = base_backoff_ms();
+    s.backoff_ms.store(base, std::memory_order_relaxed);
+    s.deadline_ms.store(now_ms() + base, std::memory_order_relaxed);
+  }
+  // Already DEGRADED/PROBATION: only the cause refreshed (above); the
+  // running cool-down keeps its deadline.
+}
+
+void report_quarantined(Component c, Cause cause) noexcept {
+  Slot& s = slot(c);
+  s.cause.store(static_cast<int>(cause), std::memory_order_relaxed);
+  s.state.store(static_cast<int>(State::kQuarantined),
+                std::memory_order_release);
+}
+
+void report_recovered(Component c) noexcept {
+  Slot& s = slot(c);
+  int st = s.state.load(std::memory_order_acquire);
+  while (st == static_cast<int>(State::kDegraded) ||
+         st == static_cast<int>(State::kProbation)) {
+    if (s.state.compare_exchange_weak(
+            st, static_cast<int>(State::kHealthy),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      s.backoff_ms.store(base_backoff_ms(), std::memory_order_relaxed);
+      telemetry::note_recovery();
+      return;
+    }
+  }
+}
+
+bool try_begin_probation(Component c) noexcept {
+  if (!recovery_enabled()) return false;
+  Slot& s = slot(c);
+  if (s.state.load(std::memory_order_acquire) !=
+      static_cast<int>(State::kDegraded))
+    return false;
+  if (now_ms() < s.deadline_ms.load(std::memory_order_relaxed))
+    return false;
+  int expected = static_cast<int>(State::kDegraded);
+  return s.state.compare_exchange_strong(
+      expected, static_cast<int>(State::kProbation),
+      std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+void probation_succeeded(Component c) noexcept {
+  Slot& s = slot(c);
+  int expected = static_cast<int>(State::kProbation);
+  if (s.state.compare_exchange_strong(
+          expected, static_cast<int>(State::kHealthy),
+          std::memory_order_acq_rel, std::memory_order_acquire)) {
+    s.backoff_ms.store(base_backoff_ms(), std::memory_order_relaxed);
+    telemetry::note_recovery();
+  }
+}
+
+void probation_failed(Component c) noexcept {
+  Slot& s = slot(c);
+  const std::uint64_t base = base_backoff_ms();
+  const std::uint64_t cap =
+      base > 0 ? base * kBackoffCapFactor : kBackoffCapFactor;
+  std::uint64_t backoff = s.backoff_ms.load(std::memory_order_relaxed);
+  backoff = backoff == 0 ? (base > 0 ? base : 1) : backoff * 2;
+  if (backoff > cap) backoff = cap;
+  s.backoff_ms.store(backoff, std::memory_order_relaxed);
+  s.deadline_ms.store(now_ms() + backoff, std::memory_order_relaxed);
+  int expected = static_cast<int>(State::kProbation);
+  if (s.state.compare_exchange_strong(
+          expected, static_cast<int>(State::kDegraded),
+          std::memory_order_acq_rel, std::memory_order_acquire))
+    telemetry::note_probation_failure();
+}
+
+bool probe_faulted() noexcept {
+  telemetry::note_probation_probe();
+  return SHALOM_FAULT_POINT(fault::Site::kHealthProbe);
+}
+
+State state(Component c) noexcept {
+  return static_cast<State>(
+      slot(c).state.load(std::memory_order_acquire));
+}
+
+Cause cause(Component c) noexcept {
+  return static_cast<Cause>(
+      slot(c).cause.load(std::memory_order_relaxed));
+}
+
+ComponentReport component_report(Component c) noexcept {
+  Slot& s = slot(c);
+  ComponentReport r;
+  r.state =
+      static_cast<State>(s.state.load(std::memory_order_acquire));
+  r.cause =
+      static_cast<Cause>(s.cause.load(std::memory_order_relaxed));
+  r.backoff_ms = s.backoff_ms.load(std::memory_order_relaxed);
+  if (r.state == State::kDegraded) {
+    const std::uint64_t deadline =
+        s.deadline_ms.load(std::memory_order_relaxed);
+    const std::uint64_t now = now_ms();
+    r.cooldown_remaining_ms = deadline > now ? deadline - now : 0;
+  }
+  return r;
+}
+
+bool all_healthy() noexcept {
+  for (int c = 0; c < kComponentCount; ++c) {
+    if (g_slots[c].state.load(std::memory_order_acquire) !=
+        static_cast<int>(State::kHealthy))
+      return false;
+  }
+  return true;
+}
+
+void set_recover_hook(Component c, RecoverHook hook) noexcept {
+  slot(c).hook.store(hook, std::memory_order_release);
+}
+
+void expire_cooldowns() noexcept {
+  const std::uint64_t now = now_ms();
+  for (int c = 0; c < kComponentCount; ++c) {
+    if (g_slots[c].state.load(std::memory_order_acquire) ==
+        static_cast<int>(State::kDegraded))
+      g_slots[c].deadline_ms.store(now, std::memory_order_relaxed);
+  }
+}
+
+int recover_now() noexcept {
+  if (!recovery_enabled()) return 0;
+  expire_cooldowns();
+  int recovered = 0;
+  for (int c = 0; c < kComponentCount; ++c) {
+    Slot& s = g_slots[c];
+    const int st = s.state.load(std::memory_order_acquire);
+    if (st == static_cast<int>(State::kHealthy)) continue;
+    const RecoverHook hook = s.hook.load(std::memory_order_acquire);
+    if (hook == nullptr) continue;  // passive-only component
+    try {
+      if (hook()) ++recovered;
+    } catch (...) {
+      // A recovery attempt must never take the process down; the
+      // component simply stays degraded until the next tick.
+    }
+  }
+  return recovered;
+}
+
+void reset_for_testing() noexcept {
+  for (int c = 0; c < kComponentCount; ++c) {
+    Slot& s = g_slots[c];
+    s.state.store(static_cast<int>(State::kHealthy),
+                  std::memory_order_release);
+    s.cause.store(static_cast<int>(Cause::kNone),
+                  std::memory_order_relaxed);
+    s.backoff_ms.store(0, std::memory_order_relaxed);
+    s.deadline_ms.store(0, std::memory_order_relaxed);
+    // Hooks survive the reset: they are process-wide wiring installed at
+    // static-init time by the component owners, not mutable health state.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prober
+// ---------------------------------------------------------------------------
+
+struct Prober::Impl {
+  enum class LifeState { kIdle, kRunning, kDraining };
+
+  ProberOptions opt;
+
+  mutable Mutex mu;
+  std::condition_variable_any cv;
+  LifeState state SHALOM_GUARDED_BY(mu) = LifeState::kIdle;
+  bool kicked SHALOM_GUARDED_BY(mu) = false;
+
+  std::thread worker;
+  std::atomic<std::uint64_t> tick_count{0};
+
+  explicit Impl(ProberOptions o) : opt(o) {}
+
+  long period_ms() const noexcept {
+    if (opt.period_ms > 0) return opt.period_ms;
+    const long base = env_recovery_ms();
+    return base < 10 ? 10 : base;
+  }
+
+  void run() {
+    for (;;) {
+      {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(period_ms());
+        MutexLock lock(mu);
+        while (state == LifeState::kRunning && !kicked) {
+          if (cv.wait_until(lock, deadline) == std::cv_status::timeout)
+            break;
+        }
+        if (state != LifeState::kRunning) return;
+        kicked = false;
+      }
+      (void)recover_now();
+      tick_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+Prober::Prober(ProberOptions opt) : impl_(new Impl(opt)) {}
+
+Prober::~Prober() {
+  stop();
+  delete impl_;
+}
+
+bool Prober::start() noexcept {
+  try {
+    MutexLock lock(impl_->mu);
+    if (impl_->state != Impl::LifeState::kIdle) return false;
+    impl_->state = Impl::LifeState::kRunning;
+    impl_->kicked = false;
+    try {
+      impl_->worker = std::thread([this] { impl_->run(); });
+    } catch (...) {
+      impl_->state = Impl::LifeState::kIdle;
+      return false;
+    }
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+void Prober::stop() noexcept {
+  try {
+    {
+      MutexLock lock(impl_->mu);
+      if (impl_->state == Impl::LifeState::kRunning)
+        impl_->state = Impl::LifeState::kDraining;
+    }
+    impl_->cv.notify_all();
+    if (impl_->worker.joinable()) impl_->worker.join();
+    {
+      MutexLock lock(impl_->mu);
+      impl_->state = Impl::LifeState::kIdle;
+    }
+  } catch (...) {
+    // Joining can only fail if the thread already exited; the prober is
+    // idle either way.
+  }
+}
+
+bool Prober::running() const noexcept {
+  try {
+    MutexLock lock(impl_->mu);
+    return impl_->state == Impl::LifeState::kRunning;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::uint64_t Prober::ticks() const noexcept {
+  return impl_->tick_count.load(std::memory_order_relaxed);
+}
+
+void Prober::kick() noexcept {
+  try {
+    {
+      MutexLock lock(impl_->mu);
+      if (impl_->state != Impl::LifeState::kRunning) return;
+      impl_->kicked = true;
+    }
+    impl_->cv.notify_all();
+  } catch (...) {
+  }
+}
+
+}  // namespace health
+}  // namespace shalom

@@ -1,0 +1,248 @@
+// Self-healing recovery layer: the component health registry and the
+// background probation prober.
+//
+// PRs 2-8 made every failure mode *degrade* instead of crash: a kernel
+// variant that fails its selfcheck is quarantined, a pool whose workers
+// cannot spawn narrows, a stream whose submissions keep failing latches
+// its circuit breaker into synchronous mode, a plan that cannot be cached
+// is rebuilt per call, a tuned table that cannot be read cold-starts.
+// Every one of those transitions was one-way: a single transient fault
+// (a memory-pressure spike, one wedged round, an injected probe failure)
+// left the process serving at scalar/serial speed forever.
+//
+// This header closes the loop. Each degradable unit is tracked through an
+// explicit state machine:
+//
+//        report_degraded                 cool-down elapsed
+//   HEALTHY ----------> DEGRADED ----------------------> PROBATION
+//      ^                   ^                                 |
+//      |                   | probe failed (backoff doubles)  |
+//      |                   +---------------------------------+
+//      |                              probe streak clean     |
+//      +-----------------------------------------------------+
+//                                                            |
+//   QUARANTINED <-- report_quarantined (permanent evidence,  v
+//                   e.g. a hardware trap; never re-probed    [terminal]
+//                   by default)
+//
+// with per-component *cause* tracking (a 1-ulp mismatch, a contained
+// hardware trap, an injected fault, overload) and exponential-backoff
+// cool-downs: every failed probation doubles the wait before the next
+// probe, so a genuinely broken component converges to near-zero probe
+// traffic while a transiently broken one recovers in one cool-down.
+//
+// Recovery runs on two paths that share this registry:
+//   - passive on-path checks: the degraded code paths themselves call
+//     try_begin_probation() when they run (a submit on a latched stream,
+//     a parallel round on a narrowed pool, a dispatch that would skip a
+//     quarantined variant), so recovery needs no extra thread;
+//   - the active `Prober` thread (same running -> draining -> joined
+//     lifecycle as tuning::Retuner) which ticks recover_now() so idle
+//     processes also heal.
+//
+// Knobs (through the env::get_long warn-once funnel):
+//   SHALOM_RECOVERY_MS   base cool-down in ms before the first probation
+//                        probe; 0 disables recovery entirely and restores
+//                        the pre-recovery permanent-latch behaviour.
+//   SHALOM_PROBATION_N   consecutive clean probes required to restore a
+//                        component to HEALTHY.
+//
+// Fault sites `health.probe` / `health.respawn` (common/fault.h) make the
+// recovery machinery itself degrade gracefully: an injected probe failure
+// re-latches the component with a doubled cool-down, never corrupts it.
+#pragma once
+
+#include <cstdint>
+
+namespace shalom {
+namespace health {
+
+/// Degradable units the registry tracks. One slot per *component*, not
+/// per instance: the 29 kernel variants aggregate into kKernels (their
+/// per-variant verdicts live in common/selfcheck.h) and every stream's
+/// breaker aggregates into kStreamBreaker (each stream keeps its own
+/// half-open bookkeeping in core/engine.h).
+enum class Component : int {
+  kKernels = 0,        // selfcheck-quarantined micro-kernel variants
+  kThreadPool = 1,     // narrowed or watchdog-serialized thread pool
+  kStreamBreaker = 2,  // latched stream circuit breakers
+  kPlanCache = 3,      // plan-cache bypass (build/insert failures)
+  kTunedTable = 4,     // persistent tuned-table load/save failures
+};
+inline constexpr int kComponentCount = 5;
+
+/// Registry states. kQuarantined is terminal: entering it requires
+/// positive evidence of corruption (a contained hardware trap, a canary
+/// violation) and the registry never re-probes out of it.
+enum class State : int {
+  kHealthy = 0,
+  kDegraded = 1,
+  kProbation = 2,
+  kQuarantined = 3,
+};
+
+/// Why the component left kHealthy. Retained across probation so a
+/// recovered-then-re-degraded component still reports its latest cause.
+enum class Cause : int {
+  kNone = 0,
+  kMismatch = 1,  // selfcheck result diverged from the scalar oracle
+  kTrap = 2,      // hardware trap contained by a guard scope
+  kInjected = 3,  // fault-injection framework fired the site
+  kOverload = 4,  // resource exhaustion (alloc/spawn/queue failures)
+};
+
+const char* component_name(Component c) noexcept;
+const char* state_name(State s) noexcept;
+const char* cause_name(Cause c) noexcept;
+
+/// SHALOM_RECOVERY_MS: base cool-down before the first probation probe,
+/// in milliseconds. 0 disables recovery (every degradation latches
+/// permanently, the pre-recovery behaviour). Default 250, range
+/// [0, 3600000].
+long env_recovery_ms() noexcept;
+
+/// SHALOM_PROBATION_N: consecutive clean probes required to restore a
+/// component. Default 3, range [1, 64].
+long env_probation_n() noexcept;
+
+/// True when recovery is enabled (env_recovery_ms() > 0).
+bool recovery_enabled() noexcept;
+
+/// Monotonic milliseconds since an arbitrary process-local epoch; the
+/// clock every cool-down deadline in the recovery layer is measured on.
+std::uint64_t now_ms() noexcept;
+
+// ---------------------------------------------------------------------------
+// Registry transitions (all lock-free; safe from any thread)
+// ---------------------------------------------------------------------------
+
+/// Records that a unit of `c` degraded for `cause`. HEALTHY -> DEGRADED
+/// (arming the cool-down); a component already in DEGRADED/PROBATION
+/// stays where it is (only the cause refreshes); QUARANTINED is sticky.
+void report_degraded(Component c, Cause cause) noexcept;
+
+/// Records terminal evidence against `c`: any state -> QUARANTINED.
+/// try_begin_probation() never fires for a quarantined component.
+void report_quarantined(Component c, Cause cause) noexcept;
+
+/// Records that `c` is serving at full capacity again, regardless of how
+/// it got there (a passive path observed success, or a probation streak
+/// completed). DEGRADED/PROBATION -> HEALTHY; counts a recovery only
+/// when the state actually changed. QUARANTINED is sticky.
+void report_recovered(Component c) noexcept;
+
+/// One probation step: if `c` is DEGRADED, recovery is enabled, and the
+/// cool-down deadline has passed, atomically moves it to PROBATION and
+/// returns true - the caller now owns running the probe and MUST finish
+/// with probation_succeeded() or probation_failed(). Returns false in
+/// every other case (wrong state, recovery disabled, cool-down pending,
+/// lost the race to another prober).
+bool try_begin_probation(Component c) noexcept;
+
+/// Ends a probation begun by try_begin_probation(). succeeded: PROBATION
+/// -> HEALTHY, cool-down resets to the base, counts a recovery. failed:
+/// PROBATION -> DEGRADED, cool-down doubles (capped at 64x base), counts
+/// a probation failure.
+void probation_succeeded(Component c) noexcept;
+void probation_failed(Component c) noexcept;
+
+/// Per-probe bookkeeping every probation probe calls first: counts the
+/// probe and evaluates the `health.probe` fault site. Returns true when
+/// the injected fault says this probe must report failure (the caller
+/// treats it exactly like a genuinely failed probe).
+bool probe_faulted() noexcept;
+
+State state(Component c) noexcept;
+Cause cause(Component c) noexcept;
+
+/// Full registry row for one component, as surfaced by
+/// shalom_health_report().
+struct ComponentReport {
+  State state = State::kHealthy;
+  Cause cause = Cause::kNone;
+  /// Current cool-down width in ms (doubles per failed probation).
+  std::uint64_t backoff_ms = 0;
+  /// Milliseconds until the next probation probe may run (0 when none is
+  /// pending - healthy, quarantined, or the deadline already passed).
+  std::uint64_t cooldown_remaining_ms = 0;
+};
+ComponentReport component_report(Component c) noexcept;
+
+/// True when every component is kHealthy.
+bool all_healthy() noexcept;
+
+// ---------------------------------------------------------------------------
+// Active recovery (the prober tick)
+// ---------------------------------------------------------------------------
+
+/// A component's active-recovery hook: attempts one full probation cycle
+/// for that component (begin, probe, finish) and returns true when the
+/// component ended up HEALTHY. Owners register these at static-init or
+/// first-use time (selfcheck for kKernels, the pool registry for
+/// kThreadPool); components whose recovery is purely passive (per-stream
+/// breakers, the plan cache, the tuned table) register none.
+using RecoverHook = bool (*)();
+void set_recover_hook(Component c, RecoverHook hook) noexcept;
+
+/// One recovery tick, callable from any thread (this is what
+/// shalom_recover_now() and each Prober wakeup run): expires every
+/// pending cool-down so the next probation check fires immediately, then
+/// invokes each registered hook for components not currently HEALTHY.
+/// Returns the number of components whose hook reported full recovery.
+int recover_now() noexcept;
+
+/// Expires every DEGRADED component's cool-down (deadline := now) without
+/// probing, so the next passive on-path check enters probation at once.
+void expire_cooldowns() noexcept;
+
+/// Resets every component to HEALTHY/kNone with base cool-downs.
+/// Registered hooks survive (they are process-wide wiring, not state).
+/// Test-only; not thread-safe against concurrent transitions.
+void reset_for_testing() noexcept;
+
+// ---------------------------------------------------------------------------
+// Prober: bounded, abortable background recovery thread
+// ---------------------------------------------------------------------------
+
+struct ProberOptions {
+  /// Wakeup period in ms; <= 0 derives it from env_recovery_ms() (never
+  /// below 10 ms, so a tiny SHALOM_RECOVERY_MS cannot spin the thread).
+  long period_ms = 0;
+};
+
+/// Background recovery driver with the same running -> draining -> joined
+/// lifecycle as tuning::Retuner: start() spawns the worker, stop() drains
+/// and joins it (the destructor stops too), kick() forces an immediate
+/// tick. Every tick runs recover_now(). The prober is an accelerator,
+/// never a requirement - with it off, the passive on-path checks still
+/// recover every component.
+class Prober {
+ public:
+  explicit Prober(ProberOptions opt = {});
+  ~Prober();
+
+  Prober(const Prober&) = delete;
+  Prober& operator=(const Prober&) = delete;
+
+  /// Spawns the prober thread. False if already running or the spawn
+  /// failed (the prober stays idle; passive recovery is unaffected).
+  bool start() noexcept;
+
+  /// Drains and joins the prober thread. Safe to call when idle.
+  void stop() noexcept;
+
+  bool running() const noexcept;
+
+  /// Completed recovery ticks.
+  std::uint64_t ticks() const noexcept;
+
+  /// Wakes the prober for an immediate tick (no-op when idle).
+  void kick() noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace health
+}  // namespace shalom

@@ -565,6 +565,13 @@ bool probe_wide() {
 // shalom_lint's atomic-memory-order rule pins down.
 std::atomic<int> g_state[kVariantCount];
 
+// Why each variant was last quarantined (health::Cause as int; kNone for
+// never-quarantined). Written before the quarantine verdict publishes and
+// read after observing it, so relaxed is enough for the value to be a
+// best-effort diagnostic; recoverability decisions re-read it only while
+// the variant is observably quarantined.
+std::atomic<int> g_cause[kVariantCount];
+
 using ukr::AAccess;
 using ukr::BAccess;
 
@@ -690,10 +697,16 @@ void run_probe_trampoline(void* p) {
 /// contained and reported as a failed probe (which the caller turns into
 /// a quarantine verdict) instead of killing the process. Counts toward
 /// selfchecks_run; the selfcheck.probe fault site forces a plain failure
-/// and the guard.trap site a simulated trap.
-bool run_probe(Variant v) noexcept {
+/// and the guard.trap site a simulated trap. `cause` reports which of the
+/// three distinguishable failure modes fired (kInjected for the fault
+/// site, kTrap for a contained trap, kMismatch for a divergent result);
+/// untouched when the probe passes.
+bool run_probe(Variant v, health::Cause* cause) noexcept {
   telemetry::note_selfcheck_run();
-  if (SHALOM_FAULT_POINT(fault::Site::kSelfcheckProbe)) return false;
+  if (SHALOM_FAULT_POINT(fault::Site::kSelfcheckProbe)) {
+    *cause = health::Cause::kInjected;
+    return false;
+  }
 
   TrapProbeCtx ctx;
   ctx.v = v;
@@ -705,6 +718,7 @@ bool run_probe(Variant v) noexcept {
       guard::run_trapped(run_probe_trampoline, &ctx);
   if (trap.trapped) {
     telemetry::note_kernel_trapped();
+    *cause = health::Cause::kTrap;
     char msg[160];
     std::snprintf(msg, sizeof msg,
                   "kernel variant '%s' raised %s inside its trap-contained "
@@ -714,6 +728,7 @@ bool run_probe(Variant v) noexcept {
     std::fprintf(stderr, "shalom: selfcheck: %s; quarantining\n", msg);
     return false;
   }
+  if (!ctx.ok) *cause = health::Cause::kMismatch;
   return ctx.ok;
 }
 
@@ -721,20 +736,25 @@ bool run_probe(Variant v) noexcept {
 /// both probe (harmless: probes are pure), but the CAS guarantees exactly
 /// one verdict wins and the quarantine counter/diagnostic fire once.
 int probe_and_publish(Variant v) noexcept {
-  const bool ok = run_probe(v);
+  health::Cause cause = health::Cause::kNone;
+  const bool ok = run_probe(v, &cause);
   const int verdict = static_cast<int>(ok ? Status::kVerified
                                           : Status::kQuarantined);
+  if (!ok)
+    g_cause[static_cast<int>(v)].store(static_cast<int>(cause),
+                                       std::memory_order_relaxed);
   int expected = static_cast<int>(Status::kUnknown);
   if (g_state[static_cast<int>(v)].compare_exchange_strong(
           expected, verdict, std::memory_order_acq_rel,
           std::memory_order_acquire)) {
     if (!ok) {
       telemetry::note_kernel_quarantined();
+      health::report_degraded(health::Component::kKernels, cause);
       std::fprintf(stderr,
                    "shalom: selfcheck: probe failed for kernel variant "
-                   "'%s'; quarantined (dispatch re-routes to a verified "
-                   "fallback)\n",
-                   variant_name(v));
+                   "'%s' (cause: %s); quarantined (dispatch re-routes to "
+                   "a verified fallback)\n",
+                   variant_name(v), health::cause_name(cause));
     }
     return verdict;
   }
@@ -770,9 +790,23 @@ Status status(Variant v) noexcept {
       g_state[static_cast<int>(v)].load(std::memory_order_acquire));
 }
 
+health::Cause quarantine_cause(Variant v) noexcept {
+  return static_cast<health::Cause>(
+      g_cause[static_cast<int>(v)].load(std::memory_order_relaxed));
+}
+
 bool variant_ok(Variant v) noexcept {
   int s = g_state[static_cast<int>(v)].load(std::memory_order_acquire);
   if (s == static_cast<int>(Status::kUnknown)) s = probe_and_publish(v);
+  if (s == static_cast<int>(Status::kQuarantined)) {
+    // Passive on-path recovery: dispatching a quarantined variant is
+    // already the slow path, so it doubles as the probation trigger.
+    // try_recover_quarantined() early-outs on one state load until the
+    // registry cool-down elapses; when it fires it probes trap-contained
+    // and may restore this very variant for the current call.
+    if (try_recover_quarantined())
+      s = g_state[static_cast<int>(v)].load(std::memory_order_acquire);
+  }
   return s == static_cast<int>(Status::kVerified);
 }
 
@@ -783,11 +817,13 @@ int run_all() noexcept {
   return quarantined;
 }
 
-void quarantine(Variant v) noexcept {
+void quarantine(Variant v, health::Cause cause) noexcept {
   // Override whatever verdict stands (including kVerified: the guard rail
   // saw the variant misbehave in production, which outranks its probe).
   // Loop the CAS so a concurrent publisher cannot resurrect the variant;
   // count/diagnose only on the actual transition into quarantine.
+  g_cause[static_cast<int>(v)].store(static_cast<int>(cause),
+                                     std::memory_order_relaxed);
   std::atomic<int>& slot = g_state[static_cast<int>(v)];
   int prior = slot.load(std::memory_order_acquire);
   while (prior != static_cast<int>(Status::kQuarantined)) {
@@ -796,14 +832,81 @@ void quarantine(Variant v) noexcept {
                                    std::memory_order_acq_rel,
                                    std::memory_order_acquire)) {
       telemetry::note_kernel_quarantined();
+      health::report_degraded(health::Component::kKernels, cause);
       std::fprintf(stderr,
                    "shalom: guard: kernel variant '%s' quarantined after a "
-                   "guard-rail violation (dispatch re-routes to a verified "
-                   "fallback)\n",
-                   variant_name(v));
+                   "guard-rail violation (cause: %s; dispatch re-routes to "
+                   "a verified fallback)\n",
+                   variant_name(v), health::cause_name(cause));
       return;
     }
   }
+}
+
+bool try_recover_quarantined() noexcept {
+  using health::Cause;
+  using health::Component;
+  if (health::state(Component::kKernels) == health::State::kHealthy)
+    return true;
+  if (!health::try_begin_probation(Component::kKernels)) return false;
+
+  const long streak = health::env_probation_n();
+  for (int i = 0; i < kVariantCount; ++i) {
+    std::atomic<int>& slot = g_state[i];
+    if (slot.load(std::memory_order_acquire) !=
+        static_cast<int>(Status::kQuarantined))
+      continue;
+    const Cause cause =
+        static_cast<Cause>(g_cause[i].load(std::memory_order_relaxed));
+    if (cause != Cause::kMismatch && cause != Cause::kInjected)
+      continue;  // trap evidence (or unknown cause): permanent by default
+    const Variant v = static_cast<Variant>(i);
+    bool clean = true;
+    Cause probe_cause = Cause::kNone;
+    for (long p = 0; p < streak && clean; ++p) {
+      if (health::probe_faulted() || !run_probe(v, &probe_cause))
+        clean = false;
+    }
+    if (!clean) {
+      // The re-probe itself failed: keep the quarantine, refresh the
+      // cause so diagnostics reflect the latest evidence (a variant that
+      // now traps becomes permanent).
+      if (probe_cause != Cause::kNone)
+        g_cause[i].store(static_cast<int>(probe_cause),
+                         std::memory_order_relaxed);
+      continue;
+    }
+    int expected = static_cast<int>(Status::kQuarantined);
+    if (slot.compare_exchange_strong(expected,
+                                     static_cast<int>(Status::kVerified),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      g_cause[i].store(static_cast<int>(Cause::kNone),
+                       std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "shalom: selfcheck: kernel variant '%s' restored after "
+                   "%ld clean probation probes (was quarantined: %s)\n",
+                   variant_name(v), streak, health::cause_name(cause));
+    }
+  }
+
+  // Component verdict: HEALTHY only when no quarantined variants remain
+  // (permanently trap-quarantined variants keep the component degraded,
+  // with the exponential backoff capping the residual probe traffic).
+  bool none_quarantined = true;
+  for (int i = 0; i < kVariantCount; ++i) {
+    if (g_state[i].load(std::memory_order_acquire) ==
+        static_cast<int>(Status::kQuarantined)) {
+      none_quarantined = false;
+      break;
+    }
+  }
+  if (none_quarantined) {
+    health::probation_succeeded(Component::kKernels);
+    return true;
+  }
+  health::probation_failed(Component::kKernels);
+  return false;
 }
 
 void set_probe_body_for_testing(bool (*fn)(Variant)) noexcept {
@@ -811,12 +914,25 @@ void set_probe_body_for_testing(bool (*fn)(Variant)) noexcept {
 }
 
 void reset_for_testing() noexcept {
-  for (int i = 0; i < kVariantCount; ++i)
+  for (int i = 0; i < kVariantCount; ++i) {
     g_state[i].store(static_cast<int>(Status::kUnknown),
                      std::memory_order_release);
+    g_cause[i].store(static_cast<int>(health::Cause::kNone),
+                     std::memory_order_relaxed);
+  }
 }
 
 namespace {
+
+/// Registers the kernels component's active-recovery hook so
+/// shalom_recover_now() and the background Prober drive the same
+/// probation sweep the passive variant_ok path uses.
+struct KernelHealthHookInit {
+  KernelHealthHookInit() noexcept {
+    health::set_recover_hook(health::Component::kKernels,
+                             &try_recover_quarantined);
+  }
+} g_kernel_health_hook_init;
 
 /// SHALOM_SELFTEST=1 runs the eager sweep at static-init time, before any
 /// GEMM can dispatch an unverified kernel.

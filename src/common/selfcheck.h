@@ -23,6 +23,7 @@
 
 #include <cmath>
 
+#include "common/health.h"
 #include "common/matrix.h"
 
 namespace shalom {
@@ -77,8 +78,10 @@ inline constexpr int kMainFamilyCount = 10;
 
 /// Per-variant verification state. kUnknown means the variant has never
 /// been probed; the first variant_ok() / run_all() that reaches it decides
-/// the verdict, which is then permanent for the process (except
-/// reset_for_testing()).
+/// the verdict. A quarantine verdict is permanent when recovery is
+/// disabled (SHALOM_RECOVERY_MS=0) or the cause is a contained hardware
+/// trap; otherwise the recovery layer (common/health.h) may re-probe the
+/// variant after its cool-down and restore it on a clean probe streak.
 enum class Status : int {
   kUnknown = 0,
   kVerified = 1,
@@ -91,6 +94,14 @@ const char* variant_name(Variant v) noexcept;
 
 /// Current state without triggering a probe.
 Status status(Variant v) noexcept;
+
+/// Why `v` is (or was last) quarantined: health::Cause::kMismatch for a
+/// probe result that diverged from the scalar oracle, kTrap for a
+/// contained hardware trap or guard-rail violation, kInjected for a
+/// fault-site firing, kNone for a variant never quarantined. Makes a
+/// trapped kernel and a 1-ulp mismatch distinguishable after the fact
+/// (and decides recoverability: trap-cause quarantines are permanent).
+health::Cause quarantine_cause(Variant v) noexcept;
 
 /// True when the variant may be dispatched. Probes lazily on the first
 /// call per variant (thread-safe: concurrent first calls may both probe,
@@ -108,8 +119,24 @@ int run_all() noexcept;
 /// evidence proves a variant misbehaved (a trapped kernel, a violated
 /// arena canary - see common/guard.h), the probe verdict is overridden
 /// and dispatch permanently routes around the variant. Idempotent; the
-/// quarantine counter and diagnostic fire only on the transition.
-void quarantine(Variant v) noexcept;
+/// quarantine counter and diagnostic fire only on the transition. The
+/// default cause (kTrap: positive corruption evidence) marks the
+/// quarantine permanent; pass a recoverable cause only when the evidence
+/// is a probe-style failure.
+void quarantine(Variant v,
+                health::Cause cause = health::Cause::kTrap) noexcept;
+
+/// One active recovery pass over the quarantined variants (the
+/// health-registry hook for health::Component::kKernels, also reachable
+/// through shalom_recover_now / the background Prober, and invoked
+/// passively from variant_ok on quarantined variants once the cool-down
+/// elapses). Re-probes every variant whose quarantine cause is
+/// recoverable (mismatch/injected - never trap) trap-contained via
+/// guard::run_trapped; SHALOM_PROBATION_N consecutive clean probes
+/// restore a variant to kVerified. Returns true when the kernels
+/// component ends the pass HEALTHY. No-op returning false while the
+/// registry cool-down is still pending or recovery is disabled.
+bool try_recover_quarantined() noexcept;
 
 /// Replaces the probe implementation for every subsequent probe (nullptr
 /// restores the real probes). Test-only: lets the suite register a

@@ -12,6 +12,7 @@
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/health.h"
 #include "core/batch.h"
 #include "core/plan.h"
 #include "core/plan_cache.h"
@@ -171,6 +172,16 @@ void backoff_sleep(long attempt) {
   std::this_thread::sleep_for(std::chrono::milliseconds(1L << shift));
 }
 
+/// Hard cap on the breaker's re-open backoff: 64x the base cool-down
+/// (mirrors the health registry's kBackoffCapFactor).
+constexpr std::uint64_t kBreakerBackoffCap = 64;
+
+/// Streams currently latched, for the process-wide health registry's
+/// kStreamBreaker aggregate (each stream keeps its own half-open
+/// bookkeeping). Relaxed: a monotonic census with no ordering ties to
+/// the per-stream state it summarizes.
+std::atomic<int> g_latched_streams{0};
+
 }  // namespace
 
 struct GemmStream::Impl {
@@ -193,13 +204,27 @@ struct GemmStream::Impl {
 
   /// Drainer-thread spawn failed: submit() executes inline instead.
   bool synchronous = false;  // set once in the ctor, then read-only
-  /// Circuit breaker: latched (sticky) after breaker_threshold
-  /// consecutive retry-exhausted submit failures; a latched stream
-  /// executes inline like a spawn-degraded one. Lock-free so the hot
-  /// submit path checks it with one relaxed load.
+  /// Circuit breaker: latched after breaker_threshold consecutive
+  /// retry-exhausted submit failures; a latched stream executes inline
+  /// like a spawn-degraded one. Lock-free so the hot submit path checks
+  /// it with one relaxed load. No longer sticky: once the recovery
+  /// cool-down elapses the breaker goes half-open (below) and a clean
+  /// trial streak un-latches it; with SHALOM_RECOVERY_MS=0 the latch is
+  /// permanent, the pre-recovery behaviour.
   std::atomic<bool> latched{false};
   std::atomic<int> consecutive_failures{0};
   std::atomic<std::uint64_t> retry_count{0};
+  /// Half-open breaker state. `half_open` gates the trial window;
+  /// `trials_admitted` bounds it to SHALOM_PROBATION_N concurrent trial
+  /// submissions (excess traffic keeps flowing inline-degraded);
+  /// `trial_successes` counts clean trials toward closing the breaker.
+  /// breaker_backoff_ms/deadline_ms are the per-stream exponential
+  /// cool-down (doubles per failed trial window, capped).
+  std::atomic<bool> half_open{false};
+  std::atomic<int> trials_admitted{0};
+  std::atomic<int> trial_successes{0};
+  std::atomic<std::uint64_t> breaker_backoff_ms{0};
+  std::atomic<std::uint64_t> breaker_deadline_ms{0};
   std::thread drainer;
 
   bool degraded() const noexcept {
@@ -209,6 +234,109 @@ struct GemmStream::Impl {
   void count_retry() noexcept {
     retry_count.fetch_add(1, std::memory_order_relaxed);
     telemetry::note_submit_retry();
+  }
+
+  std::uint64_t breaker_base_ms() const noexcept {
+    const long ms = health::env_recovery_ms();
+    return ms > 0 ? static_cast<std::uint64_t>(ms) : 1;
+  }
+
+  /// The latch transition (exactly once per open->latched cycle): arms
+  /// the recovery cool-down and registers the stream in the process-wide
+  /// breaker census.
+  void latch_breaker() noexcept {
+    if (latched.exchange(true, std::memory_order_acq_rel)) return;
+    telemetry::note_breaker_trip();
+    const std::uint64_t base = breaker_base_ms();
+    breaker_backoff_ms.store(base, std::memory_order_relaxed);
+    breaker_deadline_ms.store(health::now_ms() + base,
+                              std::memory_order_relaxed);
+    half_open.store(false, std::memory_order_release);
+    g_latched_streams.fetch_add(1, std::memory_order_relaxed);
+    health::report_degraded(health::Component::kStreamBreaker,
+                            health::Cause::kOverload);
+  }
+
+  /// The un-latch transition (trial streak complete, or a latched stream
+  /// closing down): keeps the census and the component aggregate honest.
+  /// `recovered` distinguishes a genuine breaker close (counts a
+  /// recovery) from a latched stream simply being destroyed.
+  void unlatch_breaker(bool recovered) noexcept {
+    if (!latched.exchange(false, std::memory_order_acq_rel)) return;
+    half_open.store(false, std::memory_order_release);
+    consecutive_failures.store(0, std::memory_order_relaxed);
+    const int remaining =
+        g_latched_streams.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (remaining <= 0) {
+      // Last latched stream gone: the component is back to full service.
+      health::report_recovered(health::Component::kStreamBreaker);
+      if (!recovered) return;
+      // report_recovered counted the recovery; nothing more to do.
+    } else if (recovered) {
+      telemetry::note_recovery();
+    }
+  }
+
+  /// Decides whether this submit should run as a half-open trial through
+  /// the real enqueue path. Opens the trial window when the cool-down
+  /// has elapsed; bounds it to SHALOM_PROBATION_N admissions. Each
+  /// admitted trial counts a probation probe and honours the
+  /// health.probe fault site (an injected failure re-opens the breaker
+  /// immediately and the request falls back to inline execution).
+  bool breaker_trial_admission() noexcept {
+    if (synchronous) return false;  // no drainer to return to
+    if (!health::recovery_enabled()) return false;
+    if (!latched.load(std::memory_order_acquire)) return false;
+    if (!half_open.load(std::memory_order_acquire)) {
+      if (health::now_ms() <
+          breaker_deadline_ms.load(std::memory_order_relaxed))
+        return false;
+      bool expected = false;
+      if (half_open.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        trials_admitted.store(0, std::memory_order_relaxed);
+        trial_successes.store(0, std::memory_order_relaxed);
+        telemetry::note_breaker_half_open();
+      }
+    }
+    const long budget = health::env_probation_n();
+    if (trials_admitted.fetch_add(1, std::memory_order_relaxed) >=
+        static_cast<int>(budget))
+      return false;  // window full: keep serving inline
+    if (health::probe_faulted()) {
+      breaker_trial_failed();
+      return false;
+    }
+    return true;
+  }
+
+  /// A trial enqueue succeeded: one more clean probe toward closing the
+  /// breaker; the SHALOM_PROBATION_N-th closes it.
+  void breaker_trial_succeeded() noexcept {
+    const int okays =
+        trial_successes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (okays >= static_cast<int>(health::env_probation_n()) &&
+        half_open.load(std::memory_order_acquire))
+      unlatch_breaker(true);
+  }
+
+  /// A trial enqueue failed (retry budget exhausted again, or the
+  /// health.probe site fired): close the trial window and double the
+  /// cool-down before the next half-open attempt.
+  void breaker_trial_failed() noexcept {
+    if (!half_open.exchange(false, std::memory_order_acq_rel))
+      return;  // another trial already resolved the window
+    const std::uint64_t base = breaker_base_ms();
+    const std::uint64_t cap = base * kBreakerBackoffCap;
+    std::uint64_t backoff =
+        breaker_backoff_ms.load(std::memory_order_relaxed);
+    backoff = backoff == 0 ? base : backoff * 2;
+    if (backoff > cap) backoff = cap;
+    breaker_backoff_ms.store(backoff, std::memory_order_relaxed);
+    breaker_deadline_ms.store(health::now_ms() + backoff,
+                              std::memory_order_relaxed);
+    telemetry::note_probation_failure();
   }
 
   /// Executes one shape bucket (equal dtype + mode, shape-ordered) as a
@@ -285,6 +413,33 @@ struct GemmStream::Impl {
       }
       r->ticket->complete(status, std::move(message));
     }
+  }
+
+  /// Inline degraded execution of one request on the submitting thread
+  /// (the latched / spawn-degraded path, and the fallback for a failed
+  /// half-open trial). Claims first so a concurrent cancel of the (not
+  /// yet returned) ticket can never double-resolve it, and counts it
+  /// executed before completion so a waiter that sees the ticket resolve
+  /// never reads stats() missing it.
+  template <typename T>
+  void run_inline(Mode mode, Request& r, const TicketPtr& ticket) {
+    {
+      MutexLock lock(mu);
+      if (lifecycle != kRunning) {
+        ++counters.shed;
+        telemetry::note_request_shed();
+        throw rejected_error("shalom: submit on a draining/closed stream");
+      }
+      ++counters.submitted;
+    }
+    ticket->try_claim();
+    {
+      MutexLock lock(mu);
+      ++counters.executed;
+      ++counters.batches;
+    }
+    const std::vector<Request*> one{&r};
+    run_bucket<T>(mode, one, SHALOM_DEGRADED);
   }
 
   /// Shape-buckets one swapped-out batch and runs each bucket coalesced.
@@ -449,29 +604,16 @@ TicketPtr GemmStream::submit(Mode mode, index_t m, index_t n, index_t k,
                  std::chrono::milliseconds(deadline_ms);
   }
   r.ticket = ticket;
+  bool trial = false;
   if (impl_->degraded()) {
-    {
-      MutexLock lock(impl_->mu);
-      if (impl_->lifecycle != Impl::kRunning) {
-        ++impl_->counters.shed;
-        telemetry::note_request_shed();
-        throw rejected_error("shalom: submit on a draining/closed stream");
-      }
-      ++impl_->counters.submitted;
+    // Passive on-path recovery: a latched breaker whose cool-down has
+    // elapsed admits this submit as a half-open trial through the real
+    // enqueue path below; everything else stays on the inline path.
+    trial = impl_->breaker_trial_admission();
+    if (!trial) {
+      impl_->run_inline<T>(mode, r, ticket);
+      return ticket;
     }
-    // Inline degraded execution: claim first so a concurrent cancel of
-    // the (not yet returned) ticket can never double-resolve it, and
-    // count it executed before completion so a waiter that sees the
-    // ticket resolve never reads stats() missing it.
-    ticket->try_claim();
-    {
-      MutexLock lock(impl_->mu);
-      ++impl_->counters.executed;
-      ++impl_->counters.batches;
-    }
-    const std::vector<Request*> one{&r};
-    impl_->run_bucket<T>(mode, one, SHALOM_DEGRADED);
-    return ticket;
   }
   const std::size_t cap =
       impl_->opts.queue_cap > 0
@@ -551,21 +693,31 @@ TicketPtr GemmStream::submit(Mode mode, index_t m, index_t n, index_t k,
         backoff_sleep(attempt);
         continue;
       }
+      if (trial) {
+        // The half-open trial hit the same transient failure: re-open
+        // the breaker with a doubled cool-down, and serve THIS request
+        // inline-degraded rather than surfacing the failure - work
+        // accepted mid-recovery keeps flowing.
+        impl_->breaker_trial_failed();
+        impl_->run_inline<T>(mode, r, ticket);
+        return ticket;
+      }
       // Retry budget exhausted: feed the circuit breaker. Enough
       // consecutive exhausted submits latch the stream into
       // synchronous-degraded mode so later traffic keeps flowing
       // (inline, skipping the failing enqueue path) instead of burning
-      // retry time per request.
+      // retry time per request; the recovery cool-down armed by the
+      // latch gives it a way back.
       const int fails =
           impl_->consecutive_failures.fetch_add(
               1, std::memory_order_relaxed) +
           1;
-      if (fails >= impl_->opts.breaker_threshold &&
-          !impl_->latched.exchange(true, std::memory_order_relaxed))
-        telemetry::note_breaker_trip();
+      if (fails >= impl_->opts.breaker_threshold)
+        impl_->latch_breaker();
       throw;
     }
   }
+  if (trial) impl_->breaker_trial_succeeded();
   impl_->submit_cv.notify_one();
   return ticket;
 }
@@ -616,13 +768,25 @@ int GemmStream::close() {
   }
   impl_->submit_cv.notify_all();
   if (impl_->drainer.joinable()) impl_->drainer.join();
+  // A latched stream leaving service is removed from the process-wide
+  // breaker census (not a recovery - nothing was restored).
+  impl_->unlatch_breaker(false);
   return rc;
 }
 
 StreamHealth GemmStream::health() const {
   MutexLock lock(impl_->mu);
   if (impl_->lifecycle != Impl::kRunning) return StreamHealth::kDraining;
-  if (impl_->degraded()) return StreamHealth::kDegraded;
+  if (impl_->degraded()) {
+    // RECOVERING only while the breaker is actually half-open; a
+    // spawn-degraded (synchronous) stream has no way back and stays
+    // DEGRADED. Precedence: DRAINING > DEGRADED > RECOVERING >
+    // SHEDDING > OK.
+    if (!impl_->synchronous &&
+        impl_->half_open.load(std::memory_order_acquire))
+      return StreamHealth::kRecovering;
+    return StreamHealth::kDegraded;
+  }
   if (impl_->opts.queue_cap > 0 &&
       impl_->pending.size() >=
           static_cast<std::size_t>(impl_->opts.queue_cap))

@@ -46,7 +46,18 @@
 // and joins the drainer; in-flight tickets ALWAYS resolve - to OK,
 // SHALOM_DEGRADED, SHALOM_ERR_REJECTED, SHALOM_ERR_TIMEOUT, or an
 // execution failure - never hang. shalom_stream_health() reports
-// OK / DEGRADED / SHEDDING / DRAINING for load-balancer style probes.
+// OK / DEGRADED / SHEDDING / DRAINING / RECOVERING for load-balancer
+// style probes.
+//
+// Recovery (common/health.h): a latched breaker is no longer permanent.
+// After SHALOM_RECOVERY_MS of cool-down the breaker goes HALF-OPEN and
+// admits SHALOM_PROBATION_N trial submissions through the real enqueue
+// path (excess submissions keep executing inline-degraded); a clean
+// trial streak closes the breaker and the stream returns to full
+// asynchronous service, while any trial failure re-opens it with a
+// doubled cool-down (capped). SHALOM_RECOVERY_MS=0 restores the
+// pre-recovery permanent latch exactly. Drainer-spawn degradation
+// (`synchronous`) stays permanent - there is no drainer to return to.
 //
 // Data ownership: the caller's A/B/C buffers must stay alive and
 // unmodified (C: un-read) until the request's ticket completes, exactly
@@ -136,12 +147,13 @@ enum class OverloadPolicy : int {
 
 /// Coarse stream condition for load-balancer style probes
 /// (shalom_stream_health at the C boundary). Precedence when several
-/// apply: DRAINING > DEGRADED > SHEDDING > OK.
+/// apply: DRAINING > DEGRADED > RECOVERING > SHEDDING > OK.
 enum class StreamHealth : int {
   kOk = 0,
-  kDegraded = 1,  ///< latched synchronous (breaker or drainer-spawn failure)
-  kShedding = 2,  ///< queue at capacity right now
-  kDraining = 3,  ///< lifecycle left running (draining or closed)
+  kDegraded = 1,   ///< latched synchronous (breaker or drainer-spawn failure)
+  kShedding = 2,   ///< queue at capacity right now
+  kDraining = 3,   ///< lifecycle left running (draining or closed)
+  kRecovering = 4, ///< breaker half-open: trial requests probing the queue
 };
 
 /// SHALOM_QUEUE_CAP: per-stream pending-queue capacity; 0 = unbounded

@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/health.h"
 #include "common/thread_annotations.h"
 #include "core/gemm.h"
 #include "core/parallel.h"
@@ -258,19 +259,28 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
   // racing creator for the same key costs one duplicate build, not a
   // wrong result - insert_locked keeps whichever lands last.
   PlanPtr plan;
-  if (!SHALOM_FAULT_POINT(fault::Site::kAllocPlan)) {
+  health::Cause cause = health::Cause::kNone;
+  if (SHALOM_FAULT_POINT(fault::Site::kAllocPlan)) {
+    cause = health::Cause::kInjected;
+  } else {
     try {
       plan = std::make_shared<const GemmPlan<T>>(
           plan_create<T>(mode, M, N, K, cfg));
     } catch (const std::bad_alloc&) {
       // Degrade: the caller runs uncached. Argument errors propagate.
+      cause = health::Cause::kOverload;
     }
   }
   if (plan == nullptr) {
     telemetry::note_plan_cache_bypassed();
+    health::report_degraded(health::Component::kPlanCache, cause);
     return nullptr;
   }
-  bool inserted = !SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert);
+  bool inserted = true;
+  if (SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert)) {
+    inserted = false;
+    cause = health::Cause::kInjected;
+  }
   // Capacity 0 disables insertion (PR 1 semantics): the call still
   // returns the built plan, the cache just won't remember it.
   if (inserted && impl_->capacity.load(std::memory_order_acquire) > 0) {
@@ -280,13 +290,21 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::get_or_create(
       added = sh.insert_locked(key, plan, impl_->next_tick());
     } catch (const std::bad_alloc&) {
       inserted = false;
+      cause = health::Cause::kOverload;
     }
     if (added == 1) {
       impl_->total_size.fetch_add(1, std::memory_order_acq_rel);
       impl_->evict_to_capacity();
     }
   }
-  if (!inserted) telemetry::note_plan_cache_bypassed();
+  if (!inserted) {
+    telemetry::note_plan_cache_bypassed();
+    health::report_degraded(health::Component::kPlanCache, cause);
+  } else {
+    // Built and (when capacity allows) cached: the component is serving
+    // at full capacity - passive recovery from an earlier bypass storm.
+    health::report_recovered(health::Component::kPlanCache);
+  }
   return plan;
 }
 
@@ -306,7 +324,12 @@ typename PlanCache<T>::PlanPtr PlanCache<T>::lookup(const PlanKey& key) {
 template <typename T>
 void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
   SHALOM_REQUIRE(plan != nullptr);
-  bool inserted = !SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert);
+  health::Cause cause = health::Cause::kNone;
+  bool inserted = true;
+  if (SHALOM_FAULT_POINT(fault::Site::kPlanCacheInsert)) {
+    inserted = false;
+    cause = health::Cause::kInjected;
+  }
   if (inserted && impl_->capacity.load(std::memory_order_acquire) > 0) {
     typename Impl::Shard& sh = impl_->shard_for(key);
     int added = 0;
@@ -315,6 +338,7 @@ void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
       added = sh.insert_locked(key, std::move(plan), impl_->next_tick());
     } catch (const std::bad_alloc&) {
       inserted = false;
+      cause = health::Cause::kOverload;
     }
     if (added == 1) {
       impl_->total_size.fetch_add(1, std::memory_order_acq_rel);
@@ -323,8 +347,10 @@ void PlanCache<T>::insert(const PlanKey& key, PlanPtr plan) {
   }
   if (!inserted) {
     telemetry::note_plan_cache_bypassed();
+    health::report_degraded(health::Component::kPlanCache, cause);
     return;
   }
+  health::report_recovered(health::Component::kPlanCache);
   // A key may now map to a different plan (tuner re-seed): memos must
   // revalidate.
   impl_->generation.fetch_add(1, std::memory_order_release);

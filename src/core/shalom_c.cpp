@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/health.h"
 #include "common/selfcheck.h"
 #include "core/engine.h"
 #include "core/plan.h"
@@ -153,6 +154,10 @@ extern "C" void shalom_get_stats(shalom_stats* out) {
   out->breaker_trips = s.breaker_trips;
   out->table_records_rejected = s.table_records_rejected;
   out->table_load_failures = s.table_load_failures;
+  out->recoveries = s.recoveries;
+  out->probation_probes = s.probation_probes;
+  out->probation_failures = s.probation_failures;
+  out->breaker_half_opens = s.breaker_half_opens;
 }
 
 extern "C" void shalom_reset_stats(void) { shalom::robustness_stats_reset(); }
@@ -161,6 +166,37 @@ extern "C" void shalom_reset_stats(void) { shalom::robustness_stats_reset(); }
 // verdicts, never exceptions), so no translator is needed here.
 // shalom-lint: allow(capi-exception-boundary)
 extern "C" int shalom_selftest(void) { return shalom::selfcheck::run_all(); }
+
+extern "C" int shalom_health_report(shalom_health* out) {
+  clear_last_error();
+  if (out == nullptr) return fail(SHALOM_ERR_NULL_POINTER, "out is NULL");
+  int healthy = 1;
+  try {
+    for (int c = 0; c < SHALOM_HEALTH_COMPONENT_COUNT; ++c) {
+      const shalom::health::ComponentReport r =
+          shalom::health::component_report(
+              static_cast<shalom::health::Component>(c));
+      shalom_health_component& dst = out->components[c];
+      dst.state = static_cast<int>(r.state);
+      dst.cause = static_cast<int>(r.cause);
+      dst.backoff_ms = r.backoff_ms;
+      dst.cooldown_remaining_ms = r.cooldown_remaining_ms;
+      if (r.state != shalom::health::State::kHealthy) healthy = 0;
+    }
+  } catch (...) {
+    return fail_current_exception();
+  }
+  out->all_healthy = healthy;
+  return SHALOM_OK;
+}
+
+// health::recover_now() is noexcept (hook failures become probation
+// verdicts, never exceptions), and the return is a recovery count, not a
+// status code.
+// shalom-lint: allow(capi-exception-boundary)
+extern "C" int shalom_recover_now(void) {
+  return shalom::health::recover_now();
+}
 
 extern "C" int shalom_plan_create(shalom_plan** out_plan, char dtype,
                                   char trans_a, char trans_b, ptrdiff_t m,

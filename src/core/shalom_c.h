@@ -102,6 +102,13 @@ typedef struct shalom_stats {
                                       checksum/contract validation */
   uint64_t table_load_failures;    /* tuned-table files rejected as a whole
                                       plus aborted atomic saves */
+  uint64_t recoveries;         /* components restored to full service */
+  uint64_t probation_probes;   /* recovery probes run against degraded
+                                  components (incl. breaker trials) */
+  uint64_t probation_failures; /* probes that failed: the component
+                                  re-latched with a doubled cool-down */
+  uint64_t breaker_half_opens; /* stream breakers that entered half-open
+                                  trial admission after their cool-down */
 } shalom_stats;
 
 /* Snapshot of the counters; `out` may not be NULL. */
@@ -224,12 +231,14 @@ int shalom_stream_flush(shalom_stream* stream);
 int shalom_stream_flush_for(shalom_stream* stream, long ms);
 
 /* Coarse stream condition for load-balancer style probes. Precedence
- * when several apply: DRAINING > DEGRADED > SHEDDING > OK. */
+ * when several apply: DRAINING > DEGRADED > RECOVERING > SHEDDING > OK. */
 typedef enum shalom_stream_health_state {
   SHALOM_STREAM_HEALTH_OK = 0,
   SHALOM_STREAM_HEALTH_DEGRADED = 1, /* latched synchronous execution */
   SHALOM_STREAM_HEALTH_SHEDDING = 2, /* queue at capacity right now */
   SHALOM_STREAM_HEALTH_DRAINING = 3, /* shutdown in progress (or closed) */
+  SHALOM_STREAM_HEALTH_RECOVERING = 4, /* breaker half-open: trial
+                                          submissions probing the queue */
 } shalom_stream_health_state;
 
 /* Returns the stream's shalom_stream_health_state, or -1 when stream is
@@ -322,6 +331,70 @@ typedef struct shalom_hot_shape {
  * when out is NULL with capacity > 0 - negation keeps a small count and
  * a small error code unambiguous. capacity <= 0 returns 0. */
 int shalom_plan_cache_hot(shalom_hot_shape* out, int capacity);
+
+/* ------------------------------------------------------------------------
+ * Self-healing recovery (common/health.h). Every degradable component -
+ * kernel variants, the thread pool, stream circuit breakers, the plan
+ * cache, the tuned table - is tracked through an explicit state machine
+ * (HEALTHY -> DEGRADED -> PROBATION -> HEALTHY, or QUARANTINED on
+ * terminal evidence) with exponential-backoff cool-downs between
+ * recovery probes. SHALOM_RECOVERY_MS sets the base cool-down (0
+ * disables recovery: every degradation latches permanently, the pre-PR-10
+ * behaviour); SHALOM_PROBATION_N sets the clean-probe streak required to
+ * restore a component. Recovery events are counted in shalom_stats
+ * (recoveries, probation_probes, probation_failures, breaker_half_opens).
+ * ---------------------------------------------------------------------- */
+
+typedef enum shalom_health_state {
+  SHALOM_HEALTH_HEALTHY = 0,
+  SHALOM_HEALTH_DEGRADED = 1,    /* cool-down before the next probe */
+  SHALOM_HEALTH_PROBATION = 2,   /* a recovery probe is in flight */
+  SHALOM_HEALTH_QUARANTINED = 3, /* terminal evidence; never re-probed */
+} shalom_health_state;
+
+typedef enum shalom_health_cause {
+  SHALOM_HEALTH_CAUSE_NONE = 0,
+  SHALOM_HEALTH_CAUSE_MISMATCH = 1, /* diverged from the scalar oracle */
+  SHALOM_HEALTH_CAUSE_TRAP = 2,     /* hardware trap contained by a guard */
+  SHALOM_HEALTH_CAUSE_INJECTED = 3, /* fault-injection framework */
+  SHALOM_HEALTH_CAUSE_OVERLOAD = 4, /* alloc/spawn/queue exhaustion */
+} shalom_health_cause;
+
+/* Index into shalom_health.components. */
+typedef enum shalom_health_component_id {
+  SHALOM_HEALTH_KERNELS = 0,
+  SHALOM_HEALTH_THREADPOOL = 1,
+  SHALOM_HEALTH_STREAM_BREAKER = 2,
+  SHALOM_HEALTH_PLAN_CACHE = 3,
+  SHALOM_HEALTH_TUNED_TABLE = 4,
+  SHALOM_HEALTH_COMPONENT_COUNT = 5,
+} shalom_health_component_id;
+
+typedef struct shalom_health_component {
+  int state; /* shalom_health_state */
+  int cause; /* shalom_health_cause: why it last left HEALTHY */
+  uint64_t backoff_ms;    /* current cool-down width (doubles per failed
+                             probation, capped) */
+  uint64_t cooldown_remaining_ms; /* ms until the next probe may run; 0
+                                     when none is pending */
+} shalom_health_component;
+
+typedef struct shalom_health {
+  shalom_health_component components[SHALOM_HEALTH_COMPONENT_COUNT];
+  int all_healthy; /* 1 when every component is HEALTHY */
+} shalom_health;
+
+/* Snapshot of the recovery registry. Returns SHALOM_OK, or
+ * SHALOM_ERR_NULL_POINTER when out is NULL. */
+int shalom_health_report(shalom_health* out);
+
+/* One forced recovery tick: expires every pending cool-down and runs
+ * each degraded component's recovery probe immediately (what the
+ * passive on-path checks and the background prober would do after the
+ * cool-down). Returns the number of components restored to HEALTHY by
+ * this call (>= 0); with SHALOM_RECOVERY_MS=0 recovery stays disabled
+ * and the call returns 0 without probing. Never a status code. */
+int shalom_recover_now(void);
 
 /* ------------------------------------------------------------------------
  * Persistent tuned-table store (tuning/table.h). These entry points live

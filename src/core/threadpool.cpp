@@ -11,6 +11,7 @@
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/guard.h"
+#include "common/health.h"
 #include "common/thread_annotations.h"
 
 namespace shalom {
@@ -228,34 +229,48 @@ ThreadPool::ThreadPool(int max_threads)
   // thread-creation edge), never race with it. A slot that fails to
   // allocate stays null; spawning stops at the first gap.
   try {
-    for (int w = 1; w < max_threads_; ++w)
+    for (int w = 1; w < max_threads; ++w)
       workers_[static_cast<std::size_t>(w)] =
           std::make_unique<Worker>(deque_cap);
   } catch (const std::bad_alloc&) {
     // Keep the slots that did allocate; width narrows below.
   }
-  threads_.reserve(static_cast<std::size_t>(max_threads_ - 1));
-  for (int w = 1; w < max_threads_; ++w) {
+  threads_.reserve(static_cast<std::size_t>(max_threads - 1));
+  health::Cause cause = health::Cause::kNone;
+  for (int w = 1; w < max_threads; ++w) {
     if (workers_[static_cast<std::size_t>(w)] == nullptr) {
-      max_threads_ = w;
+      // Alloc-gap narrowing: the slot itself is missing, so there is
+      // nothing a later respawn probe could attach a thread to. Narrow
+      // without reporting the health component degraded.
+      max_threads_.store(w, std::memory_order_release);
       break;
     }
     try {
-      if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolSpawn))
+      if (SHALOM_FAULT_POINT(fault::Site::kThreadpoolSpawn)) {
+        cause = health::Cause::kInjected;
         throw std::system_error(
             std::make_error_code(std::errc::resource_unavailable_try_again));
+      }
       threads_.emplace_back([this, w] { worker_loop(w); });
     } catch (const std::system_error&) {
       // Workers 1..w-1 already run and support w-way rounds; keep them.
       // workers_[w] stays allocated but threadless: its deque is forever
-      // empty, so victims scans skip past it harmlessly.
-      max_threads_ = w;
+      // empty, so victims scans skip past it harmlessly - and
+      // try_recover() can attach a thread to it later.
+      if (cause == health::Cause::kNone) cause = health::Cause::kOverload;
+      max_threads_.store(w, std::memory_order_release);
       break;
     } catch (const std::bad_alloc&) {
-      max_threads_ = w;
+      cause = health::Cause::kOverload;
+      max_threads_.store(w, std::memory_order_release);
       break;
     }
   }
+  // Spawn-failure narrowing is recoverable (the slot kept its Worker):
+  // arm the health registry so a probation probe retries the spawn after
+  // the cool-down.
+  if (cause != health::Cause::kNone)
+    health::report_degraded(health::Component::kThreadPool, cause);
 }
 
 ThreadPool::~ThreadPool() {
@@ -301,11 +316,59 @@ std::uint64_t ThreadPool::heartbeat_sum() const noexcept {
   return sum;
 }
 
+bool ThreadPool::try_recover() noexcept {
+  int respawned = 0;
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return false;
+    // Re-attach threads to spawn-narrowed slots. Only slots whose Worker
+    // record exists are candidates: the slot stores all happened in the
+    // constructor (before any thread ran), so a thief scanning workers_
+    // never races these reads, and a slot that is threadless has a
+    // provably empty deque with no owner - a fresh thread can take it.
+    const int requested = static_cast<int>(workers_.size());
+    int width = max_threads_.load(std::memory_order_acquire);
+    while (width < requested) {
+      if (workers_[static_cast<std::size_t>(width)] == nullptr)
+        break;  // alloc-gap slot: nothing to attach a thread to
+      const int id = width;
+      try {
+        if (SHALOM_FAULT_POINT(fault::Site::kHealthRespawn))
+          throw std::system_error(
+              std::make_error_code(std::errc::resource_unavailable_try_again));
+        threads_.emplace_back([this, id] { worker_loop(id); });
+      } catch (const std::system_error&) {
+        return false;  // probe failed; keep the width we have
+      } catch (const std::bad_alloc&) {
+        return false;
+      }
+      ++width;
+      // Publishes the new worker to parallel_for's width check.
+      max_threads_.store(width, std::memory_order_release);
+      ++respawned;
+    }
+  }
+  // Re-arm the watchdog: the next diagnostic round probes the pool at
+  // full width and re-trips (re-degrading the component with a doubled
+  // cool-down) if the wedge is still there.
+  const bool was_degraded = degraded_.exchange(false,
+                                               std::memory_order_acq_rel);
+  if (respawned > 0 || was_degraded) {
+    std::fprintf(stderr,
+                 "shalom: threadpool: recovery probe re-spawned %d "
+                 "worker(s), width now %d%s\n",
+                 respawned, max_threads_.load(std::memory_order_acquire),
+                 was_degraded ? "; watchdog re-armed" : "");
+  }
+  return true;
+}
+
 void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn,
                               int watchdog_ms) {
-  SHALOM_REQUIRE(tasks >= 1 && tasks <= max_threads_,
+  const int width = max_threads_.load(std::memory_order_acquire);
+  SHALOM_REQUIRE(tasks >= 1 && tasks <= width,
                  ": tasks must be in [1, max_threads]; tasks=", tasks,
-                 " max_threads=", max_threads_,
+                 " max_threads=", width,
                  " (use pool_run for width-tolerant execution)");
   if (tasks == 1) {
     fn(0);
@@ -408,11 +471,14 @@ void ThreadPool::watchdog_wait(Round& r, int watchdog_ms,
       continue;
     }
     // Trip: a full period elapsed with zero heartbeat movement. Mark
-    // the pool degraded (sticky), count it, and recover every task no
-    // worker has claimed by running it on this thread.
+    // the pool degraded (recoverable after the kThreadPool cool-down,
+    // permanent when SHALOM_RECOVERY_MS=0), count it, and recover every
+    // task no worker has claimed by running it on this thread.
     tripped = true;
     degraded_.store(true, std::memory_order_release);
     telemetry::note_watchdog_trip();
+    health::report_degraded(health::Component::kThreadPool,
+                            health::Cause::kOverload);
     std::fprintf(stderr,
                  "shalom: threadpool: watchdog tripped after %d ms with "
                  "no worker heartbeat progress (%d-task round); pool "
@@ -613,6 +679,58 @@ int ThreadPool::retired_pool_count_for_testing() {
   return preg.pools.empty() ? 0 : static_cast<int>(preg.pools.size()) - 1;
 }
 
+bool ThreadPool::recover_global_for_health() noexcept {
+  if (health::state(health::Component::kThreadPool) ==
+      health::State::kHealthy)
+    return true;
+  if (!health::try_begin_probation(health::Component::kThreadPool))
+    return false;
+  // Probe the newest pool only: it is the one pool_run routes every round
+  // through, and retirees are kept solely for references already handed
+  // out. Pin it like a Handle would so the reaper cannot free it while
+  // the probe runs outside the registry lock.
+  ThreadPool* pool = nullptr;
+  {
+    PoolRegistry& preg = registry();
+    MutexLock lock(preg.mu);
+    if (!preg.pools.empty()) {
+      pool = preg.pools.back().get();
+      pool->pins_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  bool ok;
+  if (health::probe_faulted()) {
+    ok = false;  // injected probe failure: treat exactly like a real one
+  } else if (pool == nullptr) {
+    ok = true;  // every pool was reaped; nothing left to be degraded
+  } else {
+    ok = pool->try_recover();
+  }
+  if (pool != nullptr) pool->pins_.fetch_sub(1, std::memory_order_acq_rel);
+  if (ok) {
+    health::probation_succeeded(health::Component::kThreadPool);
+  } else {
+    health::probation_failed(health::Component::kThreadPool);
+  }
+  return ok;
+}
+
+namespace {
+
+/// Wires the pool registry's recovery probe into the health layer at
+/// static-init time, so both the background Prober and recover_now()
+/// drive thread-pool recovery without core ever being special-cased in
+/// common/health.cpp.
+struct PoolHealthHookInit {
+  PoolHealthHookInit() noexcept {
+    health::set_recover_hook(health::Component::kThreadPool,
+                             &ThreadPool::recover_global_for_health);
+  }
+};
+PoolHealthHookInit g_pool_health_hook_init;
+
+}  // namespace
+
 void pool_run(int tasks, const std::function<void(int)>& fn,
               int watchdog_ms) {
   SHALOM_REQUIRE(tasks >= 1, " tasks=", tasks);
@@ -622,6 +740,12 @@ void pool_run(int tasks, const std::function<void(int)>& fn,
   }
   ThreadPool::Handle handle(tasks);
   ThreadPool& pool = handle.pool();
+  // Passive recovery check: when the kThreadPool component is degraded
+  // and its cool-down has elapsed, run one probation probe before
+  // narrowing this round. One atomic load while healthy; with the
+  // background Prober off, this path alone recovers the pool.
+  if (pool.degraded() || pool.max_threads() < tasks)
+    (void)ThreadPool::recover_global_for_health();
   // A watchdog-degraded pool has at least one wedged worker: every
   // parallel round on it would trip again and be recovered by the
   // leader, so skip straight to the serial loop.

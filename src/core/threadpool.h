@@ -31,8 +31,8 @@
 // watchdog_ms > 0 runs in diagnostic mode - the leader runs task 0 only,
 // then waits in watchdog_ms slices watching the worker heartbeat sum
 // (workers tick at task pickup and completion). No progress for a full
-// period trips the watchdog: the pool is marked degraded (sticky, pool_run
-// then narrows later rounds to serial), the trip is counted
+// period trips the watchdog: the pool is marked degraded (pool_run then
+// narrows later rounds to serial), the trip is counted
 // (RobustnessStats::watchdog_trips), and the leader claims and runs every
 // still-unclaimed task inline so the round completes with correct
 // results. A worker wedged BEFORE claiming a task is fully recovered; one
@@ -40,6 +40,22 @@
 // leader keeps waiting on it. Diagnostic mode deliberately withholds the
 // leader's inline help until the trip: eager help would complete the
 // round before a wedge could ever be observed.
+//
+// Recovery (common/health.h): through PR 9 both degradations above were
+// permanent - a watchdog trip pinned the pool serial forever, and a
+// spawn-narrowed pool never tried to widen again. Both now heal through
+// the kThreadPool health-registry slot. A trip or spawn-failure reports
+// the component DEGRADED; after SHALOM_RECOVERY_MS of cool-down the
+// recovery probe (try_recover(), driven actively by the health Prober's
+// hook and passively by pool_run on the degraded path) re-spawns threads
+// for allocated-but-threadless worker slots (through the
+// `health.respawn` fault site) and re-arms the watchdog by clearing
+// degraded() - if the wedge persists, the next diagnostic round trips
+// again and the cool-down doubles (capped), so a genuinely wedged pool
+// converges to near-zero probe traffic. A worker parked by a past wedge
+// never returns (its deque has exactly one owner), but the healthy
+// workers absorb its share through stealing. SHALOM_RECOVERY_MS=0
+// restores the pre-recovery permanent-latch behaviour exactly.
 //
 // Concurrency contract: parallel_for may be called from any number of
 // threads at once and the rounds genuinely overlap. Calling parallel_for
@@ -97,14 +113,40 @@ class ThreadPool {
   void parallel_for(int tasks, const std::function<void(int)>& fn,
                     int watchdog_ms = -1);
 
-  int max_threads() const { return max_threads_; }
+  int max_threads() const {
+    return max_threads_.load(std::memory_order_acquire);
+  }
 
-  /// True once a watchdog trip proved at least one worker of this pool
-  /// wedged. Sticky for the pool's lifetime: a wedged worker never comes
-  /// back, so pool_run narrows every later round on this pool to serial.
+  /// True while a watchdog trip has this pool narrowed to serial rounds
+  /// (pool_run's check). Sticky when recovery is disabled
+  /// (SHALOM_RECOVERY_MS=0); otherwise try_recover() re-arms the
+  /// watchdog after the component's cool-down so later rounds probe the
+  /// pool at full width again.
   bool degraded() const noexcept {
     return degraded_.load(std::memory_order_acquire);
   }
+
+  /// One recovery attempt on this pool: re-spawns worker threads for
+  /// slots the constructor (or an earlier probe) left threadless - each
+  /// spawn runs the `health.respawn` fault site first - and, when every
+  /// respawn succeeded, clears degraded() so the watchdog re-arms.
+  /// Returns false when the pool is shutting down or a respawn failed
+  /// (the pool keeps the workers it got; degraded() is left latched).
+  /// Slots whose Worker record itself failed to allocate at construction
+  /// stay permanently absent - there is no deque to give a new thread.
+  /// Thread-safe; called under the kThreadPool probation protocol by
+  /// recover_global_for_health().
+  bool try_recover() noexcept;
+
+  /// The kThreadPool recovery hook (health::set_recover_hook): runs one
+  /// full probation cycle - try_begin_probation, the `health.probe`
+  /// fault site, try_recover() on the registry's newest pool (the one
+  /// pool_run uses; retirees are superseded and not probed) - and
+  /// reports the verdict back to the registry. Returns true when the
+  /// component ended up HEALTHY. Also the passive on-path check pool_run
+  /// makes before narrowing a round; cheap no-op while the component is
+  /// healthy or its cool-down is pending.
+  static bool recover_global_for_health() noexcept;
 
   /// High-water mark of rounds observed in flight simultaneously on this
   /// pool. >= 2 proves two callers' rounds genuinely overlapped.
@@ -181,7 +223,11 @@ class ThreadPool {
   /// between two snapshots means some worker picked up or finished work.
   std::uint64_t heartbeat_sum() const noexcept;
 
-  int max_threads_;  // may be reduced by the ctor under spawn failure
+  /// Current usable width. Narrowed by the ctor under spawn failure,
+  /// re-widened by try_recover() when a respawn succeeds - hence atomic
+  /// (readers race recovery probes; acquire pairs with the release store
+  /// that publishes a freshly spawned worker).
+  std::atomic<int> max_threads_;
   std::vector<std::thread> threads_;
   /// Per-worker deques, indexed by worker id 1..max_threads_-1 (slot 0 is
   /// the submitters' side and has no deque). Entries past a failed spawn

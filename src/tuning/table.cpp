@@ -15,6 +15,7 @@
 
 #include "arch/machine.h"
 #include "common/fault.h"
+#include "common/health.h"
 #include "common/thread_annotations.h"
 #include "core/kernel_contracts.h"
 #include "core/plan_cache.h"
@@ -161,6 +162,19 @@ std::atomic<std::uint64_t> g_save_failures{0};
 void note_save_failure() noexcept {
   g_save_failures.fetch_add(1, std::memory_order_relaxed);
   telemetry::note_table_load_failure();
+  health::report_degraded(health::Component::kTunedTable,
+                          health::Cause::kOverload);
+}
+
+/// IO/authentication load failure: counts it AND marks the tuned-table
+/// component degraded in the health registry (common/health.h). The next
+/// successful load or save reports the component recovered - the table's
+/// recovery is purely passive. Caller-argument failures (null path) only
+/// count; they say nothing about the store itself.
+void note_load_failure() noexcept {
+  telemetry::note_table_load_failure();
+  health::report_degraded(health::Component::kTunedTable,
+                          health::Cause::kOverload);
 }
 
 void encode(const TunedRecord& r, unsigned char* buf) {
@@ -292,7 +306,7 @@ shalom_status table_load(const char* path) noexcept {
     }
     std::FILE* f = checked_open(path, "rb");
     if (f == nullptr) {
-      telemetry::note_table_load_failure();
+      note_load_failure();
       return SHALOM_ERR_TABLE;
     }
 
@@ -321,7 +335,7 @@ shalom_status table_load(const char* path) noexcept {
       // Read-side close failure loses nothing; the load verdict stands.
     }
     if (!ok) {
-      telemetry::note_table_load_failure();
+      note_load_failure();
       return SHALOM_ERR_TABLE;
     }
 
@@ -347,9 +361,10 @@ shalom_status table_load(const char* path) noexcept {
       register_unchecked(rec);
       g_records_loaded.fetch_add(1, std::memory_order_relaxed);
     }
+    health::report_recovered(health::Component::kTunedTable);
     return SHALOM_OK;
   } catch (...) {
-    telemetry::note_table_load_failure();
+    note_load_failure();
     return SHALOM_ERR_TABLE;
   }
 }
@@ -413,6 +428,7 @@ shalom_status table_save(const char* path) noexcept {
       return SHALOM_ERR_TABLE;
     }
     g_saves.fetch_add(1, std::memory_order_relaxed);
+    health::report_recovered(health::Component::kTunedTable);
     return SHALOM_OK;
   } catch (...) {
     note_save_failure();

@@ -26,6 +26,8 @@ const char* status_string(int code) {
 struct RobustnessStats {
   uint64_t drift_documented_counter;
   uint64_t drift_orphan_counter;
+  uint64_t drift_untested_counter;
 };
 const char* fixture_env_keys[] = {"SHALOM_DRIFT_DOCUMENTED_KEY",
-                                  "SHALOM_DRIFT_ORPHAN_KEY"};
+                                  "SHALOM_DRIFT_ORPHAN_KEY",
+                                  "SHALOM_DRIFT_UNTESTED_KEY"};

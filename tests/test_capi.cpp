@@ -7,13 +7,19 @@
 // rejection.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/fault.h"
 #include "common/guard.h"
+#include "common/health.h"
+#include "core/engine.h"
 #include "core/shalom_c.h"
 #include "tests/test_util.h"
 
@@ -446,11 +452,21 @@ TEST(CApiAsync, CancelResolvesQueuedFutureExactlyOnce) {
                             p.a.ld(), p.b.data(), p.b.ld(), 0.f, p.c.data(),
                             p.c.ld(), &f),
             0);
+  // Both requests went through admission, so the global high-water mark
+  // of queued depth has seen at least this stream's backlog.
+  shalom_stats mid;
+  shalom_get_stats(&mid);
+  EXPECT_GE(mid.stream_queue_peak, 1u)
+      << "two queued submissions must register in stream_queue_peak";
   const int cancelled = shalom_future_cancel(f);
   EXPECT_TRUE(cancelled == 0 || cancelled == 1);
   EXPECT_EQ(shalom_wait(fb), 0);
   if (cancelled == 1) {
     EXPECT_EQ(shalom_wait(f), SHALOM_ERR_REJECTED);
+    shalom_stats after;
+    shalom_get_stats(&after);
+    EXPECT_GT(after.requests_cancelled, mid.requests_cancelled)
+        << "a won cancel race must count in requests_cancelled";
     for (index_t i = 0; i < p.m; ++i)
       for (index_t j = 0; j < p.n; ++j)
         ASSERT_EQ(std::memcmp(&p.c(i, j), &pristine(i, j), sizeof(float)), 0)
@@ -608,6 +624,130 @@ TEST(CApi, OverflowingShapesRejected) {
   EXPECT_EQ(shalom_plan_create(&plan, 'd', 'N', 'N', huge, huge, 2, 1),
             SHALOM_ERR_INVALID_ARGUMENT);
   EXPECT_EQ(plan, nullptr);
+}
+
+// Table-driven precedence check for the stream-health surface: when
+// several conditions hold at once the documented order is
+// DRAINING > DEGRADED > RECOVERING > SHEDDING > OK, and the C constants
+// must match the C++ engine enum value for value. Each scenario builds a
+// stream holding a *combination* of conditions and asserts which one
+// wins.
+TEST(CApiAsync, StreamHealthPrecedenceTable) {
+  if (!SHALOM_FAULT_INJECTION)
+    GTEST_SKIP() << "built without SHALOM_FAULT_INJECTION";
+  if (health::env_recovery_ms() > 2000)
+    GTEST_SKIP() << "SHALOM_RECOVERY_MS too large to sleep out";
+
+  // Latches `s`'s breaker (requires breaker_threshold=1, retry_budget=0).
+  const auto latch = [](engine::GemmStream& s) {
+    testing::Problem<float> p({Trans::N, Trans::N}, 16, 16, 16);
+    fault::arm(fault::Site::kSubmitQueue, fault::Mode::kEveryN, 1);
+    EXPECT_THROW(s.submit<float>(p.mode, p.m, p.n, p.k, 1.0f, p.a.data(),
+                                 p.a.ld(), p.b.data(), p.b.ld(), 0.0f,
+                                 p.c.data(), p.c.ld()),
+                 std::bad_alloc);
+    fault::disarm_all();
+  };
+
+  struct Row {
+    const char* conditions;
+    int expected;  // shalom_stream_health_state constant
+    std::function<int()> run;  // builds the scenario, returns health()
+  };
+  const std::vector<Row> table = {
+      {"fresh stream", SHALOM_STREAM_HEALTH_OK,
+       [] {
+         engine::GemmStream s;
+         return static_cast<int>(s.health());
+       }},
+      {"queue at capacity", SHALOM_STREAM_HEALTH_SHEDDING,
+       [] {
+         engine::StreamOptions opts;
+         opts.queue_cap = 1;
+         opts.overload_policy =
+             static_cast<int>(engine::OverloadPolicy::kShedNewest);
+         // The submit -> health window is microseconds against a
+         // millisecond-scale drain; retry a few times in case the
+         // drainer claims the request first.
+         for (int attempt = 0; attempt < 50; ++attempt) {
+           // Operands outlive the stream: its destructor drains the
+           // still-queued request, which writes into these matrices.
+           testing::Problem<float> busy({Trans::N, Trans::N}, 160, 160,
+                                        160);
+           engine::GemmStream s(opts);
+           (void)s.submit<float>(busy.mode, busy.m, busy.n, busy.k, 1.0f,
+                                 busy.a.data(), busy.a.ld(),
+                                 busy.b.data(), busy.b.ld(), 0.0f,
+                                 busy.c.data(), busy.c.ld());
+           const engine::StreamHealth h = s.health();
+           if (h == engine::StreamHealth::kShedding)
+             return static_cast<int>(h);
+         }
+         return -1;
+       }},
+      {"breaker latched beats queue state", SHALOM_STREAM_HEALTH_DEGRADED,
+       [&latch] {
+         engine::StreamOptions opts;
+         opts.retry_budget = 0;
+         opts.breaker_threshold = 1;
+         opts.queue_cap = 1;
+         engine::GemmStream s(opts);
+         latch(s);
+         return static_cast<int>(s.health());
+       }},
+      {"half-open trial beats shedding", SHALOM_STREAM_HEALTH_RECOVERING,
+       [&latch] {
+         if (!health::recovery_enabled() ||
+             health::env_probation_n() < 2)
+           return static_cast<int>(
+               SHALOM_STREAM_HEALTH_RECOVERING);  // vacuous under =0
+         engine::StreamOptions opts;
+         opts.retry_budget = 0;
+         opts.breaker_threshold = 1;
+         opts.queue_cap = 1;  // the trial itself puts the queue at cap
+         engine::GemmStream s(opts);
+         latch(s);
+         std::this_thread::sleep_for(
+             std::chrono::milliseconds(health::env_recovery_ms() + 150));
+         testing::Problem<float> p({Trans::N, Trans::N}, 20, 20, 20);
+         (void)s.submit<float>(p.mode, p.m, p.n, p.k, 1.0f, p.a.data(),
+                               p.a.ld(), p.b.data(), p.b.ld(), 0.0f,
+                               p.c.data(), p.c.ld());
+         const int h = static_cast<int>(s.health());
+         (void)s.flush();
+         return h;
+       }},
+      {"draining beats a latched breaker", SHALOM_STREAM_HEALTH_DRAINING,
+       [&latch] {
+         engine::StreamOptions opts;
+         opts.retry_budget = 0;
+         opts.breaker_threshold = 1;
+         engine::GemmStream s(opts);
+         latch(s);
+         EXPECT_EQ(s.close(), SHALOM_DEGRADED);
+         return static_cast<int>(s.health());
+       }},
+  };
+
+  for (const Row& row : table) {
+    fault::disarm_all();
+    health::reset_for_testing();
+    EXPECT_EQ(row.run(), row.expected) << row.conditions;
+  }
+  fault::disarm_all();
+  health::reset_for_testing();
+
+  // The C constants and the C++ enum are the same numbering end to end.
+  EXPECT_EQ(static_cast<int>(engine::StreamHealth::kOk),
+            SHALOM_STREAM_HEALTH_OK);
+  EXPECT_EQ(static_cast<int>(engine::StreamHealth::kDegraded),
+            SHALOM_STREAM_HEALTH_DEGRADED);
+  EXPECT_EQ(static_cast<int>(engine::StreamHealth::kShedding),
+            SHALOM_STREAM_HEALTH_SHEDDING);
+  EXPECT_EQ(static_cast<int>(engine::StreamHealth::kDraining),
+            SHALOM_STREAM_HEALTH_DRAINING);
+  EXPECT_EQ(static_cast<int>(engine::StreamHealth::kRecovering),
+            SHALOM_STREAM_HEALTH_RECOVERING);
 }
 
 }  // namespace

@@ -121,8 +121,9 @@ TEST(Lint, RawAllocFixture) {
 }
 
 TEST(Lint, EnvAccessFixture) {
-  // SHALOM_FIXTURE is listed in drift_api.md, so the only finding is the
-  // direct getenv, not an undocumented-env-key drift.
+  // SHALOM_FIXTURE is listed in drift_api.md and mentioned in the fake
+  // test blob, so the only finding is the direct getenv, not an
+  // undocumented- or untested-env-key drift.
   const std::string f = fixture("env_access.cpp");
   const LintRun r = run_lint(fixture_flags() + " " + f);
   EXPECT_EQ(r.exit_code, 1);
@@ -252,32 +253,44 @@ TEST(Lint, AtomicPairingFixture) {
 
 TEST(Lint, RegistryDriftFixture) {
   // Against the fake docs: one unarmed site, one missing strerror entry,
-  // one missing API row, one missing test mention, one undocumented
-  // counter, one undocumented env key - each finding naming the artifact.
+  // one missing API row, one missing test mention, an undocumented
+  // counter and env key (mentioned in the tests, so single-axis) and an
+  // untested counter and env key (documented, so also single-axis) -
+  // each finding naming the artifact it drifted from.
   const std::string f = fixture("registry_drift.cpp");
   const LintRun r =
       run_lint("--design=" + fixture("drift_design.md") + " " +
                drift_fixture_flags() + " " + f);
   EXPECT_EQ(r.exit_code, 1);
-  EXPECT_EQ(count_lines(r.output), 6) << r.output;
+  EXPECT_EQ(count_lines(r.output), 8) << r.output;
   expect_finding(r, f, 8, "registry-drift");   // drift.orphan_site unarmed
   expect_finding(r, f, 14, "registry-drift");  // no strerror entry
   expect_finding(r, f, 15, "registry-drift");  // no API row
   expect_finding(r, f, 16, "registry-drift");  // no test mention
   expect_finding(r, f, 28, "registry-drift");  // undocumented counter
-  expect_finding(r, f, 31, "registry-drift");  // undocumented env key
+  expect_finding(r, f, 29, "registry-drift");  // untested counter
+  expect_finding(r, f, 32, "registry-drift");  // undocumented env key
+  expect_finding(r, f, 33, "registry-drift");  // untested env key
   EXPECT_NE(r.output.find("drift.orphan_site"), std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("SHALOM_DRIFT_NO_STRERROR"), std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("drift_orphan_counter"), std::string::npos)
       << r.output;
+  EXPECT_NE(r.output.find("drift_untested_counter"), std::string::npos)
+      << r.output;
   EXPECT_NE(r.output.find("SHALOM_DRIFT_ORPHAN_KEY"), std::string::npos)
       << r.output;
-  // The armed/documented halves stay silent.
+  EXPECT_NE(r.output.find("SHALOM_DRIFT_UNTESTED_KEY"), std::string::npos)
+      << r.output;
+  // The armed/documented/tested halves stay silent.
   EXPECT_EQ(r.output.find("drift.armed_site"), std::string::npos)
       << r.output;
   EXPECT_EQ(r.output.find("SHALOM_DRIFT_TESTED"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("drift_documented_counter"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("SHALOM_DRIFT_DOCUMENTED_KEY"), std::string::npos)
       << r.output;
 }
 
@@ -285,12 +298,12 @@ TEST(Lint, WholeFixtureDirectoryFindingCount) {
   // 1 atomic-memory-order + 2 raw-alloc + 1 env + 2 fault_site (design +
   // arming) + 2 nondeterminism + 1 capi + 2 signal-handler +
   // 1 unbounded-wait + 3 unchecked-io + 0 suppressed + 1 lock-order cycle
-  // + 1 declared contradiction + 2 atomic-pairing + 8 registry_drift.cpp
-  // (2 sites undocumented in the real DESIGN.md + 6 drift) = 27 findings.
+  // + 1 declared contradiction + 2 atomic-pairing + 10 registry_drift.cpp
+  // (2 sites undocumented in the real DESIGN.md + 8 drift) = 29 findings.
   const LintRun r =
       run_lint(fixture_flags() + " " + std::string(SHALOM_LINT_FIXTURES));
   EXPECT_EQ(r.exit_code, 1);
-  EXPECT_EQ(count_lines(r.output), 27) << r.output;
+  EXPECT_EQ(count_lines(r.output), 29) << r.output;
 }
 
 TEST(Lint, JsonFormatCarriesRuleAndLine) {

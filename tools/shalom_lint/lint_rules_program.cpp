@@ -246,6 +246,38 @@ void rule_registry_drift(const Program& p, const DriftInputs& in,
                            "): every knob needs a row in the env table"});
       }
     }
+    // ... and exercised by the tests. A counter nobody asserts on and a
+    // knob no test sets are exactly the registrations that silently rot.
+    if (!in.tests_ok) {
+      const std::string file = p.stats_counters.empty()
+                                   ? p.env_keys.front().file
+                                   : p.stats_counters.front().file;
+      const int line = p.stats_counters.empty()
+                           ? p.env_keys.front().line
+                           : p.stats_counters.front().line;
+      out.push_back({file, line, "registry-drift",
+                     "counter/env-key test coverage cannot be checked: "
+                     "test sources ('" +
+                         in.tests_path + "') are missing or unreadable"});
+    } else {
+      for (const CounterDef& c : p.stats_counters) {
+        if (text_mentions(in.tests_text, c.name)) continue;
+        out.push_back({c.file, c.line, "registry-drift",
+                       "stats counter '" + c.name +
+                           "' is never mentioned in the tests (" +
+                           in.tests_path +
+                           "): assert at least one path that moves it"});
+      }
+      for (const EnvKeyUse& k : p.env_keys) {
+        if (text_mentions(in.tests_text, k.name)) continue;
+        out.push_back({k.file, k.line, "registry-drift",
+                       "environment key " + k.name +
+                           " is never mentioned in the tests (" +
+                           in.tests_path +
+                           "): set it in at least one wrapper or unit "
+                           "test so its parse/clamp path is covered"});
+      }
+    }
   }
 }
 
